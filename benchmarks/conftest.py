@@ -1,0 +1,110 @@
+"""Shared fixtures for the figure/table reproduction benchmarks.
+
+Heavy computations (orchestration + iteration simulation at paper scale)
+are session-scoped so Figure 13 and Figure 14 (and 18/19) share one run.
+Every benchmark prints the same rows/series the paper reports; see
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+from repro.core.api import plan, simulate
+from repro.core.config import DistTrainConfig
+from repro.runtime.iteration import IterationResult
+
+# Paper-scale settings (section 7.1): up to ~1.3k GPUs, GBS 1920.
+OVERALL_CLUSTER_GPUS = 1296
+OVERALL_GBS = 1920
+# Ablation settings (section 7.2): up to 96 GPUs.
+ABLATION_CLUSTER_GPUS = 96
+ABLATION_GBS = {"mllm-9b": 128, "mllm-15b": 64, "mllm-72b": 40}
+
+MODELS = ("mllm-9b", "mllm-15b", "mllm-72b")
+FROZEN_SETTINGS = ("all-frozen", "encoder-only", "llm-only", "generator-only")
+
+
+@dataclass
+class SystemRun:
+    """One (model, system) evaluation."""
+
+    result: IterationResult
+    num_gpus: int
+
+    @property
+    def mfu(self) -> float:
+        return self.result.mfu
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput_tokens_per_s
+
+
+def run_system(
+    model: str,
+    system: str,
+    num_gpus: int,
+    gbs: int,
+    frozen: str = "full",
+) -> SystemRun:
+    config = DistTrainConfig.preset(
+        model, num_gpus, gbs, frozen=frozen, system=system
+    )
+    orchestration = plan(config)
+    result = simulate(config, orchestration)
+    return SystemRun(result=result, num_gpus=result.num_gpus)
+
+
+@pytest.fixture(scope="session")
+def overall_results() -> Dict[str, Dict[str, SystemRun]]:
+    """Figure 13/14 data: overall MFU/throughput at ~1.2k GPUs."""
+    table: Dict[str, Dict[str, SystemRun]] = {}
+    for model in MODELS:
+        table[model] = {
+            system: run_system(
+                model, system, OVERALL_CLUSTER_GPUS, OVERALL_GBS
+            )
+            for system in ("disttrain", "megatron-lm")
+        }
+    return table
+
+
+@pytest.fixture(scope="session")
+def ablation_results() -> Dict[str, Dict[str, SystemRun]]:
+    """Figure 15 data: orchestration ablation at <=96 GPUs."""
+    table: Dict[str, Dict[str, SystemRun]] = {}
+    for model in MODELS:
+        table[model] = {
+            system: run_system(
+                model,
+                system,
+                ABLATION_CLUSTER_GPUS,
+                ABLATION_GBS[model],
+            )
+            for system in ("disttrain", "megatron-lm", "distmm*")
+        }
+    return table
+
+
+@pytest.fixture(scope="session")
+def frozen_results() -> Dict[str, Dict[str, Dict[str, SystemRun]]]:
+    """Figure 18/19 data: frozen-training settings at <=96 GPUs."""
+    table: Dict[str, Dict[str, Dict[str, SystemRun]]] = {}
+    for setting in FROZEN_SETTINGS:
+        table[setting] = {}
+        for model in MODELS:
+            table[setting][model] = {
+                system: run_system(
+                    model,
+                    system,
+                    ABLATION_CLUSTER_GPUS,
+                    ABLATION_GBS[model],
+                    frozen=setting,
+                )
+                for system in ("disttrain", "megatron-lm")
+            }
+    return table

@@ -1,0 +1,51 @@
+"""Ablation — StepCCL chunking granularity.
+
+Footnote 1 of the paper: more chunks hide more of the allgather, but
+"dividing a large GEMM into finer granularity sometimes could lead to
+overall slowdown" — per-chunk launch overheads eventually dominate. The
+chunk count is a tunable; this ablation sweeps it.
+"""
+
+import pytest
+
+from repro.core.reports import format_table
+from repro.stepccl.overlap import OverlapConfig, simulate_overlapped
+
+CHUNKS = (1, 2, 4, 8, 16, 64, 256)
+
+
+def sweep():
+    results = []
+    for chunks in CHUNKS:
+        config = OverlapConfig(
+            comm_time=1.0,
+            compute_time=4.0,
+            num_chunks=chunks,
+            chunk_overhead=5e-3,
+            remap_time=0.05,
+        )
+        results.append((chunks, simulate_overlapped(config).total_time))
+    return results
+
+
+def test_stepccl_chunk_sweep(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    baseline = 1.0 + 4.0  # sequential
+    print()
+    print(format_table(
+        ["chunks", "layer time (s)", "speedup vs sequential"],
+        [
+            [chunks, f"{t:.3f}", f"{baseline / t:.3f}x"]
+            for chunks, t in results
+        ],
+        title="Ablation: StepCCL chunk-count sweep (comm=1s, compute=4s)",
+    ))
+    times = dict(results)
+    # Chunking helps up to a point...
+    assert times[4] < times[1]
+    assert times[8] < times[1]
+    # ...then per-chunk overhead claws it back (footnote 1).
+    assert times[256] > times[8]
+    best = min(times.values())
+    # At the optimum nearly all communication is hidden.
+    assert best < 4.0 * 1.2

@@ -1,0 +1,64 @@
+"""Figure 3 — forward time under different input configurations.
+
+One PP stage of Llama3-70B (PP=10, TP=8) vs ViT-Huge vs Stable Diffusion
+for {8, 16} images x {512^2, 1024^2} in an 8K sequence. The paper's
+takeaway: the LLM stage time is flat across configurations while the
+encoder/generator vary wildly and overtake it at high resolution.
+"""
+
+import pytest
+
+from repro.cluster.node import AMPERE_NODE
+from repro.core.reports import format_table
+from repro.models.base import ModuleWorkload
+from repro.models.llm import LLAMA3_70B
+from repro.models.vit import VIT_HUGE
+from repro.models.diffusion import STABLE_DIFFUSION_2_1
+from repro.timing.costmodel import ModuleCostModel
+
+CONFIGS = [(8, 512), (8, 1024), (16, 512), (16, 1024)]
+
+
+def compute_figure3():
+    llm_cm = ModuleCostModel(LLAMA3_70B, AMPERE_NODE)
+    vit_cm = ModuleCostModel(VIT_HUGE, AMPERE_NODE)
+    sd_cm = ModuleCostModel(STABLE_DIFFUSION_2_1, AMPERE_NODE)
+    llm_stage_ms = llm_cm.forward_time(ModuleWorkload(samples=1), tp=8) / 10 * 1e3
+    rows = []
+    for images, resolution in CONFIGS:
+        tokens = (resolution // 16) ** 2 * images
+        w = ModuleWorkload(samples=1, image_tokens=tokens, images=images)
+        rows.append(
+            {
+                "config": f"{images}, {resolution}x{resolution}",
+                "llama3-70b": llm_stage_ms,
+                "vit-huge": vit_cm.forward_time(w, tp=8) * 1e3,
+                "stable-diffusion": sd_cm.forward_time(w, tp=8) * 1e3,
+            }
+        )
+    return rows
+
+
+def test_figure3_forward_time(benchmark):
+    rows = benchmark.pedantic(compute_figure3, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["config", "Llama3-70B (ms)", "ViT-Huge (ms)", "SD (ms)"],
+            [
+                [r["config"], f"{r['llama3-70b']:.0f}",
+                 f"{r['vit-huge']:.0f}", f"{r['stable-diffusion']:.0f}"]
+                for r in rows
+            ],
+            title="Figure 3: forward time per input configuration (TP=8)",
+        )
+    )
+    # LLM stage flat across configurations.
+    llm_times = [r["llama3-70b"] for r in rows]
+    assert max(llm_times) == pytest.approx(min(llm_times))
+    # Encoder/generator grow strongly with images and resolution.
+    assert rows[3]["vit-huge"] > 5 * rows[0]["vit-huge"]
+    assert rows[3]["stable-diffusion"] > 5 * rows[0]["stable-diffusion"]
+    # At 16 x 1024^2 the multimodal modules overtake the LLM stage.
+    assert rows[3]["vit-huge"] > rows[3]["llama3-70b"]
+    assert rows[3]["stable-diffusion"] > rows[3]["llama3-70b"]

@@ -1,0 +1,54 @@
+"""Figure 4 — the two pipeline-bubble types of monolithic orchestration.
+
+(a) encoder/generator stages idle (their work is far lighter than the
+    LLM stage they are forced to pace with);
+(b) LLM stages stall behind a *heavy* multimodal stage.
+
+Reproduced with the cycle-accurate pipeline simulator on a 3-stage
+(encoder, LLM, generator) monolithic pipeline.
+"""
+
+import pytest
+
+from repro.pipeline.schedules import ScheduleKind
+from repro.pipeline.simulator import PipelineSimulator, StageWork
+
+
+def run_pipeline(encoder_time, llm_time, generator_time, microbatches=8):
+    fwd = [
+        [encoder_time] * microbatches,
+        [llm_time] * microbatches,
+        [generator_time] * microbatches,
+    ]
+    bwd = [[2 * t for t in row] for row in fwd]
+    sim = PipelineSimulator(3, microbatches, ScheduleKind.ONE_F_ONE_B)
+    return sim.run(StageWork.from_tables(fwd, bwd))
+
+
+def compute_figure4():
+    # (a) light multimodal stages: they bubble while the LLM works.
+    light = run_pipeline(encoder_time=0.1, llm_time=1.0, generator_time=0.1)
+    # (b) heavy multimodal stage: the LLM bubbles behind it.
+    heavy = run_pipeline(encoder_time=2.5, llm_time=1.0, generator_time=0.3)
+    return light, heavy
+
+
+def test_figure4_bubble_types(benchmark):
+    light, heavy = benchmark.pedantic(compute_figure4, rounds=1, iterations=1)
+    print()
+    print("Figure 4(a): light encoder/generator (monolithic)")
+    print(light.render_ascii(90))
+    print(f"  encoder idle fraction: "
+          f"{light.stage_bubble_time(0) / light.makespan:.2f}")
+    print("Figure 4(b): heavy encoder stage (monolithic)")
+    print(heavy.render_ascii(90))
+    print(f"  LLM idle fraction: "
+          f"{heavy.stage_bubble_time(1) / heavy.makespan:.2f}")
+
+    # (a): multimodal stages idle most of the iteration.
+    assert light.stage_bubble_time(0) / light.makespan > 0.5
+    assert light.stage_bubble_time(2) / light.makespan > 0.5
+    # (b): the heavy encoder forces large LLM bubbles.
+    assert heavy.stage_bubble_time(1) / heavy.makespan > 0.3
+    # And the iteration as a whole is dominated by the straggler stage.
+    assert heavy.makespan > 2 * light.makespan

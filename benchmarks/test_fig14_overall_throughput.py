@@ -1,0 +1,45 @@
+"""Figure 14 — overall training throughput (tokens/s).
+
+Same runs as Figure 13. Paper: DistTrain outperforms Megatron-LM by
+1.7-2.2x on MLLM-9B/15B and ~1.3x on MLLM-72B; absolute throughput
+reaches the millions of tokens/s at ~1.2k GPUs.
+"""
+
+import pytest
+
+from benchmarks.conftest import MODELS
+from repro.core.reports import format_table
+
+
+def test_figure14_overall_throughput(benchmark, overall_results):
+    rows = benchmark.pedantic(
+        lambda: [
+            [
+                model,
+                f"{overall_results[model]['megatron-lm'].throughput / 1e6:.2f}M",
+                f"{overall_results[model]['disttrain'].throughput / 1e6:.2f}M",
+                f"{overall_results[model]['disttrain'].throughput / overall_results[model]['megatron-lm'].throughput:.2f}x",
+            ]
+            for model in MODELS
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        ["model", "megatron tok/s", "disttrain tok/s", "gain"],
+        rows,
+        title="Figure 14: overall throughput (GBS 1920, <=1296 GPUs)",
+    ))
+
+    ratio = lambda m: (
+        overall_results[m]["disttrain"].throughput
+        / overall_results[m]["megatron-lm"].throughput
+    )
+    for model in MODELS:
+        assert ratio(model) > 1.2
+    # Small models gain the most (paper: up to 2.2x; 72B ~1.3x).
+    assert ratio("mllm-9b") > ratio("mllm-72b")
+    assert ratio("mllm-72b") < 2.0
+    # Absolute scale: millions of tokens/s for the 9B at ~1.2k GPUs.
+    assert overall_results["mllm-9b"]["disttrain"].throughput > 1e6

@@ -1,0 +1,55 @@
+"""Figure 15 — disaggregated model orchestration ablation.
+
+Megatron-LM vs DistMM* (FLOPs-proportional disaggregation) vs DistTrain
+at <=96 GPUs. Paper: DistTrain achieves 1.3-2.7x higher MFU and
+1.4-2.7x higher throughput; DistMM* lands between the two because it
+ignores the parallelism performance model.
+"""
+
+import pytest
+
+from benchmarks.conftest import MODELS
+from repro.core.reports import format_table
+
+SYSTEMS = ("megatron-lm", "distmm*", "disttrain")
+
+
+def test_figure15_orchestration_ablation(benchmark, ablation_results):
+    rows = benchmark.pedantic(
+        lambda: [
+            [model]
+            + [
+                f"{ablation_results[model][s].mfu * 100:.1f}% "
+                f"({ablation_results[model][s].num_gpus}g)"
+                for s in SYSTEMS
+            ]
+            + [
+                f"{ablation_results[model][s].throughput / 1e3:.0f}K"
+                for s in SYSTEMS
+            ]
+            for model in MODELS
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        ["model", "megatron MFU", "distmm* MFU", "disttrain MFU",
+         "megatron tok/s", "distmm* tok/s", "disttrain tok/s"],
+        rows,
+        title="Figure 15: model orchestration ablation (<=96 GPUs)",
+    ))
+
+    for model in MODELS:
+        r = ablation_results[model]
+        # Ordering: DistTrain at least matches DistMM* (which shares the
+        # disaggregated machinery but ignores the performance model) and
+        # both clearly beat monolithic Megatron-LM. DistTrain may trade
+        # a couple of MFU points for a faster iteration when it deploys
+        # a few more GPUs, so the MFU comparison carries 5% tolerance
+        # while the throughput ordering is strict.
+        assert r["disttrain"].throughput >= r["distmm*"].throughput
+        assert r["disttrain"].mfu >= r["distmm*"].mfu * 0.95
+        assert r["distmm*"].mfu > r["megatron-lm"].mfu
+        # Paper band: 1.3-2.7x+ MFU over the baselines.
+        assert r["disttrain"].mfu / r["megatron-lm"].mfu > 1.3

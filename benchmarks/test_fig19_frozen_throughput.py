@@ -1,0 +1,43 @@
+"""Figure 19 — throughput under the four frozen-training settings.
+
+Same runs as Figure 18. Paper: DistTrain delivers 1.2-2.9x higher
+training throughput across all frozen settings, and frozen phases run
+faster than full training (less backward compute).
+"""
+
+import pytest
+
+from benchmarks.conftest import FROZEN_SETTINGS, MODELS
+from repro.core.reports import format_table
+
+
+def test_figure19_frozen_throughput(benchmark, frozen_results):
+    rows = benchmark.pedantic(
+        lambda: [
+            [
+                setting,
+                model,
+                f"{frozen_results[setting][model]['megatron-lm'].throughput / 1e3:.0f}K",
+                f"{frozen_results[setting][model]['disttrain'].throughput / 1e3:.0f}K",
+                f"{frozen_results[setting][model]['disttrain'].throughput / frozen_results[setting][model]['megatron-lm'].throughput:.2f}x",
+            ]
+            for setting in FROZEN_SETTINGS
+            for model in MODELS
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        ["setting", "model", "megatron tok/s", "disttrain tok/s", "gain"],
+        rows,
+        title="Figure 19: throughput under frozen training (<=96 GPUs)",
+    ))
+    for setting in FROZEN_SETTINGS:
+        for model in MODELS:
+            runs = frozen_results[setting][model]
+            gain = (
+                runs["disttrain"].throughput
+                / runs["megatron-lm"].throughput
+            )
+            assert gain > 1.2  # paper: 1.2-2.9x

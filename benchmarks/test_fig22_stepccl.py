@@ -1,0 +1,49 @@
+"""Figure 22 — overlapping TP communication with StepCCL.
+
+Iteration time of one LLM PP stage (one minimal TP group) with and
+without StepCCL, TP in {4, 8}, for Llama3-7B/13B/70B. Paper: StepCCL
+wins 1.1-1.12x at TP=4 and 1.15-1.17x at TP=8, with larger gains at
+larger TP where communication is a bigger fraction of the stage.
+"""
+
+import pytest
+
+from repro.cluster.node import AMPERE_NODE
+from repro.core.reports import format_table
+from repro.models.llm import LLAMA3_7B, LLAMA3_13B, LLAMA3_70B
+from repro.stepccl.layer import llm_stage_iteration_time
+
+BACKBONES = (LLAMA3_7B, LLAMA3_13B, LLAMA3_70B)
+
+
+def compute_figure22():
+    rows = []
+    for tp in (4, 8):
+        for llm in BACKBONES:
+            base = llm_stage_iteration_time(llm, AMPERE_NODE, tp, False)
+            fast = llm_stage_iteration_time(llm, AMPERE_NODE, tp, True)
+            rows.append((tp, llm.name, base, fast, base / fast))
+    return rows
+
+
+def test_figure22_stepccl(benchmark):
+    rows = benchmark.pedantic(compute_figure22, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["TP", "backbone", "w/o StepCCL (s)", "StepCCL (s)", "speedup"],
+        [
+            [tp, name, f"{base:.2f}", f"{fast:.2f}", f"{gain:.3f}x"]
+            for tp, name, base, fast, gain in rows
+        ],
+        title="Figure 22: one-PP-stage iteration time (8 microbatches)",
+    ))
+    gains = {(tp, name): gain for tp, name, _, _, gain in rows}
+    for (tp, name), gain in gains.items():
+        assert gain > 1.0
+    for llm in BACKBONES:
+        # Gains grow with TP (paper: ~1.1x @TP4 vs ~1.16x @TP8).
+        assert gains[(8, llm.name)] > gains[(4, llm.name)]
+    # TP=8 band straddles the paper's 1.15-1.17x.
+    tp8 = [gains[(8, llm.name)] for llm in BACKBONES]
+    assert min(tp8) > 1.05
+    assert max(tp8) < 1.30

@@ -1,0 +1,52 @@
+"""Table 3 — running time of disaggregated model orchestration.
+
+MLLM-72B at 112-1296 GPUs with the paper's global batch sizes. The
+algorithm must complete in well under a second at every scale.
+"""
+
+import pytest
+
+from repro.cluster.cluster import make_cluster
+from repro.core.reports import format_table
+from repro.data.synthetic import SyntheticMultimodalDataset
+from repro.models.mllm import MLLM_72B
+from repro.orchestration.adaptive import AdaptiveOrchestrator
+from repro.orchestration.problem import OrchestrationProblem, SampleProfile
+
+# (num_gpus, global_batch_size) rows of Table 3. The paper lists 324
+# GPUs for the third row; our cluster model allocates whole 8-GPU nodes,
+# so we use 320 (40 nodes) — the overhead scaling is unaffected.
+TABLE_3_ROWS = [(1296, 1920), (648, 960), (320, 480), (112, 240)]
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return SampleProfile.from_samples(
+        SyntheticMultimodalDataset(seed=1).take(128)
+    )
+
+
+def solve_at_scale(num_gpus, gbs, profile):
+    problem = OrchestrationProblem(
+        mllm=MLLM_72B,
+        cluster=make_cluster(num_gpus),
+        global_batch_size=gbs,
+        profile=profile,
+    )
+    return AdaptiveOrchestrator(problem).plan()
+
+
+@pytest.mark.parametrize("num_gpus,gbs", TABLE_3_ROWS)
+def test_table3_overhead(benchmark, num_gpus, gbs, profile):
+    result = benchmark.pedantic(
+        solve_at_scale, args=(num_gpus, gbs, profile), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        ["model", "# GPUs", "global batch", "algorithm overhead (ms)"],
+        [["MLLM-72B", num_gpus, gbs, f"{result.solve_seconds * 1e3:.0f}"]],
+        title="Table 3 row",
+    ))
+    # Paper: 133-922 ms depending on scale; "under one second".
+    assert result.solve_seconds < 2.0
+    assert result.plan.num_gpus <= num_gpus

@@ -1,0 +1,43 @@
+"""Frozen-training phases (section 7.3, Figures 18/19).
+
+Production multimodal LLM training freezes different module subsets per
+phase (e.g. align projectors first, then train the encoder, then the
+LLM). DistTrain re-orchestrates for every phase; Megatron-LM's monolithic
+mapping cannot adapt. This example sweeps the paper's four settings.
+
+Run:  python examples/frozen_training_phases.py
+"""
+
+from repro import DistTrainConfig, plan, simulate
+from repro.core.reports import format_table
+
+SETTINGS = ("all-frozen", "encoder-only", "llm-only", "generator-only")
+
+
+def main() -> None:
+    rows = []
+    for setting in SETTINGS:
+        config = DistTrainConfig.preset(
+            "mllm-9b", num_gpus=96, global_batch_size=128, frozen=setting
+        )
+        ours = simulate(config, plan(config))
+        megatron_config = config.with_system("megatron-lm")
+        theirs = simulate(megatron_config, plan(megatron_config))
+        rows.append([
+            setting,
+            f"{theirs.mfu * 100:.1f}%",
+            f"{ours.mfu * 100:.1f}%",
+            f"{ours.throughput_tokens_per_s / 1e3:.0f}K",
+            f"{ours.throughput_tokens_per_s / theirs.throughput_tokens_per_s:.2f}x",
+        ])
+    print(format_table(
+        ["frozen setting", "megatron MFU", "disttrain MFU",
+         "disttrain tok/s", "tput gain"],
+        rows,
+        title="MLLM-9B frozen-training phases on 96 GPUs "
+              "(paper: 1.4-2.9x MFU, 1.2-2.9x throughput)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""DistTrain reproduction: disaggregated training for multimodal LLMs.
+
+A from-scratch reproduction of "DistTrain: Addressing Model and Data
+Heterogeneity with Disaggregated Training for Multimodal Large Language
+Models" (SIGCOMM 2025) over a high-fidelity analytic + discrete-event
+simulation substrate. See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    DistTrainConfig,
+    plan,
+    simulate,
+    simulate_run,
+    compare_systems,
+)
+
+__all__ = [
+    "DistTrainConfig",
+    "plan",
+    "simulate",
+    "simulate_run",
+    "compare_systems",
+    "__version__",
+]

@@ -1,0 +1,199 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro plan     --model mllm-72b --gpus 1296 --gbs 1920
+    python -m repro simulate --model mllm-9b  --gpus 96   --gbs 128
+    python -m repro compare  --model mllm-9b  --gpus 96   --gbs 128 \
+                             --systems disttrain megatron-lm
+    python -m repro data-stats --samples 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.api import compare_systems, plan, simulate
+from repro.core.config import KNOWN_SYSTEMS, DistTrainConfig
+from repro.core.reports import format_comparison, format_table
+from repro.models.mllm import MLLM_PRESETS
+from repro.runtime.frozen import FROZEN_PRESETS
+
+
+def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model",
+        required=True,
+        choices=sorted(MLLM_PRESETS),
+        help="multimodal LLM preset",
+    )
+    parser.add_argument(
+        "--gpus", type=int, required=True, help="cluster size (multiple of 8)"
+    )
+    parser.add_argument(
+        "--gbs", type=int, required=True, help="global batch size"
+    )
+    parser.add_argument(
+        "--system",
+        default="disttrain",
+        choices=KNOWN_SYSTEMS,
+        help="training system",
+    )
+    parser.add_argument(
+        "--frozen",
+        default="full",
+        choices=sorted(FROZEN_PRESETS),
+        help="frozen-training phase",
+    )
+    parser.add_argument("--vpp", type=int, default=1, help="virtual PP size")
+    parser.add_argument(
+        "--seed", type=int, default=0, help="synthetic data seed"
+    )
+
+
+def _config(args: argparse.Namespace, system: Optional[str] = None) -> DistTrainConfig:
+    return DistTrainConfig.preset(
+        args.model,
+        num_gpus=args.gpus,
+        global_batch_size=args.gbs,
+        frozen=args.frozen,
+        system=system or args.system,
+        vpp=args.vpp,
+        data_seed=args.seed,
+    )
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    result = plan(_config(args))
+    print(result.plan.describe())
+    if args.output:
+        from repro.orchestration.serialization import save_plan
+
+        save_plan(result.plan, args.output)
+        print(f"launch configuration written to {args.output}")
+    print(
+        f"solve: {result.solve_seconds * 1e3:.0f} ms, "
+        f"{result.candidates_evaluated} candidates, "
+        f"{result.convex_solutions} convex subproblems"
+    )
+    breakdown = result.breakdown
+    print(
+        f"predicted iteration: {breakdown.total:.2f} s "
+        f"(warmup {breakdown.warmup:.2f}, steady {breakdown.steady:.2f}, "
+        f"bottleneck {breakdown.bottleneck})"
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = _config(args)
+    orchestration = plan(config)
+    result = simulate(config, orchestration)
+    print(orchestration.plan.describe())
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["iteration time", f"{result.iteration_time:.2f} s"],
+            ["pipeline phase", f"{result.pipeline_time:.2f} s"],
+            ["DP gradient sync", f"{result.dp_sync_time * 1e3:.0f} ms"],
+            ["preprocessing overhead",
+             f"{result.preprocess_overhead * 1e3:.1f} ms"],
+            ["MFU", f"{result.mfu * 100:.1f} %"],
+            ["throughput",
+             f"{result.throughput_tokens_per_s / 1e3:.0f} K tokens/s"],
+            ["pipeline bubble", f"{result.bubble_fraction * 100:.0f} %"],
+            ["GPUs used", result.num_gpus],
+        ],
+        title="simulated training iteration:",
+    ))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    config = _config(args)
+    comparison = compare_systems(config, systems=tuple(args.systems))
+    print(format_comparison(
+        comparison, title=f"{args.model} @ {args.gpus} GPUs, GBS {args.gbs}:"
+    ))
+    if "megatron-lm" in args.systems and "disttrain" in args.systems:
+        print(
+            f"\nDistTrain vs Megatron-LM: "
+            f"{comparison.mfu_ratio('megatron-lm'):.2f}x MFU, "
+            f"{comparison.throughput_ratio('megatron-lm'):.2f}x throughput"
+        )
+    return 0
+
+
+def cmd_data_stats(args: argparse.Namespace) -> int:
+    from repro.data.stats import DatasetStatistics
+    from repro.data.synthetic import SyntheticMultimodalDataset
+
+    dataset = SyntheticMultimodalDataset(seed=args.seed)
+    stats = DatasetStatistics(dataset.take(args.samples))
+    rows = [[key, f"{value:.3f}" if isinstance(value, float) else value]
+            for key, value in stats.summary().items()]
+    print(format_table(
+        ["statistic", "value"],
+        rows,
+        title=f"synthetic LAION-400M-like stream, {args.samples} samples:",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DistTrain reproduction: plan and simulate "
+                    "disaggregated multimodal LLM training.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    plan_parser = subparsers.add_parser(
+        "plan", help="run model orchestration for a task"
+    )
+    _add_task_arguments(plan_parser)
+    plan_parser.add_argument(
+        "--output",
+        default=None,
+        help="write the launch configuration (JSON) to this path",
+    )
+    plan_parser.set_defaults(fn=cmd_plan)
+
+    sim_parser = subparsers.add_parser(
+        "simulate", help="plan and simulate one training iteration"
+    )
+    _add_task_arguments(sim_parser)
+    sim_parser.set_defaults(fn=cmd_simulate)
+
+    cmp_parser = subparsers.add_parser(
+        "compare", help="run the same task under multiple systems"
+    )
+    _add_task_arguments(cmp_parser)
+    cmp_parser.add_argument(
+        "--systems",
+        nargs="+",
+        default=["disttrain", "megatron-lm"],
+        choices=KNOWN_SYSTEMS,
+    )
+    cmp_parser.set_defaults(fn=cmd_compare)
+
+    data_parser = subparsers.add_parser(
+        "data-stats", help="characterize the synthetic data stream"
+    )
+    data_parser.add_argument("--samples", type=int, default=500)
+    data_parser.add_argument("--seed", type=int, default=0)
+    data_parser.set_defaults(fn=cmd_data_stats)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""GPU device specifications.
+
+A :class:`GPUSpec` captures the handful of scalar capabilities that
+DistTrain's cost models consume: peak matrix-math throughput per precision,
+memory capacity, memory bandwidth, and the number of streaming
+multiprocessors (used by the StepCCL contention model in
+:mod:`repro.stepccl`).
+
+The paper's evaluation cluster uses NVIDIA Ampere GPUs; ``AMPERE_A100_80G``
+mirrors an A100-SXM 80 GB part. ``L20`` models the economical GPU mentioned
+in the paper's heterogeneous-hardware discussion (section 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+TFLOPS = 1e12
+GB = 1024**3
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a single GPU device.
+
+    Attributes:
+        name: Human-readable device name.
+        peak_flops: Peak dense matrix throughput in FLOP/s, keyed by
+            precision (``"bf16"``, ``"fp16"``, ``"fp32"``, ``"tf32"``).
+        memory_bytes: HBM capacity in bytes.
+        memory_bandwidth: HBM bandwidth in bytes/s.
+        num_sms: Number of streaming multiprocessors. Communication kernels
+            that occupy SMs (e.g. NCCL) slow down concurrent GEMMs; the
+            StepCCL model uses this to quantify the contention.
+        nvlink_bandwidth: Per-GPU bidirectional NVLink bandwidth in bytes/s
+            (0 for PCIe-only devices).
+    """
+
+    name: str
+    peak_flops: dict = field(default_factory=dict)
+    memory_bytes: float = 80 * GB
+    memory_bandwidth: float = 2.0e12
+    num_sms: int = 108
+    nvlink_bandwidth: float = 300 * 1e9
+
+    def peak(self, precision: str = "bf16") -> float:
+        """Return peak FLOP/s for ``precision``.
+
+        Raises:
+            KeyError: if the precision is not defined for this device.
+        """
+        return self.peak_flops[precision]
+
+    def with_overrides(self, **kwargs) -> "GPUSpec":
+        """Return a copy with selected fields replaced."""
+        data = {
+            "name": self.name,
+            "peak_flops": dict(self.peak_flops),
+            "memory_bytes": self.memory_bytes,
+            "memory_bandwidth": self.memory_bandwidth,
+            "num_sms": self.num_sms,
+            "nvlink_bandwidth": self.nvlink_bandwidth,
+        }
+        data.update(kwargs)
+        return GPUSpec(**data)
+
+
+AMPERE_A100_80G = GPUSpec(
+    name="NVIDIA-A100-SXM-80GB",
+    peak_flops={
+        "bf16": 312 * TFLOPS,
+        "fp16": 312 * TFLOPS,
+        "tf32": 156 * TFLOPS,
+        "fp32": 19.5 * TFLOPS,
+    },
+    memory_bytes=80 * GB,
+    memory_bandwidth=2.039e12,
+    num_sms=108,
+    nvlink_bandwidth=300e9,
+)
+
+AMPERE_A100_40G = AMPERE_A100_80G.with_overrides(
+    name="NVIDIA-A100-SXM-40GB",
+    memory_bytes=40 * GB,
+    memory_bandwidth=1.555e12,
+)
+
+# Economical inference-class GPU used in the paper's heterogeneous-hardware
+# discussion: markedly lower matrix throughput, no NVLink.
+L20 = GPUSpec(
+    name="NVIDIA-L20",
+    peak_flops={
+        "bf16": 119.5 * TFLOPS,
+        "fp16": 119.5 * TFLOPS,
+        "tf32": 59.8 * TFLOPS,
+        "fp32": 59.8 * TFLOPS,
+    },
+    memory_bytes=48 * GB,
+    memory_bandwidth=864e9,
+    num_sms=92,
+    nvlink_bandwidth=0.0,
+)
+
+GPU_PRESETS = {
+    "a100-80g": AMPERE_A100_80G,
+    "a100-40g": AMPERE_A100_40G,
+    "l20": L20,
+}

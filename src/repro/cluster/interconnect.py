@@ -1,0 +1,84 @@
+"""Interconnect link models.
+
+A :class:`LinkSpec` reduces a physical link to the two parameters the
+collective-communication cost models in :mod:`repro.timing.collectives`
+need: achievable bandwidth and per-message latency. ``efficiency`` encodes
+the gap between line rate and what collectives sustain in practice
+(protocol overhead, congestion, imperfect overlap of rings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GBPS = 1e9 / 8  # 1 Gbps in bytes/s
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point or shared communication link.
+
+    Attributes:
+        name: Human-readable name.
+        bandwidth: Raw unidirectional bandwidth in bytes/s.
+        latency: One-way latency in seconds per message.
+        efficiency: Fraction of raw bandwidth collectives sustain (0, 1].
+    """
+
+    name: str
+    bandwidth: float
+    latency: float = 5e-6
+    efficiency: float = 0.85
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustained bandwidth in bytes/s."""
+        return self.bandwidth * self.efficiency
+
+    def transfer_time(self, volume_bytes: float) -> float:
+        """Time to move ``volume_bytes`` over this link once."""
+        if volume_bytes < 0:
+            raise ValueError(f"negative transfer volume: {volume_bytes}")
+        return self.latency + volume_bytes / self.effective_bandwidth
+
+
+# NVLink third-gen behind NVSwitch: 300 GB/s bidirectional per GPU. The
+# collective formulas consume *bus bandwidth* (what nccl-tests report);
+# 8xA100 NVSwitch sustains ~230-260 GB/s allreduce bus bandwidth.
+NVLINK_300 = LinkSpec(
+    name="nvlink-300GBps-bidir",
+    bandwidth=280e9,
+    latency=2e-6,
+    efficiency=0.88,
+)
+
+# 4 x 200 Gbps RoCEv2 NICs per node, rail-optimized: each GPU effectively
+# owns half a NIC's line rate (8 GPUs share 4 NICs).
+ROCE_4X200 = LinkSpec(
+    name="roce-4x200Gbps-rail",
+    bandwidth=4 * 200 * GBPS / 8,  # per-GPU share: 100 Gbps = 12.5 GB/s
+    latency=8e-6,
+    efficiency=0.80,
+)
+
+PCIE_GEN4 = LinkSpec(
+    name="pcie-gen4-x16",
+    bandwidth=32e9,
+    latency=4e-6,
+    efficiency=0.80,
+)
+
+
+def intra_node_link(nvlink_bandwidth: float) -> LinkSpec:
+    """Build the intra-node link for a GPU with ``nvlink_bandwidth``.
+
+    GPUs without NVLink fall back to PCIe.
+    """
+    if nvlink_bandwidth <= 0:
+        return PCIE_GEN4
+    return LinkSpec(
+        name=f"nvlink-{nvlink_bandwidth / 1e9:.0f}GBps-bidir",
+        bandwidth=nvlink_bandwidth / 2.0,
+        latency=2e-6,
+        efficiency=0.90,
+    )

@@ -1,0 +1,172 @@
+"""Cluster topology and rank placement.
+
+Rank placement decides which physical GPU each logical rank of a
+parallelism unit occupies. DistTrain (like Megatron-LM) places tensor-
+parallel groups inside a node so TP collectives ride NVLink, while
+pipeline- and data-parallel communication crosses the RoCE fabric.
+
+The topology is also exposed as a :mod:`networkx` graph so benchmarks can
+reason about path counts and bisection bandwidth of the rail-optimized
+fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.interconnect import LinkSpec
+
+
+@dataclass(frozen=True)
+class RankPlacement:
+    """Assignment of a contiguous block of physical GPUs to a unit.
+
+    Attributes:
+        unit_name: Which parallelism unit these GPUs serve.
+        gpu_offset: First flat GPU index of the block.
+        num_gpus: Block size.
+    """
+
+    unit_name: str
+    gpu_offset: int
+    num_gpus: int
+
+    def __post_init__(self) -> None:
+        if self.gpu_offset < 0:
+            raise ValueError("gpu_offset must be non-negative")
+        if self.num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+
+    @property
+    def gpu_indices(self) -> range:
+        return range(self.gpu_offset, self.gpu_offset + self.num_gpus)
+
+
+class ClusterTopology:
+    """Physical topology view over a :class:`ClusterSpec`.
+
+    Provides link selection between GPU pairs and contiguous block
+    allocation for parallelism units.
+    """
+
+    def __init__(self, cluster: ClusterSpec):
+        self.cluster = cluster
+        self._next_free_gpu = 0
+        self._placements: List[RankPlacement] = []
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+    def allocate(self, unit_name: str, num_gpus: int) -> RankPlacement:
+        """Reserve the next ``num_gpus`` GPUs for ``unit_name``.
+
+        Raises:
+            RuntimeError: if the cluster is out of GPUs.
+        """
+        if num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        if self._next_free_gpu + num_gpus > self.cluster.num_gpus:
+            raise RuntimeError(
+                f"cannot allocate {num_gpus} GPUs for {unit_name!r}: only "
+                f"{self.cluster.num_gpus - self._next_free_gpu} free of "
+                f"{self.cluster.num_gpus}"
+            )
+        placement = RankPlacement(unit_name, self._next_free_gpu, num_gpus)
+        self._next_free_gpu += num_gpus
+        self._placements.append(placement)
+        return placement
+
+    def reset(self) -> None:
+        """Release all allocations."""
+        self._next_free_gpu = 0
+        self._placements = []
+
+    @property
+    def placements(self) -> Sequence[RankPlacement]:
+        return tuple(self._placements)
+
+    @property
+    def free_gpus(self) -> int:
+        return self.cluster.num_gpus - self._next_free_gpu
+
+    # ------------------------------------------------------------------ #
+    # Link selection
+    # ------------------------------------------------------------------ #
+    def link_between(self, gpu_a: int, gpu_b: int) -> LinkSpec:
+        """The link used for traffic between two flat GPU indices."""
+        node_spec, _ = self.cluster.node_of_gpu(gpu_a)
+        if self.cluster.same_node(gpu_a, gpu_b):
+            return node_spec.intra_link
+        return node_spec.inter_link
+
+    def group_link(self, gpu_indices: Sequence[int]) -> LinkSpec:
+        """The bottleneck link of a communication group.
+
+        If any pair of members crosses node boundaries, the whole
+        collective is bottlenecked by the inter-node fabric.
+        """
+        if not gpu_indices:
+            raise ValueError("empty communication group")
+        first = gpu_indices[0]
+        node_spec, _ = self.cluster.node_of_gpu(first)
+        for gpu in gpu_indices[1:]:
+            if not self.cluster.same_node(first, gpu):
+                return node_spec.inter_link
+        return node_spec.intra_link
+
+    # ------------------------------------------------------------------ #
+    # Graph view
+    # ------------------------------------------------------------------ #
+    def to_graph(self) -> nx.Graph:
+        """Node-level topology graph.
+
+        Nodes are physical servers; edges carry the inter-node bandwidth.
+        The rail-optimized fabric is modeled as a full mesh at the node
+        level, which matches the non-blocking behaviour the paper assumes.
+        """
+        graph = nx.Graph()
+        node_index = 0
+        for pool in self.cluster.pools:
+            for _ in range(pool.num_nodes):
+                graph.add_node(
+                    node_index,
+                    pool=pool.name,
+                    gpus=pool.node.gpus_per_node,
+                )
+                node_index += 1
+        nodes = list(graph.nodes)
+        for i, a in enumerate(nodes):
+            spec_a = self._node_spec_of(a)
+            for b in nodes[i + 1 :]:
+                bandwidth = min(
+                    spec_a.inter_link.effective_bandwidth
+                    * spec_a.gpus_per_node,
+                    self._node_spec_of(b).inter_link.effective_bandwidth
+                    * self._node_spec_of(b).gpus_per_node,
+                )
+                graph.add_edge(a, b, bandwidth=bandwidth)
+        return graph
+
+    def bisection_bandwidth(self) -> float:
+        """Aggregate bandwidth across an even node bisection, in bytes/s."""
+        graph = self.to_graph()
+        nodes = list(graph.nodes)
+        half = len(nodes) // 2
+        left, right = set(nodes[:half]), set(nodes[half:])
+        return sum(
+            data["bandwidth"]
+            for a, b, data in graph.edges(data=True)
+            if (a in left) != (b in left)
+        )
+
+    def _node_spec_of(self, node_index: int):
+        remaining = node_index
+        for pool in self.cluster.pools:
+            if remaining < pool.num_nodes:
+                return pool.node
+            remaining -= pool.num_nodes
+        raise IndexError(f"node index {node_index} out of range")

@@ -1,0 +1,38 @@
+"""Public API: one-stop configuration, planning, and simulation.
+
+Typical use::
+
+    from repro.core import DistTrainConfig, plan, simulate
+
+    config = DistTrainConfig.preset("mllm-72b", num_gpus=1176,
+                                    global_batch_size=1920)
+    result = simulate(config)           # DistTrain
+    baseline = simulate(config.with_baseline("megatron-lm"))
+    print(result.mfu, baseline.mfu)
+"""
+
+from repro.core.config import DistTrainConfig
+from repro.core.api import (
+    plan,
+    simulate,
+    simulate_run,
+    compare_systems,
+    SystemComparison,
+)
+from repro.core.reports import format_table, format_comparison
+# The lifecycle manager lives in repro.runtime but sits above the config
+# layer, so it is exported here to keep imports acyclic.
+from repro.runtime.manager import DistTrainManager, InitializationReport
+
+__all__ = [
+    "DistTrainConfig",
+    "plan",
+    "simulate",
+    "simulate_run",
+    "compare_systems",
+    "SystemComparison",
+    "format_table",
+    "format_comparison",
+    "DistTrainManager",
+    "InitializationReport",
+]

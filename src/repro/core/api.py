@@ -1,0 +1,134 @@
+"""High-level planning and simulation entry points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import DistTrainConfig
+from repro.data.synthetic import SyntheticMultimodalDataset
+from repro.orchestration.adaptive import AdaptiveOrchestrator, OrchestrationResult
+from repro.orchestration.baselines import DistMMOrchestrator, MegatronOrchestrator
+from repro.orchestration.problem import OrchestrationProblem, SampleProfile
+from repro.runtime.iteration import IterationResult, TrainingIterationSimulator
+from repro.runtime.trainer import TrainingRun, TrainingRunResult
+from repro.timing.costmodel import ModuleCostModel
+
+#: Samples the manager draws to profile the data distribution.
+PROFILE_SAMPLES = 256
+
+
+def _dataset(config: DistTrainConfig) -> SyntheticMultimodalDataset:
+    return SyntheticMultimodalDataset(
+        seq_len=config.mllm.seq_len,
+        config=config.data_config,
+        seed=config.data_seed,
+    )
+
+
+def _problem(config: DistTrainConfig) -> OrchestrationProblem:
+    profile = SampleProfile.from_samples(_dataset(config).take(PROFILE_SAMPLES))
+    return OrchestrationProblem(
+        mllm=config.mllm,
+        cluster=config.cluster,
+        global_batch_size=config.global_batch_size,
+        microbatch_size=config.microbatch_size,
+        frozen=config.frozen,
+        profile=profile,
+        vpp=config.vpp,
+        tp_overlap_fraction=config.tp_overlap_fraction,
+    )
+
+
+def plan(config: DistTrainConfig) -> OrchestrationResult:
+    """Run the configured system's orchestrator for this task."""
+    problem = _problem(config)
+    if config.system == "disttrain":
+        return AdaptiveOrchestrator(problem).plan()
+    if config.system == "megatron-lm":
+        return MegatronOrchestrator(problem).plan()
+    if config.system == "distmm*":
+        return DistMMOrchestrator(problem).plan()
+    raise ValueError(f"unknown system {config.system!r}")
+
+
+def build_simulator(
+    config: DistTrainConfig,
+    orchestration: Optional[OrchestrationResult] = None,
+) -> TrainingIterationSimulator:
+    """Assemble the iteration simulator for a (planned) task."""
+    if orchestration is None:
+        orchestration = plan(config)
+    cost_models = {
+        name: ModuleCostModel(
+            config.mllm.module(name),
+            config.cluster.node,
+            tp_overlap_fraction=config.tp_overlap_fraction,
+        )
+        for name in ("encoder", "llm", "generator")
+    }
+    return TrainingIterationSimulator(
+        plan=orchestration.plan,
+        frozen=config.frozen,
+        cost_models=cost_models,
+        schedule=config.schedule,
+        intra_reordering=config.effective_intra_reordering,
+        inter_reordering=config.effective_inter_reordering,
+        preprocessing=config.effective_preprocessing,
+    )
+
+
+def simulate(
+    config: DistTrainConfig,
+    orchestration: Optional[OrchestrationResult] = None,
+) -> IterationResult:
+    """Plan (if needed) and simulate one training iteration."""
+    simulator = build_simulator(config, orchestration)
+    batch = _dataset(config).take(config.global_batch_size)
+    return simulator.simulate(batch)
+
+
+def simulate_run(
+    config: DistTrainConfig,
+    orchestration: Optional[OrchestrationResult] = None,
+) -> TrainingRunResult:
+    """Simulate a multi-iteration training run."""
+    simulator = build_simulator(config, orchestration)
+    run = TrainingRun(
+        simulator=simulator,
+        dataset=_dataset(config),
+        global_batch_size=config.global_batch_size,
+        num_iterations=config.num_iterations,
+    )
+    return run.run()
+
+
+@dataclass
+class SystemComparison:
+    """DistTrain vs baselines on one task (Figures 13-16, 18-19)."""
+
+    config: DistTrainConfig
+    results: Dict[str, IterationResult]
+    plans: Dict[str, OrchestrationResult]
+
+    def mfu_ratio(self, system: str = "megatron-lm") -> float:
+        return self.results["disttrain"].mfu / self.results[system].mfu
+
+    def throughput_ratio(self, system: str = "megatron-lm") -> float:
+        ours = self.results["disttrain"].throughput_tokens_per_s
+        return ours / self.results[system].throughput_tokens_per_s
+
+
+def compare_systems(
+    config: DistTrainConfig,
+    systems: Sequence[str] = ("disttrain", "megatron-lm"),
+) -> SystemComparison:
+    """Run the same task under multiple systems."""
+    results: Dict[str, IterationResult] = {}
+    plans: Dict[str, OrchestrationResult] = {}
+    for system in systems:
+        sys_config = config.with_system(system)
+        orchestration = plan(sys_config)
+        plans[system] = orchestration
+        results[system] = simulate(sys_config, orchestration)
+    return SystemComparison(config=config, results=results, plans=plans)

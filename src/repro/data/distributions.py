@@ -1,0 +1,114 @@
+"""Skewed modality-size distributions (Figure 5).
+
+The paper characterizes LAION-400M: text subsequence sizes, image
+subsequence sizes (one 16x16 patch = one token), and image counts per
+training sample all follow highly skewed distributions. We model them as
+clipped log-normals calibrated to the figure's supports:
+
+* text subsequences: 0-128 tokens, mode near 30 (Figure 5a);
+* image subsequences: 0-4096 tokens, i.e. up to 1024x1024 pixels, with
+  mass concentrated at low-to-mid resolutions (Figure 5b);
+* image count per sample: 0-32, mode near 8 (Figure 5c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DataDistributionConfig:
+    """Parameters of the synthetic multimodal data sampler.
+
+    Log-normal parameters are of the underlying normal (mu, sigma).
+
+    Attributes:
+        text_mu / text_sigma: Text subsequence token-count distribution.
+        text_max_tokens: Clip for text subsequences (Figure 5a support).
+        image_side_mu / image_side_sigma: Image edge length (pixels).
+        image_min_side / image_max_side: Resolution clips; 1024 maximum
+            matches Figure 5b's 4096-token ceiling.
+        images_mu / images_sigma: Per-sample image-count distribution.
+        max_images: Clip for image count (Figure 5c support).
+        patch_size: Pixels per token edge (16).
+        jpeg_bytes_per_pixel: On-disk compressed size.
+        decoded_bytes_per_pixel: RGB bitmap size after decode.
+        text_heavy_fraction: Fraction of documents that are long-form
+            text with few or no images. Production corpora interleave
+            image-rich web documents with text-heavy ones; this mixture
+            is what makes the *per-sample* image-token count (the
+            straggler driver) heterogeneous even after packing to a fixed
+            sequence length.
+        text_heavy_spans_mu / text_heavy_spans_sigma: Log-normal over the
+            number of consecutive text subsequences in a text-heavy
+            document.
+    """
+
+    text_mu: float = 3.4
+    text_sigma: float = 0.8
+    text_max_tokens: int = 128
+    image_side_mu: float = 6.1
+    image_side_sigma: float = 0.5
+    image_min_side: int = 64
+    image_max_side: int = 1024
+    images_mu: float = 2.0
+    images_sigma: float = 0.7
+    max_images: int = 32
+    patch_size: int = 16
+    jpeg_bytes_per_pixel: float = 0.5
+    decoded_bytes_per_pixel: float = 3.0
+    text_heavy_fraction: float = 0.4
+    text_heavy_spans_mu: float = 4.5
+    text_heavy_spans_sigma: float = 1.0
+    audio_fraction: float = 0.0
+    audio_seconds_mu: float = 2.0
+    audio_seconds_sigma: float = 0.7
+    audio_max_seconds: float = 30.0
+    audio_tokens_per_second: int = 50
+
+
+LAION_400M_LIKE = DataDistributionConfig()
+
+
+def sample_text_subsequence_tokens(
+    rng: np.random.Generator, config: DataDistributionConfig = LAION_400M_LIKE
+) -> int:
+    """Draw one text subsequence length in tokens."""
+    tokens = int(rng.lognormal(config.text_mu, config.text_sigma))
+    return int(np.clip(tokens, 1, config.text_max_tokens))
+
+
+def sample_image_side_pixels(
+    rng: np.random.Generator, config: DataDistributionConfig = LAION_400M_LIKE
+) -> int:
+    """Draw one image edge length, snapped to the patch grid."""
+    side = rng.lognormal(config.image_side_mu, config.image_side_sigma)
+    side = float(np.clip(side, config.image_min_side, config.image_max_side))
+    snapped = max(config.patch_size, round(side / config.patch_size) * config.patch_size)
+    return int(min(snapped, config.image_max_side))
+
+
+def sample_image_subsequence_tokens(
+    rng: np.random.Generator, config: DataDistributionConfig = LAION_400M_LIKE
+) -> int:
+    """Draw one image subsequence length in tokens (side/patch squared)."""
+    side = sample_image_side_pixels(rng, config)
+    return (side // config.patch_size) ** 2
+
+def sample_audio_subsequence_tokens(
+    rng: np.random.Generator, config: DataDistributionConfig = LAION_400M_LIKE
+) -> int:
+    """Draw one audio subsequence length in tokens (BEATs-style rate)."""
+    seconds = rng.lognormal(config.audio_seconds_mu, config.audio_seconds_sigma)
+    seconds = float(np.clip(seconds, 1.0, config.audio_max_seconds))
+    return max(1, round(seconds * config.audio_tokens_per_second))
+
+
+def sample_image_count(
+    rng: np.random.Generator, config: DataDistributionConfig = LAION_400M_LIKE
+) -> int:
+    """Draw the number of image subsequences in one training sample."""
+    count = int(rng.lognormal(config.images_mu, config.images_sigma))
+    return int(np.clip(count, 0, config.max_images))

@@ -1,0 +1,73 @@
+"""Sequence packing.
+
+Interleaves text and image subsequences into fixed-length training
+sequences (8192 tokens in the paper). Packing is greedy: subsequences are
+appended until the next one would overflow; oversized image subsequences
+that cannot fit into an empty sequence are truncated to the sequence
+budget (mirroring production preprocessing, which re-tiles huge images).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.data.sample import Subsequence, TrainingSample
+
+
+def pack_subsequences(
+    subsequences: Iterable[Subsequence],
+    seq_len: int = 8192,
+    start_sample_id: int = 0,
+) -> List[TrainingSample]:
+    """Pack a subsequence stream into fixed-length training samples.
+
+    Args:
+        subsequences: Interleaved modality spans, in arrival order.
+        seq_len: Packed sequence length.
+        start_sample_id: First sample id to assign.
+
+    Returns:
+        Complete samples; a trailing partially-filled sequence is emitted
+        as a final (padded) sample if it contains anything.
+    """
+    if seq_len < 1:
+        raise ValueError("seq_len must be positive")
+    samples: List[TrainingSample] = []
+    current: List[Subsequence] = []
+    used = 0
+    next_id = start_sample_id
+
+    def flush() -> None:
+        nonlocal current, used, next_id
+        if current:
+            samples.append(
+                TrainingSample(
+                    sample_id=next_id,
+                    subsequences=tuple(current),
+                    seq_len=seq_len,
+                )
+            )
+            next_id += 1
+            current = []
+            used = 0
+
+    for sub in subsequences:
+        tokens = sub.tokens
+        if tokens > seq_len:
+            # Truncate pathological subsequences to the sequence budget.
+            scale = seq_len / tokens
+            sub = Subsequence(
+                modality=sub.modality,
+                tokens=seq_len,
+                raw_bytes=round(sub.raw_bytes * scale),
+                pixels=round(sub.pixels * scale),
+            )
+            tokens = seq_len
+        if used + tokens > seq_len:
+            flush()
+        current.append(sub)
+        used += tokens
+        if used == seq_len:
+            flush()
+    flush()
+    return samples

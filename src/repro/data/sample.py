@@ -1,0 +1,158 @@
+"""Training sample primitives.
+
+A training sample is a fixed-length sequence of interleaved text and
+image *subsequences* (section 2.1: "data from different modalities are
+encoded into subsequences which are then interleaved to form fixed-length
+training sequences"). The compute a sample induces differs per module:
+
+* the LLM backbone sees ``seq_len`` tokens regardless of the mix;
+* the encoder/generator work scales with the sample's **image tokens** —
+  the paper's "sample size" that drives stragglers and reordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.models.base import ModuleWorkload
+
+
+@dataclass(frozen=True)
+class Subsequence:
+    """One modality span inside a training sequence.
+
+    Attributes:
+        modality: ``"text"``, ``"image"``, or ``"audio"``.
+        tokens: Subsequence length in tokens.
+        raw_bytes: On-disk size (images are large: JPEG bytes; text tiny).
+        pixels: Image pixels (0 for text/audio), for preprocessing cost.
+    """
+
+    modality: str
+    tokens: int
+    raw_bytes: int = 0
+    pixels: int = 0
+
+    def __post_init__(self) -> None:
+        if self.modality not in ("text", "image", "audio"):
+            raise ValueError(f"unknown modality {self.modality!r}")
+        if self.tokens < 0 or self.raw_bytes < 0 or self.pixels < 0:
+            raise ValueError("subsequence fields must be non-negative")
+
+
+@dataclass(frozen=True)
+class TrainingSample:
+    """One packed training sequence.
+
+    Attributes:
+        sample_id: Stable identifier (preserved across reordering so
+            convergence-semantics tests can check permutations).
+        subsequences: Interleaved modality spans.
+        seq_len: Target packed length (padding fills the tail).
+    """
+
+    sample_id: int
+    subsequences: Tuple[Subsequence, ...]
+    seq_len: int = 8192
+
+    # ------------------------------------------------------------------ #
+    # Token accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def text_tokens(self) -> int:
+        return sum(s.tokens for s in self.subsequences if s.modality == "text")
+
+    @property
+    def image_tokens(self) -> int:
+        return sum(s.tokens for s in self.subsequences if s.modality == "image")
+
+    @property
+    def num_images(self) -> int:
+        return sum(1 for s in self.subsequences if s.modality == "image")
+
+    @property
+    def audio_tokens(self) -> int:
+        return sum(s.tokens for s in self.subsequences if s.modality == "audio")
+
+    @property
+    def num_audio_clips(self) -> int:
+        return sum(1 for s in self.subsequences if s.modality == "audio")
+
+    @property
+    def total_tokens(self) -> int:
+        return self.text_tokens + self.image_tokens + self.audio_tokens
+
+    @property
+    def padding_tokens(self) -> int:
+        return max(0, self.seq_len - self.total_tokens)
+
+    @property
+    def raw_bytes(self) -> int:
+        return sum(s.raw_bytes for s in self.subsequences)
+
+    @property
+    def pixels(self) -> int:
+        return sum(s.pixels for s in self.subsequences)
+
+    @property
+    def size(self) -> int:
+        """The paper's sample *size*: modality tokens driving encoder /
+        generator compute (Algorithm 1 sorts on this)."""
+        return self.image_tokens + self.audio_tokens
+
+    def workload(self) -> ModuleWorkload:
+        """Per-module workload induced by this sample."""
+        return ModuleWorkload(
+            samples=1,
+            text_tokens=self.text_tokens,
+            image_tokens=self.image_tokens,
+            images=self.num_images,
+            audio_tokens=self.audio_tokens,
+            audio_clips=self.num_audio_clips,
+        )
+
+    def image_token_sizes(self) -> List[int]:
+        return [s.tokens for s in self.subsequences if s.modality == "image"]
+
+
+@dataclass(frozen=True)
+class Microbatch:
+    """A group of samples trained together in one pipeline pass."""
+
+    samples: Tuple[TrainingSample, ...]
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError("microbatch cannot be empty")
+
+    @property
+    def size(self) -> int:
+        return sum(s.size for s in self.samples)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.samples)
+
+    def workload(self) -> ModuleWorkload:
+        total = ModuleWorkload(samples=0)
+        for sample in self.samples:
+            total = total + sample.workload()
+        return total
+
+
+def make_microbatches(
+    samples: Sequence[TrainingSample], microbatch_size: int
+) -> List[Microbatch]:
+    """Chunk an ordered sample list into fixed-size microbatches."""
+    if microbatch_size < 1:
+        raise ValueError("microbatch_size must be positive")
+    if len(samples) % microbatch_size != 0:
+        raise ValueError(
+            f"{len(samples)} samples do not divide into microbatches of "
+            f"{microbatch_size}"
+        )
+    return [
+        Microbatch(tuple(samples[i : i + microbatch_size]))
+        for i in range(0, len(samples), microbatch_size)
+    ]

@@ -1,0 +1,67 @@
+"""Analytic model specifications for multimodal LLM modules.
+
+This package implements from scratch the parameter-count, FLOPs, and
+activation-memory accounting for the three modules of a multimodal LLM
+(Figure 1 of the paper):
+
+* modality encoder — Vision Transformer (:mod:`repro.models.vit`);
+* LLM backbone — Llama3-style decoder (:mod:`repro.models.llm`);
+* modality generator — Stable-Diffusion-style latent diffusion UNet
+  (:mod:`repro.models.diffusion`).
+
+Projectors (:mod:`repro.models.projector`) bridge the modules, and
+:mod:`repro.models.mllm` composes everything into the MLLM-9B/15B/72B
+configurations the paper evaluates.
+"""
+
+from repro.models.base import ModuleKind, ModuleSpec, ModuleWorkload
+from repro.models.transformer import TransformerConfig
+from repro.models.llm import (
+    LLMSpec,
+    LLAMA3_7B,
+    LLAMA3_13B,
+    LLAMA3_70B,
+    LLM_PRESETS,
+)
+from repro.models.vit import ViTSpec, VIT_HUGE, VIT_LARGE, VIT_PRESETS
+from repro.models.diffusion import (
+    DiffusionSpec,
+    STABLE_DIFFUSION_2_1,
+    DIFFUSION_PRESETS,
+)
+from repro.models.projector import ProjectorSpec, mlp_projector
+from repro.models.mllm import (
+    MultimodalLLMSpec,
+    MLLM_9B,
+    MLLM_15B,
+    MLLM_72B,
+    MLLM_PRESETS,
+    image_tokens_for_resolution,
+)
+
+__all__ = [
+    "ModuleKind",
+    "ModuleSpec",
+    "ModuleWorkload",
+    "TransformerConfig",
+    "LLMSpec",
+    "LLAMA3_7B",
+    "LLAMA3_13B",
+    "LLAMA3_70B",
+    "LLM_PRESETS",
+    "ViTSpec",
+    "VIT_HUGE",
+    "VIT_LARGE",
+    "VIT_PRESETS",
+    "DiffusionSpec",
+    "STABLE_DIFFUSION_2_1",
+    "DIFFUSION_PRESETS",
+    "ProjectorSpec",
+    "mlp_projector",
+    "MultimodalLLMSpec",
+    "MLLM_9B",
+    "MLLM_15B",
+    "MLLM_72B",
+    "MLLM_PRESETS",
+    "image_tokens_for_resolution",
+]

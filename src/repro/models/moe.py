@@ -1,0 +1,174 @@
+"""Mixture-of-experts LLM backbone (expert parallelism support, §4.1).
+
+DistTrain "supports expert parallelism (EP) for the LLM backbone. Since
+EP and TP both perform parallel computation and communication within one
+layer, our subsequent formulation involving TP remains valid when TP is
+replaced with EP." This module provides the MoE backbone spec; the cost
+model adds the EP all-to-all (token dispatch/combine) communication.
+
+A MoE layer keeps the dense attention block but replaces the MLP with
+``num_experts`` expert MLPs plus a router; each token activates
+``top_k`` experts, so compute scales with *active* parameters while
+memory scales with *total* parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.base import ModuleWorkload
+from repro.models.llm import LLMSpec, LLAMA3_VOCAB_SIZE
+from repro.models.transformer import TransformerConfig
+
+
+@dataclass(frozen=True)
+class MoEConfig:
+    """Mixture-of-experts hyper-parameters.
+
+    Attributes:
+        num_experts: Experts per MoE layer.
+        top_k: Experts activated per token.
+        moe_layer_stride: Every ``stride``-th layer is MoE (1 = all).
+    """
+
+    num_experts: int = 8
+    top_k: int = 2
+    moe_layer_stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_experts < 2:
+            raise ValueError("MoE needs at least 2 experts")
+        if not 1 <= self.top_k <= self.num_experts:
+            raise ValueError("top_k must be in [1, num_experts]")
+        if self.moe_layer_stride < 1:
+            raise ValueError("moe_layer_stride must be >= 1")
+
+
+@dataclass(frozen=True)
+class MoELLMSpec(LLMSpec):
+    """MoE LLM backbone.
+
+    Inherits the dense spec's interface; parameter and FLOP accounting
+    are overridden for the expert MLPs and router.
+    """
+
+    moe: MoEConfig = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.moe is None:
+            raise ValueError("MoELLMSpec requires a MoEConfig")
+
+    # ------------------------------------------------------------------ #
+    # Layer composition
+    # ------------------------------------------------------------------ #
+    @property
+    def num_moe_layers(self) -> int:
+        return self.config.num_layers // self.moe.moe_layer_stride
+
+    @property
+    def num_dense_layers(self) -> int:
+        return self.config.num_layers - self.num_moe_layers
+
+    def router_params_per_layer(self) -> int:
+        return self.config.hidden_size * self.moe.num_experts
+
+    # ------------------------------------------------------------------ #
+    # Parameters
+    # ------------------------------------------------------------------ #
+    def param_count(self) -> int:
+        """Total parameters, counting every expert."""
+        cfg = self.config
+        dense_layer = cfg.params_per_layer()
+        moe_layer = (
+            cfg.attention_params_per_layer()
+            + cfg.norm_params_per_layer()
+            + self.moe.num_experts * cfg.mlp_params_per_layer()
+            + self.router_params_per_layer()
+        )
+        return (
+            self.num_dense_layers * dense_layer
+            + self.num_moe_layers * moe_layer
+            + cfg.embedding_params()
+        )
+
+    def active_param_count(self) -> int:
+        """Parameters touched per token (top-k experts only)."""
+        cfg = self.config
+        dense_layer = cfg.params_per_layer()
+        moe_layer = (
+            cfg.attention_params_per_layer()
+            + cfg.norm_params_per_layer()
+            + self.moe.top_k * cfg.mlp_params_per_layer()
+            + self.router_params_per_layer()
+        )
+        return (
+            self.num_dense_layers * dense_layer
+            + self.num_moe_layers * moe_layer
+            + cfg.embedding_params()
+        )
+
+    # ------------------------------------------------------------------ #
+    # FLOPs: compute follows *active* parameters
+    # ------------------------------------------------------------------ #
+    def forward_flops(self, workload: ModuleWorkload) -> float:
+        cfg = self.config
+        tokens = workload.samples * self.seq_len
+        attention_scores = (
+            cfg.num_layers
+            * cfg.attention_score_flops_per_token_per_layer(self.seq_len)
+        )
+        matmul = 2.0 * (
+            self.active_param_count() - cfg.embedding_params()
+        )
+        lm_head = 2.0 * cfg.hidden_size * cfg.vocab_size
+        return tokens * (matmul + attention_scores + lm_head)
+
+    def expert_dispatch_bytes_forward(
+        self, workload: ModuleWorkload
+    ) -> float:
+        """Bytes moved by EP all-to-all in one forward pass.
+
+        Per MoE layer: dispatch + combine, each carrying each token's
+        hidden vector to/from its ``top_k`` experts in bf16.
+        """
+        tokens = workload.samples * self.seq_len
+        per_layer = (
+            2.0 * tokens * self.moe.top_k * self.config.hidden_size * 2.0
+        )
+        return self.num_moe_layers * per_layer
+
+
+def _moe_llama(
+    name: str,
+    layers: int,
+    hidden: int,
+    ffn: int,
+    heads: int,
+    groups: int,
+    num_experts: int = 8,
+    top_k: int = 2,
+) -> MoELLMSpec:
+    return MoELLMSpec(
+        name=name,
+        config=TransformerConfig(
+            num_layers=layers,
+            hidden_size=hidden,
+            ffn_hidden_size=ffn,
+            num_heads=heads,
+            num_query_groups=groups,
+            vocab_size=LLAMA3_VOCAB_SIZE,
+            gated_mlp=True,
+            causal=True,
+        ),
+        moe=MoEConfig(num_experts=num_experts, top_k=top_k),
+    )
+
+
+# Mixtral-style 8-expert variant of the 7B backbone: ~40B total params,
+# ~12B active per token.
+LLAMA3_MOE_8X7B = _moe_llama(
+    "llama3-moe-8x7b", 32, 4096, 11008, 32, 32, num_experts=8, top_k=2
+)
+
+MOE_PRESETS = {"llama3-moe-8x7b": LLAMA3_MOE_8X7B}

@@ -1,0 +1,61 @@
+"""Disaggregated model orchestration (section 4).
+
+Decides, for one training task, how many GPUs each module gets and with
+which parallelism configuration, minimizing the per-iteration time
+(Eqs. 1-2) subject to GPU-count and memory constraints:
+
+* :mod:`repro.orchestration.problem` — inputs: model, cluster, batch
+  configuration, data profile, frozen phase;
+* :mod:`repro.orchestration.formulation` — the objective function
+  (warm-up + steady phases) and its coefficients;
+* :mod:`repro.orchestration.memory` — per-module GPU memory feasibility
+  (ZeRO-1 optimizer sharding, 1F1B activation pinning);
+* :mod:`repro.orchestration.convex` — the convex subproblem in the
+  resource variables (x, y, z) for fixed TP/DP choices;
+* :mod:`repro.orchestration.adaptive` — the paper's adaptive algorithm:
+  enumerate the finite TP/DP set, solve each convex subproblem, round to
+  a feasible integer configuration, keep the best;
+* :mod:`repro.orchestration.baselines` — Megatron-LM monolithic and
+  DistMM* FLOPs-proportional orchestration.
+"""
+
+from repro.orchestration.problem import OrchestrationProblem, SampleProfile
+from repro.orchestration.formulation import (
+    CandidateConfig,
+    ObjectiveBreakdown,
+    module_sample_time,
+    objective,
+)
+from repro.orchestration.memory import MemoryModel
+from repro.orchestration.convex import ConvexSolution, solve_resource_split
+from repro.orchestration.adaptive import AdaptiveOrchestrator, OrchestrationResult
+from repro.orchestration.serialization import (
+    plan_to_dict,
+    plan_from_dict,
+    save_plan,
+    load_plan,
+)
+from repro.orchestration.baselines import (
+    MegatronOrchestrator,
+    DistMMOrchestrator,
+)
+
+__all__ = [
+    "OrchestrationProblem",
+    "SampleProfile",
+    "CandidateConfig",
+    "ObjectiveBreakdown",
+    "module_sample_time",
+    "objective",
+    "MemoryModel",
+    "ConvexSolution",
+    "solve_resource_split",
+    "AdaptiveOrchestrator",
+    "OrchestrationResult",
+    "MegatronOrchestrator",
+    "DistMMOrchestrator",
+    "plan_to_dict",
+    "plan_from_dict",
+    "save_plan",
+    "load_plan",
+]

@@ -1,0 +1,135 @@
+"""The convex resource-split subproblem (section 4.3).
+
+For a fixed candidate (TP/DP degrees), the objective in the resource
+variables ``(x, y, z)`` is::
+
+    minimize  W_x/x + W_z/z + (n-1) * max(A/y, B/x, C/z)
+    s.t.      x + y + z <= N,   x >= x_min, y >= y_min, z >= z_min
+
+— a sum and max of positive hyperbolas, hence convex. We solve it two
+ways:
+
+* **epigraph + SLSQP**: introduce ``t >= A/y`` etc. and minimize the
+  smooth ``W_x/x + W_z/z + (n-1)*t`` (the production path, standing in
+  for the paper's CVX/DCP solver);
+* **analytic waterfilling**: ignore the warm-up terms and equalize
+  ``A/y = B/x = C/z`` at full budget (used as the initial guess and as a
+  cross-check in tests).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy.optimize import minimize
+
+
+@dataclass(frozen=True)
+class ConvexSolution:
+    """Optimal (continuous) resource split for one candidate."""
+
+    x: float
+    y: float
+    z: float
+    objective: float
+    solve_seconds: float
+    converged: bool
+
+    @property
+    def total(self) -> float:
+        return self.x + self.y + self.z
+
+
+def waterfill_split(
+    coeff_x: float, coeff_y: float, coeff_z: float, budget: float
+) -> Tuple[float, float, float]:
+    """Equalize ``coeff/value`` across three variables at full budget.
+
+    The max of decreasing hyperbolas is minimized when all three are
+    equal, which allocates proportionally to the coefficients.
+    """
+    total = coeff_x + coeff_y + coeff_z
+    if total <= 0:
+        raise ValueError("coefficients must be positive")
+    return (
+        budget * coeff_x / total,
+        budget * coeff_y / total,
+        budget * coeff_z / total,
+    )
+
+
+def solve_resource_split(
+    warm_x: float,
+    warm_z: float,
+    steady_x: float,
+    steady_y: float,
+    steady_z: float,
+    num_microbatches: int,
+    budget: float,
+    x_min: float = 1.0,
+    y_min: float = 1.0,
+    z_min: float = 1.0,
+) -> ConvexSolution:
+    """Solve the convex subproblem.
+
+    Args:
+        warm_x / warm_z: Warm-up coefficients (``W/x`` terms); the LLM's
+            warm-up term is constant in (x, y, z) and omitted.
+        steady_x / steady_y / steady_z: Steady-phase numerators
+            (``B``, ``A``, ``C`` above).
+        num_microbatches: ``n``; the steady phase runs ``n - 1`` slots.
+        budget: Total GPUs ``N``.
+        x_min / y_min / z_min: Memory-driven lower bounds.
+    """
+    if budget < x_min + y_min + z_min:
+        raise ValueError(
+            f"budget {budget} below the memory floor "
+            f"{x_min + y_min + z_min}"
+        )
+    started = time.perf_counter()
+    n_steady = max(0, num_microbatches - 1)
+
+    # Initial guess: waterfill on the steady coefficients.
+    x0, y0, z0 = waterfill_split(steady_x, steady_y, steady_z, budget)
+    x0, y0, z0 = max(x0, x_min), max(y0, y_min), max(z0, z_min)
+    t0 = max(steady_x / x0, steady_y / y0, steady_z / z0)
+
+    def objective_fn(v: np.ndarray) -> float:
+        x, y, z, t = v
+        return warm_x / x + warm_z / z + n_steady * t
+
+    constraints = [
+        {"type": "ineq", "fun": lambda v: budget - v[0] - v[1] - v[2]},
+        {"type": "ineq", "fun": lambda v: v[3] - steady_x / v[0]},
+        {"type": "ineq", "fun": lambda v: v[3] - steady_y / v[1]},
+        {"type": "ineq", "fun": lambda v: v[3] - steady_z / v[2]},
+    ]
+    bounds = [
+        (x_min, budget),
+        (y_min, budget),
+        (z_min, budget),
+        (1e-12, None),
+    ]
+    result = minimize(
+        objective_fn,
+        x0=np.array([x0, y0, z0, t0]),
+        method="SLSQP",
+        bounds=bounds,
+        constraints=constraints,
+        options={"maxiter": 200, "ftol": 1e-10},
+    )
+    x, y, z, _ = result.x
+    # Re-evaluate the true (non-epigraph) objective at the solution.
+    t_true = max(steady_x / x, steady_y / y, steady_z / z)
+    value = warm_x / x + warm_z / z + n_steady * t_true
+    return ConvexSolution(
+        x=float(x),
+        y=float(y),
+        z=float(z),
+        objective=float(value),
+        solve_seconds=time.perf_counter() - started,
+        converged=bool(result.success),
+    )

@@ -1,0 +1,149 @@
+"""The orchestration objective (Eqs. 1-2 of the paper).
+
+For a candidate configuration (TP and DP degrees per module) and a
+resource split ``x`` (encoder GPUs), ``y`` (LLM GPUs), ``z`` (generator
+GPUs), the training time of one iteration decomposes into:
+
+* **warm-up** — filling the pipeline with the first microbatch::
+
+      T_warmup = M*C_lm + (DP_lm*M/DP_me)*C_me + (DP_lm*M/DP_mg)*C_mg
+
+* **steady** — dominated by the slowest pipeline stage::
+
+      T_steady = max(T_lm, T_me, T_mg) * (BS/(DP_lm*M) - 1)
+
+with ``T_lm = DP_lm*TP_lm*M*C_lm/y`` etc. ``C`` denotes the profiled
+fwd+bwd time of the whole module for one sample (frozen modules drop the
+weight-gradient half or the whole backward; section 7.3). Virtual
+pipeline parallelism divides the LLM's warm-up contribution by the VPP
+size (section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.orchestration.problem import OrchestrationProblem
+
+
+@dataclass(frozen=True)
+class CandidateConfig:
+    """One point of the finite TP/DP enumeration (section 4.3).
+
+    Attributes:
+        tp_lm / dp_lm: LLM tensor/data parallel degrees.
+        ep_lm: LLM expert-parallel degree (MoE backbones only). The
+            formulation treats EP like TP (section 4.1), so every
+            ``tp_lm`` multiplier below becomes the intra-layer width
+            ``tp_lm * ep_lm``.
+        tp_me / tp_mg: Encoder/generator TP degrees (their DP degrees
+            follow from the resource variables: ``dp = gpus/(tp*pp)``).
+        pp_me / pp_mg: Encoder/generator pipeline depths (1 in all of the
+            paper's configurations — the modules are small).
+    """
+
+    tp_lm: int
+    dp_lm: int
+    tp_me: int = 1
+    tp_mg: int = 1
+    pp_me: int = 1
+    pp_mg: int = 1
+    ep_lm: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("tp_lm", "dp_lm", "tp_me", "tp_mg", "pp_me", "pp_mg",
+                     "ep_lm"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def width_lm(self) -> int:
+        """LLM intra-layer width: TP times EP."""
+        return self.tp_lm * self.ep_lm
+
+
+def module_sample_time(
+    problem: OrchestrationProblem, module_name: str, tp: int
+) -> float:
+    """Profiled fwd+bwd time of one sample through the whole module.
+
+    The paper's ``C`` functions with the backward pass folded in,
+    honouring the frozen configuration (full backward for trainable
+    modules, dX-only for frozen relays, none for a frozen encoder).
+    """
+    profiler = problem.profiler()
+    workload = problem.per_sample_workload(module_name)
+    frozen = problem.frozen
+    return profiler.estimate_fwd_bwd(
+        module_name,
+        workload,
+        tp,
+        weight_grads=frozen.trains(module_name),
+        backward=frozen.needs_backward(module_name),
+    )
+
+
+@dataclass(frozen=True)
+class ObjectiveBreakdown:
+    """Evaluated objective for one (candidate, x, y, z) point."""
+
+    warmup: float
+    steady: float
+    stage_time_llm: float
+    stage_time_encoder: float
+    stage_time_generator: float
+    num_microbatches: int
+
+    @property
+    def total(self) -> float:
+        return self.warmup + self.steady
+
+    @property
+    def bottleneck(self) -> str:
+        stages = {
+            "llm": self.stage_time_llm,
+            "encoder": self.stage_time_encoder,
+            "generator": self.stage_time_generator,
+        }
+        return max(stages, key=stages.get)
+
+
+def objective(
+    problem: OrchestrationProblem,
+    candidate: CandidateConfig,
+    x: float,
+    y: float,
+    z: float,
+) -> ObjectiveBreakdown:
+    """Evaluate Eqs. 1-2 at a (possibly fractional) resource split."""
+    if min(x, y, z) <= 0:
+        raise ValueError("resource variables must be positive")
+    M = problem.microbatch_size
+    bs = problem.global_batch_size
+    dp_lm = candidate.dp_lm
+    num_microbatches = bs // (dp_lm * M)
+
+    c_lm = module_sample_time(problem, "llm", candidate.tp_lm)
+    c_me = module_sample_time(problem, "encoder", candidate.tp_me)
+    c_mg = module_sample_time(problem, "generator", candidate.tp_mg)
+
+    # Eq. 2 stage times (per microbatch, per PP stage).
+    t_lm = dp_lm * candidate.width_lm * M * c_lm / y
+    t_me = dp_lm * candidate.tp_me * M * c_me / x
+    t_mg = dp_lm * candidate.tp_mg * M * c_mg / z
+
+    # Eq. 1 warm-up; VPP shrinks the LLM's pipeline-fill contribution.
+    warmup = (
+        M * c_lm / problem.vpp
+        + dp_lm * M * candidate.tp_me * candidate.pp_me * c_me / x
+        + dp_lm * M * candidate.tp_mg * candidate.pp_mg * c_mg / z
+    )
+    steady = max(t_lm, t_me, t_mg) * max(0, num_microbatches - 1)
+    return ObjectiveBreakdown(
+        warmup=warmup,
+        steady=steady,
+        stage_time_llm=t_lm,
+        stage_time_encoder=t_me,
+        stage_time_generator=t_mg,
+        num_microbatches=num_microbatches,
+    )

@@ -1,0 +1,128 @@
+"""GPU memory feasibility (the second constraint of section 4.2).
+
+Per-GPU memory of a module with parameters ``P`` under mixed precision:
+
+* parameters + gradients: ``4 bytes/param / (PP*TP)`` (bf16 each);
+  frozen modules keep parameters but no gradients (2 bytes/param);
+* optimizer states under ZeRO-1: ``12 bytes/param / (TP*PP*DP)``
+  (fp32 master + two Adam moments, sharded across the DP group);
+  frozen modules have none;
+* activations under 1F1B: the first stage pins ``PP`` microbatches,
+  giving ``L/TP`` bytes per GPU where ``L`` is one microbatch's
+  activation footprint across the whole module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.base import ModuleSpec, ModuleWorkload
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Memory accounting for one module on one GPU type.
+
+    Attributes:
+        gpu_memory_bytes: Device capacity.
+        usable_fraction: Capacity available to the framework after CUDA
+            context, NCCL buffers, and fragmentation.
+        param_bytes / grad_bytes: Bytes per parameter at train precision.
+        optimizer_bytes: Bytes per parameter of ZeRO-1-sharded state.
+    """
+
+    gpu_memory_bytes: float
+    usable_fraction: float = 0.92
+    param_bytes: float = 2.0
+    grad_bytes: float = 2.0
+    optimizer_bytes: float = 12.0
+
+    @property
+    def capacity(self) -> float:
+        return self.gpu_memory_bytes * self.usable_fraction
+
+    # ------------------------------------------------------------------ #
+    # Components
+    # ------------------------------------------------------------------ #
+    def static_bytes_per_gpu(
+        self,
+        module: ModuleSpec,
+        tp: int,
+        pp: int,
+        dp: int,
+        trainable: bool,
+    ) -> float:
+        """Parameters, gradients, and ZeRO-1 optimizer shard."""
+        params = module.param_count()
+        per_model_parallel = params / (tp * pp)
+        static = per_model_parallel * self.param_bytes
+        if trainable:
+            static += per_model_parallel * self.grad_bytes
+            static += params * self.optimizer_bytes / (tp * pp * dp)
+        return static
+
+    def activation_bytes_per_gpu(
+        self,
+        module: ModuleSpec,
+        microbatch_workload: ModuleWorkload,
+        tp: int,
+        in_flight_microbatches: int,
+    ) -> float:
+        """1F1B peak activation footprint.
+
+        ``in_flight_microbatches`` is the number of microbatches whose
+        activations the stage pins simultaneously (its 1F1B warm-up
+        depth; the first stage of a ``p``-deep pipeline pins ``p``).
+        """
+        if in_flight_microbatches < 1:
+            raise ValueError("in_flight_microbatches must be >= 1")
+        per_microbatch = module.activation_bytes(microbatch_workload) / tp
+        return per_microbatch * in_flight_microbatches
+
+    # ------------------------------------------------------------------ #
+    # Feasibility
+    # ------------------------------------------------------------------ #
+    def fits(
+        self,
+        module: ModuleSpec,
+        microbatch_workload: ModuleWorkload,
+        tp: int,
+        pp: int,
+        dp: int,
+        trainable: bool,
+        in_flight_microbatches: int,
+    ) -> bool:
+        total = self.static_bytes_per_gpu(module, tp, pp, dp, trainable)
+        total += self.activation_bytes_per_gpu(
+            module, microbatch_workload, tp, in_flight_microbatches
+        ) / pp
+        return total <= self.capacity
+
+    def min_pp_for_llm(
+        self,
+        module: ModuleSpec,
+        microbatch_workload: ModuleWorkload,
+        tp: int,
+        dp: int,
+        trainable: bool,
+        max_pp: int,
+    ) -> int:
+        """Smallest pipeline depth at which the LLM fits, or raise.
+
+        Raises:
+            ValueError: if the module does not fit even at ``max_pp``.
+        """
+        for pp in range(1, max_pp + 1):
+            if self.fits(
+                module,
+                microbatch_workload,
+                tp,
+                pp,
+                dp,
+                trainable,
+                in_flight_microbatches=pp,
+            ):
+                return pp
+        raise ValueError(
+            f"{module.name} does not fit at tp={tp} even with pp={max_pp}"
+        )

@@ -1,0 +1,96 @@
+"""Orchestration plan serialization (section 6).
+
+"The manager records the optimal resource allocation and parallelism
+strategy to a configuration file, which the Kubernetes controller uses
+to launch the training task." This module round-trips
+:class:`ModelOrchestrationPlan` through a plain-JSON configuration
+format so plans can be decided once and deployed by an external
+launcher.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.cluster.cluster import make_cluster
+from repro.models.mllm import MLLM_PRESETS
+from repro.parallelism.orchestration_plan import ModelOrchestrationPlan
+from repro.parallelism.plan import ParallelismPlan
+
+FORMAT_VERSION = 1
+
+_PLAN_FIELDS = ("tp", "pp", "dp", "vpp", "sp", "ep", "microbatch_size")
+
+
+def parallelism_plan_to_dict(plan: ParallelismPlan) -> Dict[str, int]:
+    return {field: getattr(plan, field) for field in _PLAN_FIELDS}
+
+
+def parallelism_plan_from_dict(data: Dict[str, int]) -> ParallelismPlan:
+    unknown = set(data) - set(_PLAN_FIELDS)
+    if unknown:
+        raise ValueError(f"unknown parallelism fields: {sorted(unknown)}")
+    return ParallelismPlan(**data)
+
+
+def plan_to_dict(plan: ModelOrchestrationPlan) -> Dict:
+    """Serialize a full orchestration plan.
+
+    The model is referenced by preset name (the launcher re-resolves the
+    architecture); custom MLLM compositions are out of scope for the
+    launch-config format, as in the production system where the model
+    definition lives with the training code.
+    """
+    if plan.mllm.name not in MLLM_PRESETS:
+        raise ValueError(
+            f"only preset models can be serialized; got {plan.mllm.name!r}"
+        )
+    return {
+        "version": FORMAT_VERSION,
+        "label": plan.label,
+        "monolithic": plan.monolithic,
+        "model": plan.mllm.name,
+        "cluster_gpus": plan.cluster.num_gpus,
+        "units": {
+            name: parallelism_plan_to_dict(unit_plan)
+            for name, unit_plan in plan.plans.items()
+        },
+    }
+
+
+def plan_from_dict(data: Dict) -> ModelOrchestrationPlan:
+    """Reconstruct a plan from its launch configuration."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported plan format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    model_name = data["model"]
+    if model_name not in MLLM_PRESETS:
+        raise KeyError(f"unknown model preset {model_name!r}")
+    units = data["units"]
+    for required in ("encoder", "llm", "generator"):
+        if required not in units:
+            raise KeyError(f"launch config missing unit {required!r}")
+    return ModelOrchestrationPlan(
+        mllm=MLLM_PRESETS[model_name],
+        cluster=make_cluster(int(data["cluster_gpus"])),
+        encoder_plan=parallelism_plan_from_dict(units["encoder"]),
+        llm_plan=parallelism_plan_from_dict(units["llm"]),
+        generator_plan=parallelism_plan_from_dict(units["generator"]),
+        monolithic=bool(data.get("monolithic", False)),
+        label=str(data.get("label", "disttrain")),
+    )
+
+
+def save_plan(plan: ModelOrchestrationPlan, path: Union[str, Path]) -> None:
+    """Write the launch configuration file."""
+    Path(path).write_text(json.dumps(plan_to_dict(plan), indent=2) + "\n")
+
+
+def load_plan(path: Union[str, Path]) -> ModelOrchestrationPlan:
+    """Read a launch configuration file."""
+    return plan_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,22 @@
+"""Parallelism plans, parallelism units, and communication brokers.
+
+DistTrain's *disaggregated model orchestration* (section 4.1) hinges on the
+**parallelism unit**: a group of one or more pipeline stages that carries
+its own DP/TP configuration and communication groups, connected to
+neighbouring units by **communication brokers** that bridge pipeline
+communication across mismatched data-parallel degrees.
+"""
+
+from repro.parallelism.plan import ParallelismPlan
+from repro.parallelism.unit import ParallelismUnit, CommunicationGroup
+from repro.parallelism.broker import CommunicationBroker, plan_brokers
+from repro.parallelism.orchestration_plan import ModelOrchestrationPlan
+
+__all__ = [
+    "ParallelismPlan",
+    "ParallelismUnit",
+    "CommunicationGroup",
+    "CommunicationBroker",
+    "plan_brokers",
+    "ModelOrchestrationPlan",
+]

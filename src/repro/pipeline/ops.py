@@ -1,0 +1,49 @@
+"""Pipeline operation primitives."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Direction(enum.Enum):
+    """Forward or backward pass of one microbatch through one stage."""
+
+    FWD = "F"
+    BWD = "B"
+
+
+@dataclass(frozen=True, order=True)
+class PipelineOp:
+    """One unit of pipeline work.
+
+    Attributes:
+        stage: Physical pipeline stage (0-based).
+        microbatch: Microbatch index (0-based).
+        direction: Forward or backward.
+        chunk: Virtual-pipeline chunk hosted by this stage (0-based;
+            always 0 without VPP).
+    """
+
+    stage: int
+    microbatch: int
+    direction: Direction
+    chunk: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stage < 0 or self.microbatch < 0 or self.chunk < 0:
+            raise ValueError("op indices must be non-negative")
+
+    @property
+    def is_forward(self) -> bool:
+        return self.direction is Direction.FWD
+
+    def virtual_stage(self, num_stages: int) -> int:
+        """Global position in the virtual pipeline: ``chunk*p + stage``."""
+        return self.chunk * num_stages + self.stage
+
+    def __str__(self) -> str:
+        tag = self.direction.value
+        if self.chunk:
+            return f"{tag}{self.microbatch}.{self.chunk}@s{self.stage}"
+        return f"{tag}{self.microbatch}@s{self.stage}"

@@ -1,0 +1,163 @@
+"""Pipeline schedule generators.
+
+A schedule fixes, for every physical stage, the order in which it executes
+its forward and backward ops. Three schemes are implemented:
+
+* **GPipe** — all forwards, then all backwards. Simple but pins one
+  activation per microbatch; the paper avoids it ("more memory without
+  better efficiency"; section 4.2).
+* **1F1B** — each stage runs ``p - s - 1`` warm-up forwards, then
+  alternates one-forward-one-backward, then drains (Figure 12).
+* **Interleaved 1F1B (VPP)** — each stage hosts ``v`` model chunks and
+  cycles through them in microbatch groups of ``p``, shrinking the
+  warm-up phase by ``v`` (section 4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+from repro.pipeline.ops import Direction, PipelineOp
+
+
+class ScheduleKind(enum.Enum):
+    GPIPE = "gpipe"
+    ONE_F_ONE_B = "1f1b"
+    INTERLEAVED = "interleaved-1f1b"
+
+
+def _validate(num_stages: int, num_microbatches: int) -> None:
+    if num_stages < 1:
+        raise ValueError("need at least one stage")
+    if num_microbatches < 1:
+        raise ValueError("need at least one microbatch")
+
+
+def gpipe_order(
+    num_stages: int, num_microbatches: int
+) -> Dict[int, List[PipelineOp]]:
+    """GPipe: every stage runs all forwards then all backwards."""
+    _validate(num_stages, num_microbatches)
+    order: Dict[int, List[PipelineOp]] = {}
+    for s in range(num_stages):
+        ops = [PipelineOp(s, m, Direction.FWD) for m in range(num_microbatches)]
+        ops += [
+            PipelineOp(s, m, Direction.BWD)
+            for m in reversed(range(num_microbatches))
+        ]
+        order[s] = ops
+    return order
+
+
+def one_f_one_b_order(
+    num_stages: int, num_microbatches: int
+) -> Dict[int, List[PipelineOp]]:
+    """Non-interleaved 1F1B (Figure 12 of the paper).
+
+    Stage ``s`` performs ``min(p - s - 1, l)`` warm-up forwards, then
+    alternates F/B in the steady phase, then drains the remaining
+    backwards in the cool-down phase.
+    """
+    _validate(num_stages, num_microbatches)
+    p, l = num_stages, num_microbatches
+    order: Dict[int, List[PipelineOp]] = {}
+    for s in range(p):
+        warmup = min(p - s - 1, l)
+        ops: List[PipelineOp] = [
+            PipelineOp(s, m, Direction.FWD) for m in range(warmup)
+        ]
+        fwd_next, bwd_next = warmup, 0
+        while fwd_next < l:
+            ops.append(PipelineOp(s, fwd_next, Direction.FWD))
+            fwd_next += 1
+            ops.append(PipelineOp(s, bwd_next, Direction.BWD))
+            bwd_next += 1
+        while bwd_next < l:
+            ops.append(PipelineOp(s, bwd_next, Direction.BWD))
+            bwd_next += 1
+        order[s] = ops
+    return order
+
+
+def interleaved_order(
+    num_stages: int, num_microbatches: int, vpp: int
+) -> Dict[int, List[PipelineOp]]:
+    """Interleaved 1F1B with ``vpp`` model chunks per stage.
+
+    Follows the Megatron-LM interleaved schedule: microbatches are
+    processed in groups of ``p``; within the warm-up phase each stage
+    advances through chunks on a rotating basis, shrinking the pipeline
+    fill time by roughly the VPP factor. Requires ``l % p == 0`` (the
+    Megatron constraint).
+    """
+    _validate(num_stages, num_microbatches)
+    if vpp < 1:
+        raise ValueError("vpp must be >= 1")
+    if vpp == 1:
+        return one_f_one_b_order(num_stages, num_microbatches)
+    p, l, v = num_stages, num_microbatches, vpp
+    if l % p != 0:
+        raise ValueError(
+            f"interleaved schedule requires microbatches ({l}) to be a "
+            f"multiple of pipeline stages ({p})"
+        )
+
+    total = l * v  # forward ops per stage (same count backward)
+
+    def chunk_of(step: int) -> int:
+        """Model chunk executed at virtual microbatch counter ``step``."""
+        return (step // p) % v
+
+    def microbatch_of(step: int) -> int:
+        """Microbatch index at virtual counter ``step``."""
+        group = step // (p * v)  # completed full rounds of p*v
+        return group * p + step % p
+
+    order: Dict[int, List[PipelineOp]] = {}
+    for s in range(p):
+        num_warmup = min((p - s - 1) * 2 + (v - 1) * p, total)
+        ops: List[PipelineOp] = []
+        fwd_step = 0
+        bwd_step = 0
+        for _ in range(num_warmup):
+            ops.append(
+                PipelineOp(s, microbatch_of(fwd_step), Direction.FWD,
+                           chunk_of(fwd_step))
+            )
+            fwd_step += 1
+        while fwd_step < total:
+            ops.append(
+                PipelineOp(s, microbatch_of(fwd_step), Direction.FWD,
+                           chunk_of(fwd_step))
+            )
+            fwd_step += 1
+            ops.append(
+                PipelineOp(s, microbatch_of(bwd_step), Direction.BWD,
+                           v - 1 - chunk_of(bwd_step))
+            )
+            bwd_step += 1
+        while bwd_step < total:
+            ops.append(
+                PipelineOp(s, microbatch_of(bwd_step), Direction.BWD,
+                           v - 1 - chunk_of(bwd_step))
+            )
+            bwd_step += 1
+        order[s] = ops
+    return order
+
+
+def schedule_order(
+    kind: ScheduleKind,
+    num_stages: int,
+    num_microbatches: int,
+    vpp: int = 1,
+) -> Dict[int, List[PipelineOp]]:
+    """Dispatch to the requested schedule generator."""
+    if kind is ScheduleKind.GPIPE:
+        return gpipe_order(num_stages, num_microbatches)
+    if kind is ScheduleKind.ONE_F_ONE_B:
+        return one_f_one_b_order(num_stages, num_microbatches)
+    if kind is ScheduleKind.INTERLEAVED:
+        return interleaved_order(num_stages, num_microbatches, vpp)
+    raise ValueError(f"unknown schedule kind {kind!r}")

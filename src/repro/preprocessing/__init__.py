@@ -1,0 +1,31 @@
+"""Disaggregated data preprocessing (section 5.1).
+
+Models both deployment modes the paper compares in Figure 17:
+
+* **co-located** (Megatron-LM): preprocessing shares the training node's
+  CPUs and its cost lands on the iteration critical path — seconds per
+  iteration for image-heavy batches;
+* **disaggregated** (DistTrain): dedicated CPU nodes run a producer /
+  consumer pipeline over RPC/RDMA; steady-state overhead collapses to the
+  tensor-transfer milliseconds, and reordering runs off the critical path
+  for free.
+"""
+
+from repro.preprocessing.cost import PreprocessCostModel
+from repro.preprocessing.transfer import TransferModel
+from repro.preprocessing.colocated import CoLocatedPreprocessing
+from repro.preprocessing.disaggregated import (
+    DisaggregatedPreprocessing,
+    required_cpu_nodes,
+)
+from repro.preprocessing.service import PreprocessingService, IterationFeed
+
+__all__ = [
+    "PreprocessCostModel",
+    "TransferModel",
+    "CoLocatedPreprocessing",
+    "DisaggregatedPreprocessing",
+    "required_cpu_nodes",
+    "PreprocessingService",
+    "IterationFeed",
+]

@@ -1,0 +1,43 @@
+"""Reordering baselines.
+
+Megatron-LM's data loader visits samples in random (shuffled) order; the
+sorted orders are natural strawmen used in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def random_order(samples: Sequence[T], seed: int = 0) -> List[T]:
+    """Uniform random permutation (Megatron-LM default)."""
+    rng = np.random.default_rng(seed)
+    indices = rng.permutation(len(samples))
+    return [samples[i] for i in indices]
+
+
+def sorted_order(
+    samples: Sequence[T],
+    size: Callable[[T], float] = None,
+    descending: bool = False,
+) -> List[T]:
+    """Sort by sample size."""
+    if size is None:
+        size = lambda s: float(getattr(s, "size", s))
+    return sorted(samples, key=size, reverse=descending)
+
+
+def round_robin_partition(
+    samples: Sequence[T], num_groups: int
+) -> List[List[T]]:
+    """Deal samples to groups round-robin (ignores sizes)."""
+    if num_groups < 1:
+        raise ValueError("num_groups must be positive")
+    groups: List[List[T]] = [[] for _ in range(num_groups)]
+    for i, sample in enumerate(samples):
+        groups[i % num_groups].append(sample)
+    return groups

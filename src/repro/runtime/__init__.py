@@ -1,0 +1,36 @@
+"""End-to-end training runtime simulation.
+
+Ties everything together: a :class:`TrainingIterationSimulator` builds
+per-stage, per-microbatch durations from the cost models and an
+orchestration plan, runs the pipeline simulator per DP rank, adds
+gradient synchronization and preprocessing overheads, and reports
+iteration time, MFU, and token throughput — the quantities in Figures
+13-19. Also models asynchronous checkpointing and failure recovery
+(section 3, "DistTrain runtime").
+"""
+
+from repro.runtime.frozen import FrozenConfig, FROZEN_PRESETS
+from repro.runtime.mfu import ModelFlopsAccountant, mfu, token_throughput
+from repro.runtime.iteration import (
+    IterationResult,
+    TrainingIterationSimulator,
+)
+from repro.runtime.trainer import TrainingRun, TrainingRunResult
+from repro.runtime.checkpoint import AsyncCheckpointer, CheckpointConfig
+from repro.runtime.failure import FailureModel, GoodputReport
+
+__all__ = [
+    "FrozenConfig",
+    "FROZEN_PRESETS",
+    "ModelFlopsAccountant",
+    "mfu",
+    "token_throughput",
+    "IterationResult",
+    "TrainingIterationSimulator",
+    "TrainingRun",
+    "TrainingRunResult",
+    "AsyncCheckpointer",
+    "CheckpointConfig",
+    "FailureModel",
+    "GoodputReport",
+]

@@ -1,0 +1,83 @@
+"""Asynchronous checkpointing (section 3, "DistTrain runtime").
+
+DistTrain uses a dedicated process that periodically snapshots model and
+optimizer state to the distributed file system. The snapshot (device-to-
+host copy) briefly stalls training; the upload runs in the background and
+only stalls training if a new checkpoint is requested before the previous
+upload finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Checkpointing policy and costs.
+
+    Attributes:
+        interval_iterations: Iterations between checkpoints.
+        snapshot_bandwidth: Device-to-host copy bandwidth per GPU (B/s).
+        upload_bandwidth: Aggregate DFS upload bandwidth (B/s).
+    """
+
+    interval_iterations: int = 50
+    snapshot_bandwidth: float = 20e9
+    upload_bandwidth: float = 40e9
+
+    def __post_init__(self) -> None:
+        if self.interval_iterations < 1:
+            raise ValueError("interval must be >= 1 iteration")
+
+
+@dataclass
+class AsyncCheckpointer:
+    """Tracks checkpoint timing across a training run.
+
+    Attributes:
+        config: Policy and costs.
+        state_bytes: Total bytes per checkpoint (params + optimizer).
+        per_gpu_state_bytes: Largest per-GPU shard (drives the snapshot
+            stall).
+    """
+
+    config: CheckpointConfig
+    state_bytes: float
+    per_gpu_state_bytes: float
+
+    def __post_init__(self) -> None:
+        self._upload_finish_time = 0.0
+        self.snapshots_taken = 0
+        self.total_stall = 0.0
+
+    @property
+    def snapshot_stall(self) -> float:
+        """Training stall per snapshot (device-to-host copy)."""
+        return self.per_gpu_state_bytes / self.config.snapshot_bandwidth
+
+    @property
+    def upload_duration(self) -> float:
+        return self.state_bytes / self.config.upload_bandwidth
+
+    def on_iteration(self, iteration: int, now: float) -> float:
+        """Advance to ``iteration`` ending at time ``now``.
+
+        Returns the stall (seconds) this iteration suffers: the snapshot
+        copy plus any wait for the previous upload to clear.
+        """
+        if iteration % self.config.interval_iterations != 0 or iteration == 0:
+            return 0.0
+        stall = self.snapshot_stall
+        if now < self._upload_finish_time:
+            stall += self._upload_finish_time - now
+        self._upload_finish_time = now + stall + self.upload_duration
+        self.snapshots_taken += 1
+        self.total_stall += stall
+        return stall
+
+    def last_checkpoint_iteration(self, current_iteration: int) -> int:
+        """Most recent iteration with a durable checkpoint."""
+        interval = self.config.interval_iterations
+        return (current_iteration // interval) * interval

@@ -1,0 +1,118 @@
+"""Failure injection and recovery (section 6: "DistTrain handles
+failures by automatically recovering the training from the latest model
+checkpoint").
+
+Models the goodput loss of hardware failures during a long run: on each
+failure the job restarts, reloads the latest checkpoint, and replays the
+iterations since — so work after the last checkpoint is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Cluster-level failure statistics.
+
+    Attributes:
+        mtbf_gpu_hours: Mean time between failures per GPU, in hours
+            (large-cluster experience: one failure per few thousand
+            GPU-days).
+        restart_seconds: Detect + reschedule + process restart.
+        checkpoint_load_seconds: Reload weights/optimizer from DFS.
+    """
+
+    mtbf_gpu_hours: float = 30_000.0
+    restart_seconds: float = 300.0
+    checkpoint_load_seconds: float = 120.0
+
+    def cluster_mtbf_seconds(self, num_gpus: int) -> float:
+        """MTBF of the whole job (any GPU failing kills the iteration)."""
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be positive")
+        return self.mtbf_gpu_hours * 3600.0 / num_gpus
+
+    def sample_failure_times(
+        self, num_gpus: int, horizon_seconds: float, seed: int = 0
+    ) -> List[float]:
+        """Poisson failure arrivals within the horizon."""
+        rng = np.random.default_rng(seed)
+        rate = 1.0 / self.cluster_mtbf_seconds(num_gpus)
+        times: List[float] = []
+        t = rng.exponential(1.0 / rate)
+        while t < horizon_seconds:
+            times.append(float(t))
+            t += rng.exponential(1.0 / rate)
+        return times
+
+
+@dataclass
+class GoodputReport:
+    """Outcome of a failure-injected run."""
+
+    total_seconds: float
+    useful_seconds: float
+    num_failures: int
+    replayed_iterations: int
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of wall-clock spent on retained progress."""
+        if self.total_seconds <= 0:
+            return 1.0
+        return self.useful_seconds / self.total_seconds
+
+
+def run_with_failures(
+    iteration_seconds: float,
+    num_iterations: int,
+    num_gpus: int,
+    failures: FailureModel,
+    checkpoint_interval: int = 50,
+    checkpoint_stall: float = 2.0,
+    seed: int = 0,
+) -> GoodputReport:
+    """Simulate a run of ``num_iterations`` under random failures.
+
+    Iterations re-execute from the last checkpoint after each failure;
+    the report separates useful time from replay/restart overhead.
+    """
+    if iteration_seconds <= 0 or num_iterations < 1:
+        raise ValueError("invalid run parameters")
+    horizon = iteration_seconds * num_iterations * 3.0 + 3600.0
+    failure_times = failures.sample_failure_times(num_gpus, horizon, seed)
+
+    clock = 0.0
+    completed = 0
+    replayed = 0
+    failure_idx = 0
+    num_failures = 0
+    while completed < num_iterations:
+        step = iteration_seconds
+        if completed > 0 and completed % checkpoint_interval == 0:
+            step += checkpoint_stall
+        end = clock + step
+        if failure_idx < len(failure_times) and failure_times[failure_idx] <= end:
+            # Failure mid-iteration: restart and roll back.
+            clock = failure_times[failure_idx]
+            failure_idx += 1
+            num_failures += 1
+            clock += failures.restart_seconds + failures.checkpoint_load_seconds
+            rollback = completed % checkpoint_interval
+            replayed += rollback
+            completed -= rollback
+            continue
+        clock = end
+        completed += 1
+    useful = iteration_seconds * num_iterations
+    return GoodputReport(
+        total_seconds=clock,
+        useful_seconds=useful,
+        num_failures=num_failures,
+        replayed_iterations=replayed,
+    )

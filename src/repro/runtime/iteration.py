@@ -1,0 +1,411 @@
+"""End-to-end training-iteration simulation.
+
+Converts an orchestration plan plus a concrete global batch into one
+iteration's timing:
+
+1. order the batch (optional intra-/inter-microbatch reordering);
+2. shard it across the LLM's DP ranks (contiguous blocks, as the
+   intra-reorder contract requires) and cut each shard into microbatches;
+3. build per-(stage, microbatch) forward/backward durations from the
+   module cost models — encoder/generator durations vary per microbatch
+   (data heterogeneity), LLM durations are constant;
+4. run the cycle-accurate pipeline simulator for every DP rank; the
+   iteration's pipeline phase is the slowest rank (they synchronize at
+   the gradient reduction — the intra-microbatch straggler effect);
+5. add exposed DP gradient synchronization, optimizer step, and data
+   preprocessing overhead (co-located or disaggregated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.sample import TrainingSample
+from repro.models.base import ModuleWorkload
+from repro.parallelism.broker import broker_transfer_time
+from repro.parallelism.orchestration_plan import ModelOrchestrationPlan
+from repro.pipeline.ops import Direction, PipelineOp
+from repro.pipeline.schedules import ScheduleKind
+from repro.pipeline.simulator import PipelineSimulator, StageWork
+from repro.preprocessing.colocated import CoLocatedPreprocessing
+from repro.preprocessing.cost import PreprocessCostModel
+from repro.preprocessing.disaggregated import DisaggregatedPreprocessing
+from repro.preprocessing.transfer import TransferModel
+from repro.reordering.inter import InterReorderer, MicrobatchCostModel
+from repro.reordering.intra import intra_reorder
+from repro.runtime.frozen import FrozenConfig
+from repro.runtime.mfu import ModelFlopsAccountant, mfu, token_throughput
+from repro.timing.collectives import CollectiveModel
+from repro.timing.costmodel import ModuleCostModel
+
+#: Fraction of DP gradient traffic left exposed after overlapping with
+#: the backward pass.
+DP_SYNC_EXPOSED_FRACTION = 0.3
+
+#: Optimizer step + bookkeeping per iteration (seconds).
+OPTIMIZER_STEP_SECONDS = 0.04
+
+
+@dataclass
+class IterationResult:
+    """Timing and efficiency of one simulated training iteration."""
+
+    iteration_time: float
+    pipeline_time: float
+    dp_sync_time: float
+    preprocess_overhead: float
+    optimizer_time: float
+    model_flops: float
+    num_gpus: int
+    mfu: float
+    throughput_tokens_per_s: float
+    bubble_fraction: float
+    per_rank_makespans: List[float] = field(default_factory=list)
+
+    @property
+    def straggler_spread(self) -> float:
+        """max/mean pipeline makespan across DP ranks (intra-microbatch
+        straggler severity; 1.0 = perfectly balanced)."""
+        if not self.per_rank_makespans:
+            return 1.0
+        mean = float(np.mean(self.per_rank_makespans))
+        return float(max(self.per_rank_makespans) / mean) if mean > 0 else 1.0
+
+
+class TrainingIterationSimulator:
+    """Simulates training iterations under one orchestration plan.
+
+    Args:
+        plan: Resource allocation + parallelism strategy.
+        frozen: Training-phase freeze configuration.
+        cost_models: Module cost models (name -> model). The LLM cost
+            model's ``tp_overlap_fraction`` should reflect StepCCL for
+            DistTrain and plain NCCL for baselines.
+        schedule: Pipeline schedule for the whole (three-unit) pipeline.
+        intra_reordering / inter_reordering: DistTrain's two-level data
+            reordering (both off reproduces Megatron's random order).
+        preprocessing: ``"disaggregated"``, ``"colocated"`` or ``"none"``.
+        max_simulated_ranks: Simulate at most this many DP ranks' pipe-
+            lines (the heaviest and lightest by encoder load are always
+            included, so the straggler max is preserved); 0 = all.
+    """
+
+    def __init__(
+        self,
+        plan: ModelOrchestrationPlan,
+        frozen: FrozenConfig = FrozenConfig(),
+        cost_models: Optional[Dict[str, ModuleCostModel]] = None,
+        schedule: ScheduleKind = ScheduleKind.ONE_F_ONE_B,
+        intra_reordering: bool = True,
+        inter_reordering: bool = True,
+        preprocessing: str = "disaggregated",
+        cpu_nodes: int = 8,
+        max_simulated_ranks: int = 16,
+    ):
+        if preprocessing not in ("disaggregated", "colocated", "none"):
+            raise ValueError(f"unknown preprocessing mode {preprocessing!r}")
+        self.plan = plan
+        self.frozen = frozen
+        self.schedule = schedule
+        self.intra_reordering = intra_reordering
+        self.inter_reordering = inter_reordering
+        self.preprocessing = preprocessing
+        self.max_simulated_ranks = max_simulated_ranks
+
+        node = plan.cluster.node
+        if cost_models is None:
+            cost_models = {
+                name: ModuleCostModel(plan.mllm.module(name), node)
+                for name in ("encoder", "llm", "generator")
+            }
+        self.cost_models = cost_models
+        self.collectives = CollectiveModel(
+            intra_link=node.intra_link, inter_link=node.inter_link
+        )
+        self.accountant = ModelFlopsAccountant(plan.mllm, frozen)
+        self.preprocess_cost = PreprocessCostModel()
+        self.transfer = TransferModel(link=node.inter_link)
+        self._colocated = CoLocatedPreprocessing(
+            node=node, cost=self.preprocess_cost
+        )
+        self._disaggregated = DisaggregatedPreprocessing(
+            cost=self.preprocess_cost,
+            transfer=self.transfer,
+            cpu_nodes=cpu_nodes,
+            cores_per_node=plan.cluster.cpu_cores_per_node,
+        )
+        self._sample_time_cache: Dict[Tuple[int, str, str], float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Per-sample module times
+    # ------------------------------------------------------------------ #
+    def _module_sample_time(
+        self, sample: TrainingSample, name: str, which: str
+    ) -> float:
+        """Forward or backward time of ``sample`` through one module."""
+        key = (sample.sample_id, name, which)
+        cached = self._sample_time_cache.get(key)
+        if cached is not None:
+            return cached
+        cost = self.cost_models[name]
+        plan = self.plan.plans[name]
+        if name == "generator":
+            workload = self.accountant.generator_workload(sample)
+        elif name == "llm":
+            workload = ModuleWorkload(samples=1)
+        else:
+            workload = sample.workload()
+        if which == "fwd":
+            value = cost.forward_time(workload, plan.tp)
+        else:
+            factor = self.frozen.backward_factor(name)
+            if factor == 0.0:
+                value = 0.0
+            else:
+                value = cost.backward_time(
+                    workload, plan.tp,
+                    weight_grads=self.frozen.trains(name),
+                )
+                if not self.frozen.trains(name):
+                    # dX-only relay was priced by backward_time already
+                    # via weight_grads=False.
+                    pass
+        self._sample_time_cache[key] = value
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Stage-time tables
+    # ------------------------------------------------------------------ #
+    def _stage_layout(self) -> List[Tuple[str, int]]:
+        """Ordered (module, intra-module stage index) per pipeline stage."""
+        layout: List[Tuple[str, int]] = []
+        for name in ("encoder", "llm", "generator"):
+            for s in range(self.plan.plans[name].pp):
+                layout.append((name, s))
+        return layout
+
+    def _microbatch_stage_times(
+        self, microbatch: Sequence[TrainingSample]
+    ) -> Tuple[List[float], List[float]]:
+        """(fwd, bwd) stage-time vectors for one microbatch."""
+        plans = self.plan.plans
+        dp_lm = plans["llm"].dp
+        fwd: List[float] = []
+        bwd: List[float] = []
+        for name, _ in self._stage_layout():
+            plan = plans[name]
+            if name == "llm":
+                sample = microbatch[0]
+                f = self._module_sample_time(sample, name, "fwd")
+                b = self._module_sample_time(sample, name, "bwd")
+                f *= len(microbatch) / plan.pp
+                b *= len(microbatch) / plan.pp
+            else:
+                # Work of this rank's microbatch, spread over the unit's
+                # DP replicas relative to the LLM's DP degree.
+                share = dp_lm / plan.dp
+                f = sum(
+                    self._module_sample_time(s, name, "fwd")
+                    for s in microbatch
+                ) * share / plan.pp
+                b = sum(
+                    self._module_sample_time(s, name, "bwd")
+                    for s in microbatch
+                ) * share / plan.pp
+            fwd.append(f)
+            bwd.append(b)
+        return fwd, bwd
+
+    def _boundary_comm_time(self) -> float:
+        """Inter-stage activation transfer per microbatch.
+
+        Unit boundaries (encoder->llm, llm->generator) route through the
+        communication brokers — ``gcd(DP_up, DP_down)`` of them carry the
+        tensor in parallel, with DistTrain's asynchronous sends (section
+        6). Intra-unit PP hops are plain p2p. The pipeline simulator
+        takes one uniform delay, so we use the slowest of the three.
+        """
+        llm = self.plan.mllm.llm
+        bytes_ = llm.boundary_activation_bytes(self.plan.microbatch_size)
+        intra_unit = self.collectives.pp_send(bytes_)
+        link = self.plan.cluster.node.inter_link
+        asynchronous = not self.plan.monolithic
+        boundary_times = [intra_unit]
+        for brokers in self.plan.build_brokers().values():
+            boundary_times.append(
+                broker_transfer_time(
+                    brokers, bytes_, link, asynchronous=asynchronous
+                )
+            )
+        return max(boundary_times)
+
+    # ------------------------------------------------------------------ #
+    # Main entry point
+    # ------------------------------------------------------------------ #
+    def simulate(self, global_batch: Sequence[TrainingSample]) -> IterationResult:
+        plan = self.plan
+        dp_lm = plan.plans["llm"].dp
+        M = plan.microbatch_size
+        if len(global_batch) % (dp_lm * M) != 0:
+            raise ValueError(
+                f"global batch of {len(global_batch)} does not divide "
+                f"across dp={dp_lm}, microbatch={M}"
+            )
+
+        ordered = list(global_batch)
+        if self.intra_reordering:
+            ordered = intra_reorder(ordered, dp_lm)
+
+        per_rank = len(ordered) // dp_lm
+        num_microbatches = per_rank // M
+        rank_batches = [
+            ordered[r * per_rank : (r + 1) * per_rank] for r in range(dp_lm)
+        ]
+
+        ranks_to_simulate = self._select_ranks(rank_batches)
+        makespans: List[float] = []
+        bubble_fractions: List[float] = []
+        for r in ranks_to_simulate:
+            makespan, bubble = self._simulate_rank(
+                rank_batches[r], num_microbatches
+            )
+            makespans.append(makespan)
+            bubble_fractions.append(bubble)
+
+        pipeline_time = max(makespans)
+        dp_sync = self._dp_sync_time()
+        preprocess = self._preprocess_overhead(global_batch, pipeline_time)
+        iteration_time = (
+            pipeline_time + dp_sync + preprocess + OPTIMIZER_STEP_SECONDS
+        )
+
+        flops = self.accountant.batch_flops(global_batch)
+        peak = plan.cluster.gpu.peak("bf16")
+        return IterationResult(
+            iteration_time=iteration_time,
+            pipeline_time=pipeline_time,
+            dp_sync_time=dp_sync,
+            preprocess_overhead=preprocess,
+            optimizer_time=OPTIMIZER_STEP_SECONDS,
+            model_flops=flops,
+            num_gpus=plan.num_gpus,
+            mfu=mfu(flops, iteration_time, plan.num_gpus, peak),
+            throughput_tokens_per_s=token_throughput(
+                len(global_batch), plan.mllm.seq_len, iteration_time
+            ),
+            bubble_fraction=float(np.mean(bubble_fractions)),
+            per_rank_makespans=makespans,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _select_ranks(
+        self, rank_batches: List[List[TrainingSample]]
+    ) -> List[int]:
+        """Which DP ranks to simulate in full.
+
+        The slowest rank determines the pipeline phase; ranks are ranked
+        by total encoder+generator load and the extremes plus an evenly
+        spaced middle sample are simulated.
+        """
+        dp = len(rank_batches)
+        limit = self.max_simulated_ranks
+        if limit <= 0 or dp <= limit:
+            return list(range(dp))
+        loads = [
+            sum(s.size for s in batch) for batch in rank_batches
+        ]
+        order = sorted(range(dp), key=loads.__getitem__)
+        picks = {order[0], order[-1]}
+        step = max(1, dp // (limit - 2))
+        picks.update(order[::step][: limit - 2])
+        return sorted(picks)
+
+    def _simulate_rank(
+        self, rank_batch: List[TrainingSample], num_microbatches: int
+    ) -> Tuple[float, float]:
+        M = self.plan.microbatch_size
+        microbatches = [
+            rank_batch[i * M : (i + 1) * M] for i in range(num_microbatches)
+        ]
+        fwd_rows, bwd_rows = [], []
+        for mb in microbatches:
+            f, b = self._microbatch_stage_times(mb)
+            fwd_rows.append(f)
+            bwd_rows.append(b)
+        fwd = np.array(fwd_rows)
+        bwd = np.array(bwd_rows)
+        comm = self._boundary_comm_time()
+
+        order = list(range(num_microbatches))
+        if self.inter_reordering and num_microbatches > 2:
+            costs = MicrobatchCostModel(fwd=fwd, bwd=bwd, comm=comm)
+            vpp = self.plan.plans["llm"].vpp
+            order = InterReorderer(costs, vpp=vpp).reorder()
+
+        num_stages = fwd.shape[1]
+        schedule, vpp = self._effective_schedule(num_microbatches, num_stages)
+
+        def duration(op: PipelineOp) -> float:
+            mb = order[op.microbatch]
+            table = fwd if op.is_forward else bwd
+            value = float(table[mb, op.stage])
+            return value / vpp if vpp > 1 else value
+
+        sim = PipelineSimulator(num_stages, num_microbatches, schedule, vpp)
+        trace = sim.run(
+            StageWork(duration=duration, comm_delay=lambda s, d, dr: comm)
+        )
+        return trace.makespan, trace.bubble_fraction()
+
+    def _effective_schedule(
+        self, num_microbatches: int, num_stages: int
+    ) -> Tuple[ScheduleKind, int]:
+        vpp = self.plan.plans["llm"].vpp
+        if (
+            self.schedule is ScheduleKind.INTERLEAVED
+            and vpp > 1
+            and num_microbatches % num_stages == 0
+        ):
+            return ScheduleKind.INTERLEAVED, vpp
+        if self.schedule is ScheduleKind.GPIPE:
+            return ScheduleKind.GPIPE, 1
+        return ScheduleKind.ONE_F_ONE_B, 1
+
+    def _dp_sync_time(self) -> float:
+        """Exposed ZeRO-1 gradient reduce-scatter + param allgather.
+
+        The three units synchronize concurrently on disjoint GPUs, so
+        the slowest one is exposed.
+        """
+        worst = 0.0
+        for name, plan in self.plan.plans.items():
+            if not self.frozen.trains(name):
+                continue
+            module = self.plan.mllm.module(name)
+            shard_bytes = module.param_count() / (plan.tp * plan.pp) * 2.0
+            rs = self.collectives.dp_reduce_scatter(shard_bytes, plan.dp)
+            ag = self.collectives.dp_allgather(shard_bytes, plan.dp)
+            worst = max(worst, (rs + ag) * DP_SYNC_EXPOSED_FRACTION)
+        return worst
+
+    def _preprocess_overhead(
+        self, global_batch: Sequence[TrainingSample], pipeline_time: float
+    ) -> float:
+        if self.preprocessing == "none":
+            return 0.0
+        dp_lm = self.plan.plans["llm"].dp
+        if self.preprocessing == "colocated":
+            # Each training node preprocesses its own DP shard.
+            per_rank = len(global_batch) // dp_lm
+            heaviest = sorted(
+                global_batch, key=lambda s: s.pixels, reverse=True
+            )[:per_rank]
+            return self._colocated.exposed_overhead(heaviest, pipeline_time)
+        return self._disaggregated.exposed_overhead(
+            list(global_batch), pipeline_time
+        )

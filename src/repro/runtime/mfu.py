@@ -1,0 +1,82 @@
+"""Model-FLOPs-Utilization (MFU) and throughput accounting.
+
+MFU is the fraction of the allocated GPUs' peak FLOPs spent on *model*
+FLOPs (section 7, "Metrics"): the forward FLOPs the architecture requires
+plus the backward FLOPs the training phase actually needs (full backward
+for trainable modules, dX-only relays for frozen ones, none for a frozen
+encoder). Simulator/kernel inefficiency, communication, and bubbles all
+lower MFU by inflating wall-clock time, never by inflating FLOPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.data.sample import TrainingSample
+from repro.models.base import ModuleWorkload
+from repro.models.mllm import MultimodalLLMSpec
+from repro.runtime.frozen import FrozenConfig
+
+
+@dataclass
+class ModelFlopsAccountant:
+    """Computes required model FLOPs for batches of training samples."""
+
+    mllm: MultimodalLLMSpec
+    frozen: FrozenConfig
+
+    def generator_workload(self, sample: TrainingSample) -> ModuleWorkload:
+        """The generator produces every image of the sample at the
+        model's generation resolution."""
+        gen_tokens = self.mllm.generation_image_tokens
+        return ModuleWorkload(
+            samples=1,
+            image_tokens=sample.num_images * gen_tokens,
+            images=sample.num_images,
+        )
+
+    def sample_flops(self, sample: TrainingSample) -> float:
+        """Model FLOPs one sample requires under the frozen config."""
+        workload = sample.workload()
+        total = 0.0
+        for name in ("encoder", "llm", "generator"):
+            module = self.mllm.module(name)
+            module_workload = (
+                self.generator_workload(sample)
+                if name == "generator"
+                else workload
+            )
+            fwd = module.forward_flops(module_workload)
+            total += fwd * (1.0 + self.frozen.backward_factor(name))
+        # Projectors (always trainable: forward + full backward).
+        proj_fwd = self.mllm.input_projector.forward_flops(workload)
+        proj_fwd += self.mllm.output_projector.forward_flops(
+            self.generator_workload(sample)
+        )
+        total += proj_fwd * 3.0
+        return total
+
+    def batch_flops(self, samples: Sequence[TrainingSample]) -> float:
+        return sum(self.sample_flops(s) for s in samples)
+
+
+def mfu(
+    model_flops: float,
+    seconds: float,
+    num_gpus: int,
+    peak_flops_per_gpu: float,
+) -> float:
+    """Model FLOPs utilization in [0, 1]."""
+    if seconds <= 0 or num_gpus <= 0 or peak_flops_per_gpu <= 0:
+        raise ValueError("seconds, num_gpus, peak must be positive")
+    return model_flops / (seconds * num_gpus * peak_flops_per_gpu)
+
+
+def token_throughput(
+    global_batch_size: int, seq_len: int, seconds: float
+) -> float:
+    """Training throughput in tokens/second (Figure 14's metric)."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return global_batch_size * seq_len / seconds

@@ -1,0 +1,28 @@
+"""StepCCL: overlapping TP communication with computation (Appendix A.1).
+
+DistTrain's in-house collective library transfers data with the DMA
+engine instead of NCCL's SM-resident kernels, so communication and GEMMs
+run truly concurrently. A TP layer's ``allgather + GEMM`` is decomposed
+into chunks: chunk ``i``'s GEMM starts as soon as its allgather lands,
+hiding all but the first allgather, at the price of a layout remap
+(Figure 20-21). This package simulates both the strawman (sequential
+comm-then-compute, with NCCL's SM contention) and the StepCCL schedule,
+reproducing Figure 22.
+"""
+
+from repro.stepccl.overlap import (
+    OverlapConfig,
+    OverlapTimeline,
+    simulate_sequential,
+    simulate_overlapped,
+)
+from repro.stepccl.layer import StepCCLLayerModel, llm_stage_iteration_time
+
+__all__ = [
+    "OverlapConfig",
+    "OverlapTimeline",
+    "simulate_sequential",
+    "simulate_overlapped",
+    "StepCCLLayerModel",
+    "llm_stage_iteration_time",
+]

@@ -1,0 +1,38 @@
+"""Performance models: kernels, collectives, module cost functions.
+
+This package provides the time functions the paper's manager obtains by
+profiling (section 3): ``C_lm(TP)``, ``C_me(TP)``, ``C_mg(TP)`` — the
+forward (and backward) time of each module for a given workload and
+tensor-parallel degree — plus collective-communication cost models for
+DP/PP/TP traffic.
+"""
+
+from repro.timing.roofline import (
+    EfficiencyModel,
+    DEFAULT_EFFICIENCY,
+    kernel_time,
+)
+from repro.timing.collectives import (
+    ring_allreduce_time,
+    ring_allgather_time,
+    ring_reduce_scatter_time,
+    p2p_time,
+    CollectiveModel,
+)
+from repro.timing.costmodel import ModuleCostModel, tp_comm_bytes_forward
+from repro.timing.profiler import PerformanceProfiler, ProfileTable
+
+__all__ = [
+    "EfficiencyModel",
+    "DEFAULT_EFFICIENCY",
+    "kernel_time",
+    "ring_allreduce_time",
+    "ring_allgather_time",
+    "ring_reduce_scatter_time",
+    "p2p_time",
+    "CollectiveModel",
+    "ModuleCostModel",
+    "tp_comm_bytes_forward",
+    "PerformanceProfiler",
+    "ProfileTable",
+]

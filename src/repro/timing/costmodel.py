@@ -1,0 +1,221 @@
+"""Per-module cost model: the paper's ``C(TP)`` time functions.
+
+:class:`ModuleCostModel` computes the forward/backward wall-clock time of
+one module for a workload at a given tensor-parallel degree, combining:
+
+* roofline compute time (:mod:`repro.timing.roofline`);
+* exposed TP communication (two allreduces per transformer layer, per
+  direction), optionally overlapped by StepCCL (section A.1).
+
+This is exactly the quantity the paper's profiler measures with trial runs
+and feeds into the orchestration objective (Eqs. 1-2), where it appears as
+``C_lm(TP_lm)``, ``C_me(TP_me)``, and ``C_mg(TP_mg)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.node import NodeSpec
+from repro.models.base import ModuleKind, ModuleSpec, ModuleWorkload
+from repro.models.diffusion import DiffusionSpec
+from repro.models.llm import LLMSpec
+from repro.models.projector import ProjectorSpec
+from repro.models.vit import ViTSpec
+from repro.timing.collectives import CollectiveModel
+from repro.timing.roofline import (
+    DEFAULT_EFFICIENCY,
+    EfficiencyModel,
+    kernel_time,
+)
+
+BF16_BYTES = 2.0
+
+
+def tp_comm_bytes_forward(module: ModuleSpec, workload: ModuleWorkload) -> float:
+    """Total bytes allreduced by one TP forward pass of ``module``.
+
+    Megatron-style tensor parallelism performs two allreduces per
+    transformer layer, each carrying the full ``tokens x hidden`` bf16
+    activation. The diffusion UNet allreduces only in its spatial
+    transformer blocks (feature maps elsewhere stay local).
+    """
+    if isinstance(module, LLMSpec):
+        tokens = workload.samples * module.seq_len
+        per_layer = 2.0 * tokens * module.config.hidden_size * BF16_BYTES
+        return module.config.num_layers * per_layer
+    if isinstance(module, ViTSpec):
+        tokens = workload.image_tokens
+        per_layer = 2.0 * tokens * module.config.hidden_size * BF16_BYTES
+        return module.config.num_layers * per_layer
+    if isinstance(module, DiffusionSpec):
+        if workload.image_tokens == 0:
+            return 0.0
+        images = max(1, workload.images)
+        tokens_per_image = max(1, workload.image_tokens // images)
+        latent_side = module.latent_side_for_tokens(tokens_per_image)
+        total = 0.0
+        for level in range(module.unet.num_levels):
+            c = module.unet.level_channels(level)
+            hw = max(1, latent_side // (2**level)) ** 2
+            # Down + up + mid ResNet blocks each end in an output-channel
+            # allreduce when convolutions are channel-sharded; attention
+            # levels add two more allreduces per block.
+            blocks = module.unet.res_blocks_per_level * 2 + 1
+            allreduces = 1.0
+            if level in module.unet.attention_levels:
+                allreduces += 2.0
+            total += blocks * allreduces * hw * c * BF16_BYTES
+        return images * total
+    if isinstance(module, ProjectorSpec):
+        return 0.0  # projectors are replicated, never tensor-parallel
+    return 0.0
+
+
+@dataclass
+class ModuleCostModel:
+    """Time functions for one module on one node type.
+
+    Attributes:
+        module: The module spec.
+        node: Node hosting the module's TP group (GPU + links).
+        efficiency: Roofline efficiency model.
+        tp_overlap_fraction: Fraction of TP communication hidden behind
+            computation. 0 models vanilla NCCL (communication fully
+            exposed); DistTrain's StepCCL raises this to ~0.9
+            (section A.1). The residue models the first allgather on the
+            critical path and layout-remap costs.
+        ep: Default expert-parallel degree for MoE backbones; callers
+            may override per query. Ignored by dense modules.
+    """
+
+    module: ModuleSpec
+    node: NodeSpec
+    efficiency: EfficiencyModel = field(default_factory=lambda: DEFAULT_EFFICIENCY)
+    tp_overlap_fraction: float = 0.0
+    ep: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tp_overlap_fraction <= 1.0:
+            raise ValueError("tp_overlap_fraction must be in [0, 1]")
+        self.collectives = CollectiveModel(
+            intra_link=self.node.intra_link, inter_link=self.node.inter_link
+        )
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward time
+    # ------------------------------------------------------------------ #
+    def forward_time(
+        self, workload: ModuleWorkload, tp: int = 1, ep: int = 0
+    ) -> float:
+        """Forward time of the *entire* module for ``workload`` on a TP
+        (and, for MoE backbones, EP) group — the paper's ``C(TP)``.
+
+        EP and TP both parallelize within a layer (section 4.1), so the
+        compute splits across ``tp * ep`` GPUs; EP adds the all-to-all
+        token dispatch/combine on the cross-node fabric. ``ep=0`` (the
+        default) uses the model's configured default.
+        """
+        ep = ep or self.ep
+        compute = kernel_time(
+            self.module.forward_flops(workload),
+            self.node.gpu,
+            self.module.kind,
+            tp=tp * ep,
+            num_layers=self.module.num_layers,
+            efficiency=self.efficiency,
+        )
+        return (
+            compute
+            + self.exposed_tp_comm_time(workload, tp)
+            + self.ep_comm_time(workload, ep)
+        )
+
+    def backward_time(
+        self,
+        workload: ModuleWorkload,
+        tp: int = 1,
+        weight_grads: bool = True,
+        ep: int = 0,
+    ) -> float:
+        """Backward time; frozen modules relay gradients only.
+
+        A full backward costs ~2x forward compute (input + weight grads)
+        plus the mirrored TP/EP communication; a dX-only backward ~1x.
+        """
+        ep = ep or self.ep
+        factor = 2.0 if weight_grads else 1.0
+        compute = kernel_time(
+            self.module.backward_flops(workload, weight_grads=weight_grads),
+            self.node.gpu,
+            self.module.kind,
+            tp=tp * ep,
+            num_layers=self.module.num_layers,
+            efficiency=self.efficiency,
+        )
+        return (
+            compute
+            + factor * self.exposed_tp_comm_time(workload, tp)
+            + factor * self.ep_comm_time(workload, ep)
+        )
+
+    def fwd_bwd_time(
+        self,
+        workload: ModuleWorkload,
+        tp: int = 1,
+        weight_grads: bool = True,
+        backward: bool = True,
+    ) -> float:
+        """Combined forward+backward time (the orchestration objective
+        replaces ``C`` with this sum; section 4.2)."""
+        total = self.forward_time(workload, tp)
+        if backward:
+            total += self.backward_time(workload, tp, weight_grads=weight_grads)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Communication components
+    # ------------------------------------------------------------------ #
+    def tp_comm_time(self, workload: ModuleWorkload, tp: int) -> float:
+        """Raw (un-overlapped) TP allreduce time of one forward pass."""
+        if tp <= 1:
+            return 0.0
+        volume = tp_comm_bytes_forward(self.module, workload)
+        return self.collectives.tp_allreduce(volume, tp)
+
+    def exposed_tp_comm_time(self, workload: ModuleWorkload, tp: int) -> float:
+        """TP communication remaining on the critical path."""
+        raw = self.tp_comm_time(workload, tp)
+        return raw * (1.0 - self.tp_overlap_fraction)
+
+    def ep_comm_time(self, workload: ModuleWorkload, ep: int) -> float:
+        """Expert-parallel all-to-all time of one forward pass.
+
+        Zero for dense modules or ``ep == 1``. Token dispatch/combine is
+        hard to overlap (it gates the expert GEMMs), so it is charged in
+        full.
+        """
+        if ep <= 1:
+            return 0.0
+        dispatch = getattr(self.module, "expert_dispatch_bytes_forward", None)
+        if dispatch is None:
+            return 0.0
+        return self.collectives.ep_all_to_all(dispatch(workload), ep)
+
+    def dp_gradient_sync_time(self, tp: int, pp: int, dp: int) -> float:
+        """Gradient reduce-scatter + param allgather under ZeRO-1.
+
+        Each GPU holds ``P/(tp*pp)`` gradient elements; ZeRO-1 reduce-
+        scatters gradients and allgathers updated parameters across the DP
+        group, both in bf16.
+        """
+        if dp <= 1:
+            return 0.0
+        shard_bytes = self.module.param_count() / (tp * pp) * BF16_BYTES
+        reduce = self.collectives.dp_reduce_scatter(shard_bytes, dp)
+        gather = self.collectives.dp_allgather(shard_bytes, dp)
+        return reduce + gather
+
+    def pp_boundary_time(self, boundary_bytes: float) -> float:
+        """Send one microbatch's boundary activation to the next stage."""
+        return self.collectives.pp_send(boundary_bytes)

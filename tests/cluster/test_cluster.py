@@ -1,0 +1,92 @@
+"""Tests for cluster composition and lookup."""
+
+import pytest
+
+from repro.cluster.cluster import ClusterSpec, NodePool, make_cluster
+from repro.cluster.node import AMPERE_NODE, L20_NODE, NodeSpec
+
+
+class TestNodePool:
+    def test_num_gpus(self):
+        pool = NodePool(node=AMPERE_NODE, num_nodes=3)
+        assert pool.num_gpus == 24
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            NodePool(node=AMPERE_NODE, num_nodes=0)
+
+    def test_default_name(self):
+        pool = NodePool(node=AMPERE_NODE, num_nodes=1)
+        assert pool.name == AMPERE_NODE.name
+
+
+class TestMakeCluster:
+    def test_basic(self):
+        cluster = make_cluster(96)
+        assert cluster.num_gpus == 96
+        assert cluster.num_nodes == 12
+        assert cluster.gpus_per_node == 8
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError):
+            make_cluster(97)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            make_cluster(0)
+
+    def test_paper_scale(self):
+        cluster = make_cluster(1296)
+        assert cluster.num_nodes == 162
+        assert cluster.total_peak_flops == pytest.approx(
+            1296 * 312e12, rel=1e-6
+        )
+
+
+class TestGPULookup:
+    def test_node_of_gpu(self):
+        cluster = make_cluster(24)
+        _, node0 = cluster.node_of_gpu(0)
+        _, node1 = cluster.node_of_gpu(7)
+        _, node2 = cluster.node_of_gpu(8)
+        assert node0 == node1 == 0
+        assert node2 == 1
+
+    def test_out_of_range(self):
+        cluster = make_cluster(16)
+        with pytest.raises(IndexError):
+            cluster.node_of_gpu(16)
+        with pytest.raises(IndexError):
+            cluster.node_of_gpu(-1)
+
+    def test_same_node(self):
+        cluster = make_cluster(16)
+        assert cluster.same_node(0, 7)
+        assert not cluster.same_node(7, 8)
+
+    def test_iter_gpu_specs_counts(self):
+        cluster = make_cluster(16)
+        assert sum(1 for _ in cluster.iter_gpu_specs()) == 16
+
+
+class TestHeterogeneousCluster:
+    def test_two_pools(self):
+        cluster = ClusterSpec(
+            pools=(
+                NodePool(node=AMPERE_NODE, num_nodes=2),
+                NodePool(node=L20_NODE, num_nodes=1),
+            )
+        )
+        assert cluster.num_gpus == 24
+        assert not cluster.is_homogeneous
+        spec, node_index = cluster.node_of_gpu(16)
+        assert spec is L20_NODE
+        assert node_index == 2
+
+    def test_requires_a_pool(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(pools=())
+
+    def test_cpu_cores_total(self):
+        cluster = make_cluster(8, cpu_nodes=4)
+        assert cluster.total_cpu_cores == 4 * cluster.cpu_cores_per_node

@@ -1,0 +1,49 @@
+"""Tests for GPU specifications."""
+
+import pytest
+
+from repro.cluster.gpu import (
+    AMPERE_A100_40G,
+    AMPERE_A100_80G,
+    GPU_PRESETS,
+    L20,
+    GPUSpec,
+    TFLOPS,
+)
+
+
+class TestGPUSpec:
+    def test_a100_peak_bf16(self):
+        assert AMPERE_A100_80G.peak("bf16") == pytest.approx(312 * TFLOPS)
+
+    def test_a100_peak_fp32_lower_than_bf16(self):
+        assert AMPERE_A100_80G.peak("fp32") < AMPERE_A100_80G.peak("bf16")
+
+    def test_unknown_precision_raises(self):
+        with pytest.raises(KeyError):
+            AMPERE_A100_80G.peak("fp8")
+
+    def test_memory_capacity_80g(self):
+        assert AMPERE_A100_80G.memory_bytes == 80 * 1024**3
+
+    def test_40g_variant_differs_only_in_memory_fields(self):
+        assert AMPERE_A100_40G.memory_bytes < AMPERE_A100_80G.memory_bytes
+        assert AMPERE_A100_40G.peak("bf16") == AMPERE_A100_80G.peak("bf16")
+
+    def test_l20_has_no_nvlink(self):
+        assert L20.nvlink_bandwidth == 0.0
+
+    def test_l20_is_slower_than_a100(self):
+        assert L20.peak("bf16") < AMPERE_A100_80G.peak("bf16")
+
+    def test_with_overrides_creates_new_spec(self):
+        custom = AMPERE_A100_80G.with_overrides(num_sms=64)
+        assert custom.num_sms == 64
+        assert AMPERE_A100_80G.num_sms == 108
+        assert custom.peak("bf16") == AMPERE_A100_80G.peak("bf16")
+
+    def test_presets_registry(self):
+        assert set(GPU_PRESETS) == {"a100-80g", "a100-40g", "l20"}
+        for spec in GPU_PRESETS.values():
+            assert isinstance(spec, GPUSpec)
+            assert spec.peak("bf16") > 0

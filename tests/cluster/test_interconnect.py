@@ -1,0 +1,46 @@
+"""Tests for link models."""
+
+import pytest
+
+from repro.cluster.interconnect import (
+    NVLINK_300,
+    PCIE_GEN4,
+    ROCE_4X200,
+    LinkSpec,
+    intra_node_link,
+)
+
+
+class TestLinkSpec:
+    def test_effective_bandwidth(self):
+        link = LinkSpec(name="x", bandwidth=100e9, efficiency=0.8)
+        assert link.effective_bandwidth == pytest.approx(80e9)
+
+    def test_transfer_time_includes_latency(self):
+        link = LinkSpec(name="x", bandwidth=1e9, latency=1e-3, efficiency=1.0)
+        assert link.transfer_time(0) == pytest.approx(1e-3)
+        assert link.transfer_time(1e9) == pytest.approx(1.0 + 1e-3)
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            NVLINK_300.transfer_time(-1)
+
+    def test_nvlink_much_faster_than_roce(self):
+        assert (
+            NVLINK_300.effective_bandwidth
+            > 10 * ROCE_4X200.effective_bandwidth
+        )
+
+    def test_roce_per_gpu_share(self):
+        # 4 x 200 Gbps shared by 8 GPUs -> 100 Gbps = 12.5 GB/s raw.
+        assert ROCE_4X200.bandwidth == pytest.approx(12.5e9)
+
+
+class TestIntraNodeLink:
+    def test_falls_back_to_pcie_without_nvlink(self):
+        assert intra_node_link(0.0) is PCIE_GEN4
+
+    def test_builds_nvlink_spec(self):
+        link = intra_node_link(300e9)
+        assert link.bandwidth == pytest.approx(150e9)
+        assert "nvlink" in link.name

@@ -1,0 +1,75 @@
+"""Tests for topology and rank placement."""
+
+import pytest
+
+from repro.cluster.cluster import make_cluster
+from repro.cluster.topology import ClusterTopology, RankPlacement
+
+
+class TestAllocation:
+    def test_contiguous_allocation(self):
+        topo = ClusterTopology(make_cluster(32))
+        a = topo.allocate("encoder", 8)
+        b = topo.allocate("llm", 16)
+        assert list(a.gpu_indices) == list(range(0, 8))
+        assert list(b.gpu_indices) == list(range(8, 24))
+        assert topo.free_gpus == 8
+
+    def test_over_allocation_raises(self):
+        topo = ClusterTopology(make_cluster(8))
+        topo.allocate("llm", 8)
+        with pytest.raises(RuntimeError):
+            topo.allocate("generator", 1)
+
+    def test_reset(self):
+        topo = ClusterTopology(make_cluster(8))
+        topo.allocate("llm", 8)
+        topo.reset()
+        assert topo.free_gpus == 8
+        assert topo.placements == ()
+
+    def test_placement_validation(self):
+        with pytest.raises(ValueError):
+            RankPlacement("x", -1, 4)
+        with pytest.raises(ValueError):
+            RankPlacement("x", 0, 0)
+
+
+class TestLinkSelection:
+    def test_intra_node_uses_nvlink(self):
+        topo = ClusterTopology(make_cluster(16))
+        link = topo.link_between(0, 7)
+        assert "nvlink" in link.name
+
+    def test_cross_node_uses_roce(self):
+        topo = ClusterTopology(make_cluster(16))
+        link = topo.link_between(0, 8)
+        assert "roce" in link.name
+
+    def test_group_link_bottleneck(self):
+        topo = ClusterTopology(make_cluster(16))
+        assert "nvlink" in topo.group_link(list(range(8))).name
+        assert "roce" in topo.group_link([0, 8]).name
+
+    def test_empty_group_rejected(self):
+        topo = ClusterTopology(make_cluster(8))
+        with pytest.raises(ValueError):
+            topo.group_link([])
+
+
+class TestGraph:
+    def test_graph_is_full_mesh(self):
+        topo = ClusterTopology(make_cluster(32))
+        graph = topo.to_graph()
+        n = graph.number_of_nodes()
+        assert n == 4
+        assert graph.number_of_edges() == n * (n - 1) // 2
+
+    def test_bisection_bandwidth_positive(self):
+        topo = ClusterTopology(make_cluster(32))
+        assert topo.bisection_bandwidth() > 0
+
+    def test_bisection_scales_with_cluster(self):
+        small = ClusterTopology(make_cluster(16)).bisection_bandwidth()
+        large = ClusterTopology(make_cluster(64)).bisection_bandwidth()
+        assert large > small

@@ -1,0 +1,68 @@
+"""Public API integration tests (small scale for speed)."""
+
+import pytest
+
+from repro.core.api import (
+    build_simulator,
+    compare_systems,
+    plan,
+    simulate,
+    simulate_run,
+)
+from repro.core.config import DistTrainConfig
+
+
+@pytest.fixture(scope="module")
+def config():
+    return DistTrainConfig.preset("mllm-9b", 48, 32, num_iterations=2)
+
+
+@pytest.fixture(scope="module")
+def disttrain_plan(config):
+    return plan(config)
+
+
+class TestPlan:
+    def test_disttrain_plan(self, config, disttrain_plan):
+        assert disttrain_plan.plan.label == "disttrain"
+        assert disttrain_plan.plan.num_gpus <= 48
+
+    def test_megatron_plan(self, config):
+        result = plan(config.with_system("megatron-lm"))
+        assert result.plan.monolithic
+
+    def test_distmm_plan(self, config):
+        result = plan(config.with_system("distmm*"))
+        assert result.plan.label == "distmm*"
+
+
+class TestSimulate:
+    def test_single_iteration(self, config, disttrain_plan):
+        result = simulate(config, disttrain_plan)
+        assert result.iteration_time > 0
+        assert 0 < result.mfu < 0.7
+
+    def test_run_aggregation(self, config, disttrain_plan):
+        result = simulate_run(config, disttrain_plan)
+        assert len(result.iterations) == 2
+        assert result.mean_mfu > 0
+
+    def test_build_simulator_reflects_config(self, config, disttrain_plan):
+        simulator = build_simulator(config, disttrain_plan)
+        assert simulator.intra_reordering
+        assert simulator.preprocessing == "disaggregated"
+
+
+class TestComparison:
+    def test_disttrain_beats_megatron(self, config):
+        comparison = compare_systems(
+            config, systems=("disttrain", "megatron-lm")
+        )
+        assert comparison.mfu_ratio("megatron-lm") > 1.2
+        assert comparison.throughput_ratio("megatron-lm") > 1.2
+
+    def test_results_keyed_by_system(self, config):
+        comparison = compare_systems(
+            config, systems=("disttrain", "megatron-lm")
+        )
+        assert set(comparison.results) == {"disttrain", "megatron-lm"}

@@ -1,0 +1,70 @@
+"""DistTrainConfig tests."""
+
+import pytest
+
+from repro.core.config import DistTrainConfig
+
+
+class TestPreset:
+    def test_basic(self):
+        config = DistTrainConfig.preset("mllm-9b", 48, 64)
+        assert config.mllm.name == "mllm-9b"
+        assert config.cluster.num_gpus == 48
+        assert config.system == "disttrain"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            DistTrainConfig.preset("mllm-1t", 48, 64)
+
+    def test_unknown_frozen(self):
+        with pytest.raises(KeyError):
+            DistTrainConfig.preset("mllm-9b", 48, 64, frozen="half")
+
+    def test_frozen_preset_applied(self):
+        config = DistTrainConfig.preset("mllm-9b", 48, 64,
+                                        frozen="llm-only")
+        assert config.frozen.train_llm
+        assert not config.frozen.train_encoder
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            DistTrainConfig.preset("mllm-9b", 48, 64, system="horovod")
+
+    def test_batch_divisibility(self):
+        with pytest.raises(ValueError):
+            DistTrainConfig.preset("mllm-9b", 48, 65, microbatch_size=2)
+
+
+class TestDerivedSettings:
+    def test_disttrain_defaults(self):
+        config = DistTrainConfig.preset("mllm-9b", 48, 64)
+        assert config.effective_intra_reordering
+        assert config.effective_inter_reordering
+        assert config.effective_preprocessing == "disaggregated"
+        assert config.tp_overlap_fraction == 0.9
+
+    def test_megatron_defaults(self):
+        config = DistTrainConfig.preset("mllm-9b", 48, 64).with_system(
+            "megatron-lm"
+        )
+        assert not config.effective_intra_reordering
+        assert not config.effective_inter_reordering
+        assert config.effective_preprocessing == "colocated"
+        assert config.tp_overlap_fraction == 0.0
+
+    def test_explicit_overrides_win(self):
+        config = DistTrainConfig.preset(
+            "mllm-9b", 48, 64, intra_reordering=False, preprocessing="none"
+        )
+        assert not config.effective_intra_reordering
+        assert config.effective_preprocessing == "none"
+
+    def test_with_system_preserves_task(self):
+        config = DistTrainConfig.preset("mllm-15b", 96, 64)
+        other = config.with_system("distmm*")
+        assert other.mllm is config.mllm
+        assert other.global_batch_size == config.global_batch_size
+
+    def test_with_updates(self):
+        config = DistTrainConfig.preset("mllm-9b", 48, 64).with_(vpp=2)
+        assert config.vpp == 2

@@ -1,0 +1,24 @@
+"""Report formatting tests."""
+
+from repro.core.reports import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["longer", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) == {"-"}
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456], [12345.6]])
+        assert "0.123" in text
+        assert "12,346" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text

@@ -1,0 +1,67 @@
+"""Audio modality in the data pipeline."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import (
+    DataDistributionConfig,
+    sample_audio_subsequence_tokens,
+)
+from repro.data.sample import Subsequence, TrainingSample
+from repro.data.synthetic import SyntheticMultimodalDataset
+
+AUDIO_CONFIG = DataDistributionConfig(audio_fraction=0.5)
+
+
+class TestAudioDistribution:
+    def test_support(self):
+        rng = np.random.default_rng(0)
+        tokens = [
+            sample_audio_subsequence_tokens(rng, AUDIO_CONFIG)
+            for _ in range(500)
+        ]
+        assert min(tokens) >= 50  # >= 1 second
+        assert max(tokens) <= 30 * 50  # <= 30 seconds
+
+
+class TestAudioSamples:
+    def test_audio_subsequence_allowed(self):
+        sub = Subsequence("audio", 500, raw_bytes=320_000)
+        sample = TrainingSample(sample_id=0, subsequences=(sub,))
+        assert sample.audio_tokens == 500
+        assert sample.num_audio_clips == 1
+        assert sample.size == 500  # audio counts toward straggler size
+        assert sample.workload().audio_tokens == 500
+
+    def test_mixed_modalities_total(self):
+        sample = TrainingSample(
+            sample_id=0,
+            subsequences=(
+                Subsequence("text", 100),
+                Subsequence("image", 1024),
+                Subsequence("audio", 500),
+            ),
+        )
+        assert sample.total_tokens == 1624
+        assert sample.size == 1524
+
+
+class TestAudioStream:
+    def test_default_stream_has_no_audio(self):
+        dataset = SyntheticMultimodalDataset(seed=0)
+        samples = dataset.take(100)
+        assert all(s.audio_tokens == 0 for s in samples)
+
+    def test_audio_enabled_stream(self):
+        dataset = SyntheticMultimodalDataset(seed=0, config=AUDIO_CONFIG)
+        samples = dataset.take(200)
+        with_audio = [s for s in samples if s.audio_tokens > 0]
+        assert len(with_audio) > 20
+        assert all(s.total_tokens <= 8192 for s in samples)
+
+    def test_audio_stream_deterministic(self):
+        a = SyntheticMultimodalDataset(seed=3, config=AUDIO_CONFIG).take(50)
+        b = SyntheticMultimodalDataset(seed=3, config=AUDIO_CONFIG).take(50)
+        assert [s.audio_tokens for s in a] == [s.audio_tokens for s in b]

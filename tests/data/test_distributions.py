@@ -1,0 +1,79 @@
+"""Distribution sampler tests (Figure 5 calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import (
+    LAION_400M_LIKE,
+    DataDistributionConfig,
+    sample_image_count,
+    sample_image_side_pixels,
+    sample_image_subsequence_tokens,
+    sample_text_subsequence_tokens,
+)
+
+
+def draws(fn, n=2000, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    return np.array([fn(rng, **kwargs) for _ in range(n)])
+
+
+class TestTextSizes:
+    def test_support(self):
+        values = draws(sample_text_subsequence_tokens)
+        assert values.min() >= 1
+        assert values.max() <= LAION_400M_LIKE.text_max_tokens
+
+    def test_skewed_right(self):
+        values = draws(sample_text_subsequence_tokens)
+        assert np.median(values) < values.mean() * 1.2
+        assert values.std() > 10
+
+
+class TestImageSizes:
+    def test_token_support_matches_figure5b(self):
+        values = draws(sample_image_subsequence_tokens)
+        assert values.min() >= (64 // 16) ** 2
+        assert values.max() <= 4096
+
+    def test_sides_snapped_to_patch_grid(self):
+        values = draws(sample_image_side_pixels, n=500)
+        assert np.all(values % 16 == 0)
+        assert values.max() <= 1024
+
+    def test_tokens_are_perfect_squares(self):
+        values = draws(sample_image_subsequence_tokens, n=500)
+        roots = np.sqrt(values)
+        assert np.allclose(roots, np.round(roots))
+
+
+class TestImageCounts:
+    def test_support_matches_figure5c(self):
+        values = draws(sample_image_count)
+        assert values.min() >= 0
+        assert values.max() <= LAION_400M_LIKE.max_images
+
+    def test_mode_in_low_range(self):
+        values = draws(sample_image_count)
+        assert 3 <= np.median(values) <= 12
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = draws(sample_image_subsequence_tokens, seed=7)
+        b = draws(sample_image_subsequence_tokens, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = draws(sample_image_subsequence_tokens, seed=1)
+        b = draws(sample_image_subsequence_tokens, seed=2)
+        assert not np.array_equal(a, b)
+
+
+class TestCustomConfig:
+    def test_tight_config(self):
+        config = DataDistributionConfig(
+            image_min_side=256, image_max_side=256
+        )
+        values = draws(sample_image_subsequence_tokens, config=config, n=100)
+        assert np.all(values == 256)

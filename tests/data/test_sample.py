@@ -1,0 +1,90 @@
+"""Training sample primitive tests."""
+
+import pytest
+
+from repro.data.sample import (
+    Microbatch,
+    Subsequence,
+    TrainingSample,
+    make_microbatches,
+)
+
+
+def sample(sample_id=0, text=100, image_tokens=(1024, 2048)):
+    subs = [Subsequence("text", text)]
+    for tokens in image_tokens:
+        subs.append(
+            Subsequence(
+                "image", tokens, raw_bytes=tokens * 128, pixels=tokens * 256
+            )
+        )
+    return TrainingSample(sample_id=sample_id, subsequences=tuple(subs))
+
+
+class TestSubsequence:
+    def test_modality_validation(self):
+        with pytest.raises(ValueError):
+            Subsequence("video", 10)
+
+    def test_negative_fields(self):
+        with pytest.raises(ValueError):
+            Subsequence("text", -1)
+
+
+class TestTrainingSample:
+    def test_token_accounting(self):
+        s = sample()
+        assert s.text_tokens == 100
+        assert s.image_tokens == 3072
+        assert s.num_images == 2
+        assert s.total_tokens == 3172
+        assert s.padding_tokens == 8192 - 3172
+
+    def test_size_is_image_tokens(self):
+        assert sample().size == 3072
+
+    def test_raw_bytes_and_pixels(self):
+        s = sample()
+        assert s.raw_bytes == 3072 * 128
+        assert s.pixels == 3072 * 256
+
+    def test_workload(self):
+        w = sample().workload()
+        assert w.samples == 1
+        assert w.image_tokens == 3072
+        assert w.sequence_tokens == 3172
+
+    def test_image_token_sizes(self):
+        assert sample().image_token_sizes() == [1024, 2048]
+
+
+class TestMicrobatch:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Microbatch(())
+
+    def test_size_sums_samples(self):
+        mb = Microbatch((sample(0), sample(1)))
+        assert mb.size == 2 * 3072
+        assert mb.num_samples == 2
+
+    def test_workload_sums(self):
+        mb = Microbatch((sample(0), sample(1)))
+        w = mb.workload()
+        assert w.samples == 2
+        assert w.image_tokens == 2 * 3072
+
+
+class TestMakeMicrobatches:
+    def test_even_split(self):
+        mbs = make_microbatches([sample(i) for i in range(6)], 2)
+        assert len(mbs) == 3
+        assert all(mb.num_samples == 2 for mb in mbs)
+
+    def test_uneven_rejected(self):
+        with pytest.raises(ValueError):
+            make_microbatches([sample(i) for i in range(5)], 2)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            make_microbatches([sample(0)], 0)

@@ -1,0 +1,66 @@
+"""Dataset statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.sample import Subsequence, TrainingSample
+from repro.data.stats import DatasetStatistics, histogram_density
+from repro.data.synthetic import SyntheticMultimodalDataset
+
+
+class TestHistogramDensity:
+    def test_density_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(3, 1, 5000)
+        centers, density = histogram_density(values, bins=50)
+        width = centers[1] - centers[0]
+        assert (density * width).sum() == pytest.approx(1.0, rel=1e-6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_density([])
+
+    def test_range_clipping(self):
+        centers, _ = histogram_density([1, 2, 3], bins=4, value_range=(0, 4))
+        assert centers.min() > 0 and centers.max() < 4
+
+
+class TestDatasetStatistics:
+    def setup_method(self):
+        self.stats = DatasetStatistics(
+            SyntheticMultimodalDataset(seed=5).take(300)
+        )
+
+    def test_series_non_empty(self):
+        assert len(self.stats.text_subsequence_sizes()) > 0
+        assert len(self.stats.image_subsequence_sizes()) > 0
+        assert len(self.stats.image_counts()) == 300
+
+    def test_image_subsequences_skewed_right(self):
+        sizes = np.array(self.stats.image_subsequence_sizes())
+        assert self.stats.skewness(sizes) > 0.5
+
+    def test_percentile_spread(self):
+        assert self.stats.percentile_spread() > 1.0
+
+    def test_summary_keys(self):
+        summary = self.stats.summary()
+        for key in (
+            "num_samples",
+            "mean_image_tokens",
+            "cv_image_tokens",
+            "p90_p10_spread",
+        ):
+            assert key in summary
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetStatistics([])
+
+    def test_cv_zero_for_identical(self):
+        sample = TrainingSample(
+            sample_id=0,
+            subsequences=(Subsequence("image", 1000),),
+        )
+        uniform = DatasetStatistics([sample, sample, sample])
+        assert uniform.sample_size_cv() == 0.0

@@ -1,0 +1,72 @@
+"""Synthetic dataset tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.stats import DatasetStatistics
+from repro.data.synthetic import SyntheticMultimodalDataset
+
+
+class TestGeneration:
+    def test_take_count(self):
+        ds = SyntheticMultimodalDataset(seed=0)
+        assert len(ds.take(37)) == 37
+
+    def test_sequences_well_packed(self):
+        """Greedy packing leaves at most one big-image hole per sequence
+        (~4K tokens worst case) and >85% fill on average."""
+        ds = SyntheticMultimodalDataset(seed=0)
+        samples = ds.take(200)
+        assert all(s.total_tokens <= 8192 for s in samples)
+        assert all(s.total_tokens >= 8192 // 2 for s in samples)
+        mean_fill = np.mean([s.total_tokens for s in samples]) / 8192
+        assert mean_fill > 0.85
+
+    def test_ids_unique_and_increasing(self):
+        ds = SyntheticMultimodalDataset(seed=0)
+        ids = [s.sample_id for s in ds.take(64)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 64
+
+    def test_invalid_take(self):
+        with pytest.raises(ValueError):
+            SyntheticMultimodalDataset().take(0)
+
+    def test_global_batches(self):
+        ds = SyntheticMultimodalDataset(seed=3)
+        batches = list(ds.global_batches(8, num_batches=3))
+        assert len(batches) == 3
+        assert all(len(b) == 8 for b in batches)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = SyntheticMultimodalDataset(seed=11).take(32)
+        b = SyntheticMultimodalDataset(seed=11).take(32)
+        assert [s.image_tokens for s in a] == [s.image_tokens for s in b]
+        assert [s.text_tokens for s in a] == [s.text_tokens for s in b]
+
+    def test_different_seed_differs(self):
+        a = SyntheticMultimodalDataset(seed=1).take(32)
+        b = SyntheticMultimodalDataset(seed=2).take(32)
+        assert [s.image_tokens for s in a] != [s.image_tokens for s in b]
+
+
+class TestHeterogeneity:
+    """The generated population must carry the paper's straggler
+    potential: heavily skewed per-sample image-token counts."""
+
+    def test_sample_size_cv_in_band(self):
+        ds = SyntheticMultimodalDataset(seed=42)
+        stats = DatasetStatistics(ds.take(600))
+        assert 0.3 < stats.sample_size_cv() < 1.2
+
+    def test_text_only_samples_exist(self):
+        ds = SyntheticMultimodalDataset(seed=42)
+        sizes = [s.image_tokens for s in ds.take(600)]
+        assert min(sizes) == 0
+
+    def test_image_heavy_samples_exist(self):
+        ds = SyntheticMultimodalDataset(seed=42)
+        sizes = [s.image_tokens for s in ds.take(600)]
+        assert max(sizes) > 7000

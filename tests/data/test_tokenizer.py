@@ -1,0 +1,42 @@
+"""Synthetic tokenizer tests."""
+
+import pytest
+
+from repro.data.tokenizer import SyntheticTokenizer
+
+
+class TestTokenizer:
+    def setup_method(self):
+        self.tok = SyntheticTokenizer()
+
+    def test_empty(self):
+        assert self.tok.count_tokens(b"") == 0
+        assert self.tok.encode(b"") == []
+
+    def test_count_rate(self):
+        text = b"x" * 400
+        assert self.tok.count_tokens(text) == 100
+
+    def test_minimum_one_token(self):
+        assert self.tok.count_tokens(b"a") == 1
+
+    def test_encode_deterministic(self):
+        a = self.tok.encode(b"hello world")
+        b = self.tok.encode(b"hello world")
+        assert a == b
+
+    def test_encode_differs_per_input(self):
+        assert self.tok.encode(b"hello") != self.tok.encode(b"world")
+
+    def test_ids_in_vocab(self):
+        ids = self.tok.encode(b"some reasonably long test string" * 10)
+        assert all(0 <= i < self.tok.vocab_size for i in ids)
+
+    def test_encode_length_matches_count(self):
+        text = b"q" * 1000
+        assert len(self.tok.encode(text)) == self.tok.count_tokens(text)
+
+    def test_decode_length_roundtrip(self):
+        text = b"z" * 400
+        ids = self.tok.encode(text)
+        assert self.tok.decode_length(ids) == pytest.approx(400, abs=4)

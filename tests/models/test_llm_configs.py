@@ -1,0 +1,75 @@
+"""Table 2 LLM backbone configurations."""
+
+import pytest
+
+from repro.models.base import ModuleWorkload
+from repro.models.llm import LLAMA3_7B, LLAMA3_13B, LLAMA3_70B, LLM_PRESETS
+
+# Table 2 of the paper, verbatim.
+TABLE_2 = {
+    "llama3-7b": (32, 4096, 11008, 32, 32),
+    "llama3-13b": (40, 5120, 13824, 40, 40),
+    "llama3-70b": (80, 8192, 28672, 64, 8),
+}
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_2))
+def test_table2_configuration(name):
+    spec = LLM_PRESETS[name]
+    layers, hidden, ffn, heads, groups = TABLE_2[name]
+    assert spec.config.num_layers == layers
+    assert spec.config.hidden_size == hidden
+    assert spec.config.ffn_hidden_size == ffn
+    assert spec.config.num_heads == heads
+    assert spec.config.groups == groups
+
+
+@pytest.mark.parametrize(
+    "spec,low,high",
+    [(LLAMA3_7B, 6e9, 9e9), (LLAMA3_13B, 12e9, 16e9), (LLAMA3_70B, 65e9, 75e9)],
+)
+def test_param_counts_near_nominal(spec, low, high):
+    assert low < spec.param_count() < high
+
+
+def test_gqa_shrinks_70b_attention():
+    per_layer_70b = LLAMA3_70B.config.attention_params_per_layer()
+    # Without GQA the K/V projections would be full width.
+    full = 4 * 8192 * 8192
+    assert per_layer_70b < full
+
+
+def test_llm_flops_independent_of_modality_mix():
+    """The LLM sees fixed-length sequences; image/text mix is irrelevant
+    (section 2.3: all LLM microbatches cost the same)."""
+    a = ModuleWorkload(samples=2, text_tokens=100, image_tokens=8000)
+    b = ModuleWorkload(samples=2, text_tokens=8000, image_tokens=100)
+    assert LLAMA3_7B.forward_flops(a) == LLAMA3_7B.forward_flops(b)
+
+
+def test_flops_linear_in_samples():
+    one = LLAMA3_7B.forward_flops(ModuleWorkload(samples=1))
+    four = LLAMA3_7B.forward_flops(ModuleWorkload(samples=4))
+    assert four == pytest.approx(4 * one)
+
+
+def test_backward_double_forward():
+    w = ModuleWorkload(samples=1)
+    assert LLAMA3_7B.backward_flops(w) == pytest.approx(
+        2 * LLAMA3_7B.forward_flops(w)
+    )
+    assert LLAMA3_7B.backward_flops(w, weight_grads=False) == pytest.approx(
+        LLAMA3_7B.forward_flops(w)
+    )
+
+
+def test_boundary_activation_bytes():
+    expected = 2.0 * 3 * 8192 * 4096
+    assert LLAMA3_7B.boundary_activation_bytes(3) == pytest.approx(expected)
+
+
+def test_requires_config():
+    from repro.models.llm import LLMSpec
+
+    with pytest.raises(ValueError):
+        LLMSpec(name="bad", config=None)

@@ -1,0 +1,39 @@
+"""Projector module tests."""
+
+import pytest
+
+from repro.models.base import ModuleWorkload
+from repro.models.projector import ProjectorSpec, mlp_projector
+
+
+class TestProjector:
+    def test_single_linear_params(self):
+        p = ProjectorSpec(in_dim=10, out_dim=20)
+        assert p.param_count() == 200
+
+    def test_mlp_params(self):
+        p = ProjectorSpec(in_dim=10, out_dim=20, hidden_dim=40)
+        assert p.param_count() == 10 * 40 + 40 * 20
+
+    def test_cross_attention_adds_params(self):
+        base = ProjectorSpec(in_dim=10, out_dim=20)
+        xattn = ProjectorSpec(in_dim=10, out_dim=20, use_cross_attention=True)
+        assert xattn.param_count() == base.param_count() + 4 * 20 * 20
+
+    def test_flops_linear_in_tokens(self):
+        p = mlp_projector(1280, 4096)
+        w1 = ModuleWorkload(samples=1, image_tokens=100, images=1)
+        w2 = ModuleWorkload(samples=1, image_tokens=300, images=1)
+        assert p.forward_flops(w2) == pytest.approx(3 * p.forward_flops(w1))
+
+    def test_mlp_projector_helper(self):
+        p = mlp_projector(1280, 4096, name="ip")
+        assert p.name == "ip"
+        assert p.hidden_dim == 2 * 4096
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            ProjectorSpec(in_dim=0, out_dim=10)
+
+    def test_num_layers_one(self):
+        assert mlp_projector(8, 8).num_layers == 1

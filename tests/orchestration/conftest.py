@@ -1,0 +1,34 @@
+"""Shared orchestration fixtures (profiling is cached per session)."""
+
+import pytest
+
+from repro.cluster.cluster import make_cluster
+from repro.data.synthetic import SyntheticMultimodalDataset
+from repro.models.mllm import MLLM_9B, MLLM_72B
+from repro.orchestration.problem import OrchestrationProblem, SampleProfile
+
+
+@pytest.fixture(scope="session")
+def data_profile():
+    dataset = SyntheticMultimodalDataset(seed=1)
+    return SampleProfile.from_samples(dataset.take(128))
+
+
+@pytest.fixture(scope="session")
+def problem_9b(data_profile):
+    return OrchestrationProblem(
+        mllm=MLLM_9B,
+        cluster=make_cluster(48),
+        global_batch_size=64,
+        profile=data_profile,
+    )
+
+
+@pytest.fixture(scope="session")
+def problem_72b(data_profile):
+    return OrchestrationProblem(
+        mllm=MLLM_72B,
+        cluster=make_cluster(96),
+        global_batch_size=40,
+        profile=data_profile,
+    )

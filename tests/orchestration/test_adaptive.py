@@ -1,0 +1,102 @@
+"""Adaptive orchestration (section 4.3) tests."""
+
+import pytest
+
+from repro.orchestration.adaptive import AdaptiveOrchestrator, divisors
+
+
+class TestDivisors:
+    def test_basic(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_prime(self):
+        assert divisors(13) == [1, 13]
+
+    def test_one(self):
+        assert divisors(1) == [1]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+
+@pytest.fixture(scope="module")
+def result_9b(problem_9b):
+    return AdaptiveOrchestrator(problem_9b).plan()
+
+
+@pytest.fixture(scope="module")
+def result_72b(problem_72b):
+    return AdaptiveOrchestrator(problem_72b).plan()
+
+
+class TestPlanFeasibility:
+    def test_fits_cluster(self, result_9b, problem_9b):
+        assert result_9b.plan.num_gpus <= problem_9b.num_gpus
+
+    def test_batch_divisible(self, result_9b, problem_9b):
+        result_9b.plan.validate(problem_9b.global_batch_size)
+
+    def test_llm_gets_most_gpus(self, result_9b):
+        plans = result_9b.plan.plans
+        assert plans["llm"].num_gpus > plans["encoder"].num_gpus
+        assert plans["llm"].num_gpus > plans["generator"].num_gpus
+
+    def test_small_modules_replicated_not_sharded(self, result_9b):
+        """One GPU suffices for ViT/SD, so DistTrain replicates them
+        (tp=1) rather than tensor-parallelizing (section 7.1)."""
+        plans = result_9b.plan.plans
+        assert plans["encoder"].tp == 1
+        assert plans["generator"].tp == 1
+
+    def test_llm_pp_divides_layers(self, result_9b, problem_9b):
+        pp = result_9b.plan.plans["llm"].pp
+        assert problem_9b.mllm.llm.num_layers % pp == 0
+
+    def test_not_monolithic(self, result_9b):
+        assert not result_9b.plan.monolithic
+        assert result_9b.plan.label == "disttrain"
+
+
+class TestPlanQuality:
+    def test_solver_runs_fast(self, result_9b):
+        """Table 3: the algorithm completes in well under a second at
+        ablation scale."""
+        assert result_9b.solve_seconds < 2.0
+
+    def test_explores_many_candidates(self, result_9b):
+        assert result_9b.candidates_evaluated > 10
+        assert result_9b.convex_solutions > 3
+
+    def test_predicted_time_positive(self, result_9b):
+        assert result_9b.predicted_iteration_time > 0
+        assert result_9b.breakdown.warmup > 0
+        assert result_9b.breakdown.steady > 0
+
+    def test_stage_times_roughly_balanced(self, result_9b):
+        """Disaggregation's goal: no module's stage time dominates."""
+        b = result_9b.breakdown
+        slowest = max(
+            b.stage_time_llm, b.stage_time_encoder, b.stage_time_generator
+        )
+        assert b.stage_time_llm == pytest.approx(slowest)
+
+    def test_72b_uses_pipeline_parallelism(self, result_72b):
+        assert result_72b.plan.plans["llm"].pp >= 2
+        assert result_72b.plan.plans["llm"].tp >= 4
+
+
+class TestClusterTooSmall:
+    def test_raises_cleanly(self, data_profile):
+        from repro.cluster.cluster import make_cluster
+        from repro.models.mllm import MLLM_72B
+        from repro.orchestration.problem import OrchestrationProblem
+
+        tiny = OrchestrationProblem(
+            mllm=MLLM_72B,
+            cluster=make_cluster(8),
+            global_batch_size=8,
+            profile=data_profile,
+        )
+        with pytest.raises(RuntimeError):
+            AdaptiveOrchestrator(tiny).plan()

@@ -1,0 +1,76 @@
+"""Baseline orchestrator tests."""
+
+import pytest
+
+from repro.orchestration.adaptive import AdaptiveOrchestrator
+from repro.orchestration.baselines import (
+    DistMMOrchestrator,
+    MegatronOrchestrator,
+)
+
+
+class TestMegatron:
+    @pytest.fixture(scope="class")
+    def result(self, problem_9b):
+        return MegatronOrchestrator(problem_9b).plan()
+
+    def test_monolithic_flag(self, result):
+        assert result.plan.monolithic
+        assert result.plan.label == "megatron-lm"
+
+    def test_uniform_tp_for_llm(self, result):
+        assert result.plan.plans["llm"].tp == 8
+
+    def test_encoder_generator_one_node_per_replica(self, result):
+        """The small modules occupy one TP-group-wide stage, replicated
+        across its GPUs (tp=1, dp=8*dp_lm)."""
+        dp_lm = result.plan.plans["llm"].dp
+        assert result.plan.plans["encoder"].num_gpus == 8 * dp_lm
+        assert result.plan.plans["generator"].num_gpus == 8 * dp_lm
+
+    def test_published_pp_for_7b(self, result):
+        assert result.plan.plans["llm"].pp == 1
+
+    def test_published_pp_for_70b(self, problem_72b):
+        result = MegatronOrchestrator(problem_72b).plan()
+        assert result.plan.plans["llm"].pp == 10
+
+    def test_fits_cluster(self, result, problem_9b):
+        assert result.plan.num_gpus <= problem_9b.num_gpus
+
+
+class TestDistMM:
+    @pytest.fixture(scope="class")
+    def result(self, problem_9b):
+        return DistMMOrchestrator(problem_9b).plan()
+
+    def test_label(self, result):
+        assert result.plan.label == "distmm*"
+        assert not result.plan.monolithic
+
+    def test_flops_proportional_allocation(self, result, problem_9b):
+        """The generator at 512^2 costs less than the encoder here, so
+        FLOPs-proportional allocation mirrors that ordering."""
+        plans = result.plan.plans
+        assert plans["llm"].num_gpus > plans["encoder"].num_gpus
+        assert plans["llm"].num_gpus > plans["generator"].num_gpus
+
+    def test_fits_cluster(self, result, problem_9b):
+        assert result.plan.num_gpus <= problem_9b.num_gpus
+
+
+class TestOrdering:
+    def test_disttrain_predicts_best_iteration_time(self, problem_9b):
+        """On the shared analytic objective, DistTrain's plan must be at
+        least as good as both baselines' plans."""
+        ours = AdaptiveOrchestrator(problem_9b).plan()
+        megatron = MegatronOrchestrator(problem_9b).plan()
+        distmm = DistMMOrchestrator(problem_9b).plan()
+        assert (
+            ours.predicted_iteration_time
+            <= megatron.predicted_iteration_time * 1.05
+        )
+        assert (
+            ours.predicted_iteration_time
+            <= distmm.predicted_iteration_time * 1.05
+        )

@@ -1,0 +1,92 @@
+"""GPU memory feasibility tests."""
+
+import pytest
+
+from repro.cluster.gpu import AMPERE_A100_80G
+from repro.models.base import ModuleWorkload
+from repro.models.llm import LLAMA3_7B, LLAMA3_70B
+from repro.models.vit import VIT_HUGE
+from repro.orchestration.memory import MemoryModel
+
+MEMORY = MemoryModel(gpu_memory_bytes=AMPERE_A100_80G.memory_bytes)
+W = ModuleWorkload(samples=1)
+
+
+class TestStaticBytes:
+    def test_params_and_grads_scale_with_model_parallel(self):
+        wide = MEMORY.static_bytes_per_gpu(LLAMA3_70B, tp=8, pp=10, dp=1,
+                                           trainable=True)
+        narrow = MEMORY.static_bytes_per_gpu(LLAMA3_70B, tp=1, pp=1, dp=1,
+                                             trainable=True)
+        assert narrow > 50 * wide
+
+    def test_zero1_shards_optimizer_across_dp(self):
+        dp1 = MEMORY.static_bytes_per_gpu(LLAMA3_7B, tp=8, pp=1, dp=1,
+                                          trainable=True)
+        dp8 = MEMORY.static_bytes_per_gpu(LLAMA3_7B, tp=8, pp=1, dp=8,
+                                          trainable=True)
+        optimizer_full = LLAMA3_7B.param_count() * 12.0 / 8
+        assert dp1 - dp8 == pytest.approx(optimizer_full * 7 / 8)
+
+    def test_frozen_needs_only_params(self):
+        frozen = MEMORY.static_bytes_per_gpu(LLAMA3_7B, tp=1, pp=1, dp=1,
+                                             trainable=False)
+        assert frozen == pytest.approx(LLAMA3_7B.param_count() * 2.0)
+
+
+class TestActivations:
+    def test_in_flight_scaling(self):
+        one = MEMORY.activation_bytes_per_gpu(LLAMA3_7B, W, tp=8,
+                                              in_flight_microbatches=1)
+        four = MEMORY.activation_bytes_per_gpu(LLAMA3_7B, W, tp=8,
+                                               in_flight_microbatches=4)
+        assert four == pytest.approx(4 * one)
+
+    def test_invalid_in_flight(self):
+        with pytest.raises(ValueError):
+            MEMORY.activation_bytes_per_gpu(LLAMA3_7B, W, 1, 0)
+
+
+class TestFeasibility:
+    def test_7b_fits_tp8(self):
+        assert MEMORY.fits(LLAMA3_7B, W, tp=8, pp=1, dp=4, trainable=True,
+                           in_flight_microbatches=3)
+
+    def test_70b_needs_pipeline_at_tp8(self):
+        fits_pp1 = MEMORY.fits(LLAMA3_70B, W, tp=8, pp=1, dp=4,
+                               trainable=True, in_flight_microbatches=3)
+        fits_pp10 = MEMORY.fits(LLAMA3_70B, W, tp=8, pp=10, dp=4,
+                                trainable=True, in_flight_microbatches=12)
+        assert fits_pp10
+        assert not fits_pp1
+
+    def test_70b_never_fits_tp1_pp1(self):
+        assert not MEMORY.fits(LLAMA3_70B, W, tp=1, pp=1, dp=1,
+                               trainable=True, in_flight_microbatches=1)
+
+    def test_encoder_fits_single_gpu(self):
+        w = ModuleWorkload(samples=1, image_tokens=8000, images=8)
+        assert MEMORY.fits(VIT_HUGE, w, tp=1, pp=1, dp=1, trainable=True,
+                           in_flight_microbatches=8)
+
+
+class TestMinPP:
+    def test_min_pp_monotone_in_model_size(self):
+        small = MEMORY.min_pp_for_llm(LLAMA3_7B, W, tp=8, dp=4,
+                                      trainable=True, max_pp=32)
+        large = MEMORY.min_pp_for_llm(LLAMA3_70B, W, tp=8, dp=4,
+                                      trainable=True, max_pp=80)
+        assert small <= large
+
+    def test_frozen_reduces_min_pp(self):
+        trainable = MEMORY.min_pp_for_llm(LLAMA3_70B, W, tp=4, dp=2,
+                                          trainable=True, max_pp=80)
+        frozen = MEMORY.min_pp_for_llm(LLAMA3_70B, W, tp=4, dp=2,
+                                       trainable=False, max_pp=80)
+        assert frozen <= trainable
+
+    def test_unfittable_raises(self):
+        tiny = MemoryModel(gpu_memory_bytes=1024**3)  # 1 GB GPU
+        with pytest.raises(ValueError):
+            tiny.min_pp_for_llm(LLAMA3_70B, W, tp=1, dp=1, trainable=True,
+                                max_pp=4)

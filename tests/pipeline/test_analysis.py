@@ -1,0 +1,94 @@
+"""Pipeline trace analytics tests."""
+
+import pytest
+
+from repro.pipeline.analysis import (
+    critical_path,
+    first_stage_intervals,
+    microbatch_latencies,
+    summarize,
+)
+from repro.pipeline.schedules import ScheduleKind
+from repro.pipeline.simulator import PipelineSimulator
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return PipelineSimulator(4, 6, ScheduleKind.ONE_F_ONE_B).run_uniform(
+        1.0, 2.0
+    )
+
+
+class TestMicrobatchLatencies:
+    def test_one_entry_per_microbatch(self, trace):
+        latencies = microbatch_latencies(trace)
+        assert [l.microbatch for l in latencies] == list(range(6))
+
+    def test_first_microbatch_forward_latency(self, trace):
+        # Microbatch 0 streams through 4 stages back-to-back: 4 s.
+        first = microbatch_latencies(trace)[0]
+        assert first.forward_latency == pytest.approx(4.0)
+        assert first.forward_start == 0.0
+
+    def test_round_trip_bounds(self, trace):
+        for latency in microbatch_latencies(trace):
+            # Round trip at least fwd+bwd through all stages.
+            assert latency.total_latency >= 4 * 3.0 - 1e-9
+            assert latency.backward_end <= trace.makespan + 1e-9
+
+    def test_later_microbatches_start_later(self, trace):
+        starts = [l.forward_start for l in microbatch_latencies(trace)]
+        assert starts == sorted(starts)
+
+
+class TestCriticalPath:
+    def test_chain_is_contiguous(self, trace):
+        path = critical_path(trace)
+        assert path
+        for prev, nxt in zip(path, path[1:]):
+            assert nxt.start == pytest.approx(prev.end)
+
+    def test_ends_at_makespan(self, trace):
+        path = critical_path(trace)
+        assert path[-1].end == pytest.approx(trace.makespan)
+
+    def test_uniform_pipeline_path_spans_most_of_iteration(self, trace):
+        """With uniform times 1F1B keeps the critical path busy from the
+        first op to the last."""
+        path = critical_path(trace)
+        covered = path[-1].end - path[0].start
+        assert covered == pytest.approx(trace.makespan)
+
+    def test_empty_trace(self):
+        from repro.pipeline.trace import PipelineTrace
+
+        assert critical_path(PipelineTrace(1, 0, 1, [])) == []
+
+
+class TestFirstStageIntervals:
+    def test_interval_count(self, trace):
+        # One window before each of the 6 backward passes at stage 0.
+        intervals = first_stage_intervals(trace)
+        assert len(intervals) == 6
+
+    def test_last_intervals_unfilled(self, trace):
+        """Figure 12: the final p-1 intervals have no forwards left to
+        fill them."""
+        intervals = first_stage_intervals(trace)
+        tail = intervals[-(trace.num_stages - 1):]
+        assert all(end > start + 1e-9 for start, end in tail)
+
+    def test_total_matches_trace_accounting(self, trace):
+        intervals = first_stage_intervals(trace)
+        total_idle = sum(end - start for start, end in intervals)
+        assert total_idle == pytest.approx(
+            trace.first_stage_unfilled_time(), rel=0.01
+        )
+
+
+class TestSummary:
+    def test_keys_and_consistency(self, trace):
+        summary = summarize(trace)
+        assert summary["makespan"] == pytest.approx(trace.makespan)
+        assert 0 <= summary["bubble_fraction"] < 1
+        assert summary["mean_forward_latency"] >= 4.0 - 1e-9

@@ -1,0 +1,82 @@
+"""Property-based tests on pipeline schedules and simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline.schedules import ScheduleKind, schedule_order
+from repro.pipeline.simulator import PipelineSimulator, StageWork
+
+
+@st.composite
+def pipeline_instances(draw):
+    p = draw(st.integers(min_value=1, max_value=5))
+    l = draw(st.integers(min_value=1, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    fwd = rng.uniform(0.1, 3.0, (p, l))
+    bwd = rng.uniform(0.1, 5.0, (p, l))
+    comm = draw(
+        st.floats(min_value=0.0, max_value=0.5, allow_nan=False)
+    )
+    return p, l, fwd, bwd, comm
+
+
+@settings(max_examples=40, deadline=None)
+@given(pipeline_instances())
+def test_random_1f1b_traces_are_physical(instance):
+    p, l, fwd, bwd, comm = instance
+    trace = PipelineSimulator(p, l, ScheduleKind.ONE_F_ONE_B).run(
+        StageWork.from_tables(fwd, bwd, comm=comm)
+    )
+    trace.assert_valid()
+    # Makespan is bounded below by the busiest stage and by any single
+    # microbatch's full round trip.
+    busiest = max(fwd[s].sum() + bwd[s].sum() for s in range(p))
+    assert trace.makespan >= busiest - 1e-9
+    roundtrip = fwd[:, 0].sum() + bwd[:, 0].sum()
+    assert trace.makespan >= roundtrip - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(pipeline_instances())
+def test_gpipe_and_1f1b_complete_same_work(instance):
+    p, l, fwd, bwd, comm = instance
+    work = StageWork.from_tables(fwd, bwd, comm=comm)
+    gpipe = PipelineSimulator(p, l, ScheduleKind.GPIPE).run(work)
+    onefb = PipelineSimulator(p, l, ScheduleKind.ONE_F_ONE_B).run(work)
+    assert len(gpipe.records) == len(onefb.records) == 2 * p * l
+    for stage in range(p):
+        assert gpipe.stage_busy_time(stage) == pytest.approx(
+            onefb.stage_busy_time(stage)
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+)
+def test_interleaved_schedules_complete(p, groups, vpp):
+    l = p * groups
+    order = schedule_order(ScheduleKind.INTERLEAVED, p, l, vpp)
+    total_ops = sum(len(ops) for ops in order.values())
+    assert total_ops == 2 * p * l * vpp
+    sim = PipelineSimulator(p, l, ScheduleKind.INTERLEAVED, vpp=vpp)
+    trace = sim.run_uniform(1.0 / vpp, 2.0 / vpp)
+    trace.assert_valid()
+
+
+@settings(max_examples=30, deadline=None)
+@given(pipeline_instances())
+def test_slower_microbatch_never_speeds_up_pipeline(instance):
+    """Monotonicity: inflating one op's duration cannot reduce makespan."""
+    p, l, fwd, bwd, comm = instance
+    base = PipelineSimulator(p, l).run(StageWork.from_tables(fwd, bwd, comm=comm))
+    fwd2 = fwd.copy()
+    fwd2[0, l // 2] += 2.0
+    slow = PipelineSimulator(p, l).run(
+        StageWork.from_tables(fwd2, bwd, comm=comm)
+    )
+    assert slow.makespan >= base.makespan - 1e-9

@@ -1,0 +1,104 @@
+"""Pipeline schedule generator tests."""
+
+import pytest
+
+from repro.pipeline.ops import Direction
+from repro.pipeline.schedules import (
+    ScheduleKind,
+    gpipe_order,
+    interleaved_order,
+    one_f_one_b_order,
+    schedule_order,
+)
+
+
+def op_counts(order):
+    fwd = sum(1 for ops in order.values() for op in ops if op.is_forward)
+    bwd = sum(1 for ops in order.values() for op in ops if not op.is_forward)
+    return fwd, bwd
+
+
+class TestGPipe:
+    def test_all_forwards_then_backwards(self):
+        order = gpipe_order(3, 5)
+        for ops in order.values():
+            directions = [op.direction for op in ops]
+            split = directions.index(Direction.BWD)
+            assert all(d is Direction.FWD for d in directions[:split])
+            assert all(d is Direction.BWD for d in directions[split:])
+
+    def test_counts(self):
+        order = gpipe_order(3, 5)
+        assert op_counts(order) == (15, 15)
+
+
+class TestOneFOneB:
+    def test_warmup_depth(self):
+        order = one_f_one_b_order(4, 8)
+        for stage, ops in order.items():
+            warmup = 0
+            for op in ops:
+                if not op.is_forward:
+                    break
+                warmup += 1
+            # Stage s warms up with p-1-s forwards (plus its first steady F).
+            assert warmup == (4 - stage - 1) + 1
+
+    def test_counts(self):
+        assert op_counts(one_f_one_b_order(4, 8)) == (32, 32)
+
+    def test_last_stage_strictly_alternates(self):
+        order = one_f_one_b_order(4, 6)
+        directions = [op.direction for op in order[3]]
+        for i in range(0, len(directions) - 1, 2):
+            assert directions[i] is Direction.FWD
+            assert directions[i + 1] is Direction.BWD
+
+    def test_backwards_in_order(self):
+        order = one_f_one_b_order(4, 8)
+        for ops in order.values():
+            bwd_mbs = [op.microbatch for op in ops if not op.is_forward]
+            assert bwd_mbs == sorted(bwd_mbs)
+
+    def test_fewer_microbatches_than_stages(self):
+        order = one_f_one_b_order(8, 2)
+        assert op_counts(order) == (16, 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            one_f_one_b_order(0, 4)
+        with pytest.raises(ValueError):
+            one_f_one_b_order(4, 0)
+
+
+class TestInterleaved:
+    def test_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            interleaved_order(4, 6, vpp=2)
+
+    def test_vpp1_falls_back(self):
+        a = interleaved_order(4, 8, vpp=1)
+        b = one_f_one_b_order(4, 8)
+        assert a == b
+
+    def test_counts_scale_with_vpp(self):
+        order = interleaved_order(4, 8, vpp=2)
+        assert op_counts(order) == (64, 64)
+
+    def test_chunks_in_range(self):
+        order = interleaved_order(4, 8, vpp=3)
+        for ops in order.values():
+            assert all(0 <= op.chunk < 3 for op in ops)
+
+    def test_every_mb_chunk_pair_present(self):
+        order = interleaved_order(2, 4, vpp=2)
+        for stage, ops in order.items():
+            fwd = {(op.microbatch, op.chunk) for op in ops if op.is_forward}
+            assert fwd == {(m, c) for m in range(4) for c in range(2)}
+
+
+class TestDispatch:
+    def test_schedule_order_dispatch(self):
+        for kind in ScheduleKind:
+            order = schedule_order(kind, 2, 4, vpp=2)
+            assert set(order) == {0, 1}

@@ -1,0 +1,71 @@
+"""Property-based tests for the preprocessing subsystem."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.synthetic import SyntheticMultimodalDataset
+from repro.preprocessing.cost import PreprocessCostModel
+from repro.preprocessing.service import PreprocessingService
+from repro.preprocessing.transfer import TransferModel
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    cores=st.integers(min_value=8, max_value=4096),
+    iteration=st.floats(min_value=0.5, max_value=20.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_service_conservation(cores, iteration, seed):
+    """The queue simulation conserves batches and never time-travels."""
+    dataset = SyntheticMultimodalDataset(seed=seed)
+    batches = [dataset.take(4) for _ in range(5)]
+    service = PreprocessingService(
+        cost=PreprocessCostModel(),
+        transfer=TransferModel(),
+        total_cores=cores,
+    )
+    feeds = service.simulate(batches, gpu_iteration_time=iteration)
+    assert len(feeds) == 5
+    assert all(f.stall >= 0 for f in feeds)
+    assert all(f.transfer > 0 for f in feeds)
+    # Ready times are non-decreasing (FIFO producers).
+    ready = [f.ready_time for f in feeds]
+    assert ready == sorted(ready)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    cores_small=st.integers(min_value=2, max_value=32),
+    multiplier=st.integers(min_value=2, max_value=16),
+)
+def test_more_cores_never_more_stall(cores_small, multiplier):
+    dataset = SyntheticMultimodalDataset(seed=0)
+    batches = [dataset.take(4) for _ in range(4)]
+
+    def total_stall(cores):
+        service = PreprocessingService(
+            cost=PreprocessCostModel(),
+            transfer=TransferModel(),
+            total_cores=cores,
+        )
+        feeds = service.simulate(batches, gpu_iteration_time=2.0)
+        return PreprocessingService.total_stall(feeds)
+
+    assert total_stall(cores_small * multiplier) <= total_stall(
+        cores_small
+    ) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_cost_model_additivity(seed):
+    """Batch cost equals the sum of per-sample costs; all positive."""
+    dataset = SyntheticMultimodalDataset(seed=seed)
+    samples = dataset.take(6)
+    cost = PreprocessCostModel()
+    total = cost.batch_cpu_seconds(samples)
+    assert total == pytest.approx(
+        sum(cost.sample_cpu_seconds(s) for s in samples)
+    )
+    assert all(cost.sample_cpu_seconds(s) > 0 for s in samples)

@@ -1,0 +1,80 @@
+"""Producer/consumer queue simulation tests."""
+
+import pytest
+
+from repro.preprocessing.cost import PreprocessCostModel
+from repro.preprocessing.service import PreprocessingService
+from repro.preprocessing.transfer import TransferModel
+
+from tests.preprocessing.test_cost import image_sample
+
+
+def service(total_cores=512, queue_depth=2):
+    return PreprocessingService(
+        cost=PreprocessCostModel(),
+        transfer=TransferModel(),
+        total_cores=total_cores,
+        queue_depth=queue_depth,
+    )
+
+
+def batches(n=6, images=8, resolution=512, per_batch=4):
+    return [
+        [image_sample(images, resolution) for _ in range(per_batch)]
+        for _ in range(n)
+    ]
+
+
+class TestService:
+    def test_fast_producers_no_stalls_after_warmup(self):
+        feeds = service(total_cores=2048).simulate(
+            batches(), gpu_iteration_time=5.0
+        )
+        assert all(f.stall < 0.05 for f in feeds[1:])
+
+    def test_slow_producers_stall_training(self):
+        feeds = service(total_cores=4).simulate(
+            batches(images=16, resolution=1024), gpu_iteration_time=1.0
+        )
+        assert PreprocessingService.total_stall(feeds) > 1.0
+
+    def test_transfer_always_charged(self):
+        feeds = service().simulate(batches(), gpu_iteration_time=5.0)
+        assert all(f.transfer > 0 for f in feeds)
+
+    def test_feed_count_matches_batches(self):
+        feeds = service().simulate(batches(n=9), gpu_iteration_time=2.0)
+        assert len(feeds) == 9
+        assert [f.iteration for f in feeds] == list(range(9))
+
+    def test_mean_overhead_helper(self):
+        feeds = service(total_cores=2048).simulate(
+            batches(), gpu_iteration_time=5.0
+        )
+        mean = PreprocessingService.mean_overhead(feeds)
+        assert 0 < mean < 0.5
+        assert PreprocessingService.mean_overhead([]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            service(total_cores=0)
+        with pytest.raises(ValueError):
+            service(queue_depth=0)
+        with pytest.raises(ValueError):
+            service().simulate(batches(), gpu_iteration_time=0.0)
+
+    def test_deeper_queue_absorbs_bursts(self):
+        """A bursty heavy batch stalls less with more prefetch depth."""
+        heavy_then_light = [
+            [image_sample(32, 1024) for _ in range(4)],
+            *batches(n=5, images=2, resolution=512),
+        ]
+        shallow = service(total_cores=64, queue_depth=1).simulate(
+            heavy_then_light, gpu_iteration_time=3.0
+        )
+        deep = service(total_cores=64, queue_depth=4).simulate(
+            heavy_then_light, gpu_iteration_time=3.0
+        )
+        assert PreprocessingService.total_stall(
+            deep
+        ) <= PreprocessingService.total_stall(shallow) + 1e-9

@@ -1,0 +1,44 @@
+"""Reordering baseline tests."""
+
+import pytest
+
+from repro.reordering.baselines import (
+    random_order,
+    round_robin_partition,
+    sorted_order,
+)
+
+
+class TestRandomOrder:
+    def test_permutation(self):
+        items = list(range(20))
+        shuffled = random_order(items, seed=0)
+        assert sorted(shuffled) == items
+
+    def test_deterministic_by_seed(self):
+        items = list(range(20))
+        assert random_order(items, seed=1) == random_order(items, seed=1)
+        assert random_order(items, seed=1) != random_order(items, seed=2)
+
+
+class TestSortedOrder:
+    def test_ascending_default(self):
+        assert sorted_order([3, 1, 2]) == [1, 2, 3]
+
+    def test_descending(self):
+        assert sorted_order([3, 1, 2], descending=True) == [3, 2, 1]
+
+    def test_custom_size(self):
+        items = [{"s": 3}, {"s": 1}]
+        out = sorted_order(items, size=lambda x: x["s"])
+        assert out[0]["s"] == 1
+
+
+class TestRoundRobin:
+    def test_deal_pattern(self):
+        groups = round_robin_partition(list(range(6)), 2)
+        assert groups == [[0, 2, 4], [1, 3, 5]]
+
+    def test_invalid_groups(self):
+        with pytest.raises(ValueError):
+            round_robin_partition([1], 0)

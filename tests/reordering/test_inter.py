@@ -1,0 +1,128 @@
+"""Algorithm 2 (inter-microbatch reordering) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.reordering.baselines import random_order, sorted_order
+from repro.reordering.inter import InterReorderer, MicrobatchCostModel
+
+
+def heterogeneous_costs(l=16, p=4, seed=0, encoder_sigma=0.6):
+    """LLM-like pipeline: uniform mid stages, skewed first stage."""
+    rng = np.random.default_rng(seed)
+    fwd = np.ones((l, p))
+    fwd[:, 0] = rng.lognormal(0.0, encoder_sigma, l)
+    bwd = 2.0 * fwd
+    return MicrobatchCostModel(fwd=fwd, bwd=bwd)
+
+
+class TestCostModel:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MicrobatchCostModel(fwd=np.ones((4, 3)), bwd=np.ones((4, 2)))
+        with pytest.raises(ValueError):
+            MicrobatchCostModel(fwd=np.ones(4), bwd=np.ones(4))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MicrobatchCostModel(fwd=-np.ones((2, 2)), bwd=np.ones((2, 2)))
+
+    def test_accessors(self):
+        cm = heterogeneous_costs(l=6, p=3)
+        assert cm.num_microbatches == 6
+        assert cm.num_stages == 3
+        assert cm.total_size(0) > 0
+
+
+class TestReorder:
+    def test_returns_permutation(self):
+        reorderer = InterReorderer(heterogeneous_costs())
+        order = reorderer.reorder()
+        assert sorted(order) == list(range(16))
+
+    def test_smallest_first(self):
+        costs = heterogeneous_costs()
+        order = InterReorderer(costs).reorder()
+        smallest = min(range(16), key=costs.first_stage_fwd)
+        assert order[0] == smallest
+
+    def test_rear_holds_small_microbatches(self):
+        """The last p-1 positions hold small microbatches (their
+        intervals are structurally unfillable)."""
+        costs = heterogeneous_costs(l=20, p=4, seed=3)
+        order = InterReorderer(costs).reorder()
+        rear = order[-3:]
+        sizes = sorted(range(20), key=costs.first_stage_fwd)
+        assert set(rear) <= set(sizes[:6])
+
+    def test_tiny_inputs_passthrough(self):
+        costs = heterogeneous_costs(l=2, p=4)
+        assert InterReorderer(costs).reorder() == [0, 1]
+
+    def test_reorder_items_alignment(self):
+        costs = heterogeneous_costs(l=6, p=3)
+        items = [f"mb{i}" for i in range(6)]
+        reordered = InterReorderer(costs).reorder_items(items)
+        assert sorted(reordered) == sorted(items)
+
+    def test_reorder_items_length_mismatch(self):
+        costs = heterogeneous_costs(l=6, p=3)
+        with pytest.raises(ValueError):
+            InterReorderer(costs).reorder_items(["a"])
+
+    def test_invalid_vpp(self):
+        with pytest.raises(ValueError):
+            InterReorderer(heterogeneous_costs(), vpp=0)
+
+
+class TestEffectiveness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_no_worse_than_descending_order(self, seed):
+        """Descending order front-loads stragglers — the adversarial
+        case Figure 7 illustrates. Algorithm 2 must beat it."""
+        costs = heterogeneous_costs(l=24, p=4, seed=seed, encoder_sigma=0.9)
+        reorderer = InterReorderer(costs)
+        ours = reorderer.evaluate(reorderer.reorder())
+        worst = reorderer.evaluate(
+            sorted_order(
+                list(range(24)),
+                size=costs.first_stage_fwd,
+                descending=True,
+            )
+        )
+        assert ours <= worst + 1e-9
+
+    def test_competitive_with_random_on_average(self):
+        costs = heterogeneous_costs(l=24, p=4, seed=5, encoder_sigma=0.9)
+        reorderer = InterReorderer(costs)
+        ours = reorderer.evaluate(reorderer.reorder())
+        randoms = [
+            reorderer.evaluate(random_order(list(range(24)), seed=s))
+            for s in range(8)
+        ]
+        assert ours <= np.mean(randoms) * 1.02
+
+
+class TestVPP:
+    def test_vpp_reorder_valid_permutation(self):
+        costs = heterogeneous_costs(l=16, p=4)
+        order = InterReorderer(costs, vpp=2).reorder()
+        assert sorted(order) == list(range(16))
+
+    def test_vpp_evaluation_runs(self):
+        costs = heterogeneous_costs(l=16, p=4)
+        reorderer = InterReorderer(costs, vpp=2)
+        assert reorderer.evaluate(list(range(16))) > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_reorder_always_permutation(seed):
+    rng = np.random.default_rng(seed)
+    l = int(rng.integers(3, 20))
+    p = int(rng.integers(2, 6))
+    fwd = rng.uniform(0.1, 3.0, (l, p))
+    bwd = rng.uniform(0.1, 5.0, (l, p))
+    order = InterReorderer(MicrobatchCostModel(fwd, bwd)).reorder()
+    assert sorted(order) == list(range(l))

@@ -1,0 +1,109 @@
+"""Algorithm 1 (intra-microbatch reordering) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.sample import Subsequence, TrainingSample
+from repro.reordering.baselines import random_order
+from repro.reordering.intra import (
+    brute_force_optimal_makespan,
+    intra_reorder,
+    lpt_partition,
+    partition_makespan,
+    reordered_makespan,
+)
+
+
+class TestPaperExample:
+    def test_figure_11(self):
+        """Sizes [4,3,2,1] across 2 DP groups: naive contiguous split
+        gives makespan 7 (group [4,3]); reordering balances to 5."""
+        sizes = [4.0, 3.0, 2.0, 1.0]
+        assert reordered_makespan(sizes, 2) == 7.0
+        reordered = intra_reorder(sizes, 2)
+        assert reordered_makespan(reordered, 2) == 5.0
+        assert sorted(reordered) == sorted(sizes)
+
+
+class TestLPT:
+    def test_group_count(self):
+        groups = lpt_partition(list(range(10)), 3)
+        assert len(groups) == 3
+
+    def test_invalid_groups(self):
+        with pytest.raises(ValueError):
+            lpt_partition([1], 0)
+
+    def test_covers_all_samples(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 8.0, 1.0]
+        groups = lpt_partition(samples, 2)
+        assert sorted(x for g in groups for x in g) == sorted(samples)
+
+    def test_balanced_for_identical_sizes(self):
+        groups = lpt_partition([1.0] * 12, 4)
+        assert partition_makespan(groups) == 3.0
+
+
+class TestIntraReorder:
+    def test_permutation_invariant(self):
+        """Reordering must be a permutation: gradient accumulation is
+        commutative, so this preserves convergence semantics."""
+        rng = np.random.default_rng(0)
+        sizes = list(rng.lognormal(7, 1, 64))
+        reordered = intra_reorder(sizes, 8)
+        assert sorted(reordered) == sorted(sizes)
+
+    def test_equal_group_cardinality(self):
+        rng = np.random.default_rng(1)
+        sizes = list(rng.lognormal(7, 1, 60))
+        reordered = intra_reorder(sizes, 6)
+        assert len(reordered) == 60  # 10 per group by construction
+
+    def test_beats_random_order(self):
+        rng = np.random.default_rng(2)
+        sizes = list(rng.lognormal(7, 1.2, 64))
+        ours = reordered_makespan(intra_reorder(sizes, 8), 8)
+        rand = np.mean(
+            [
+                reordered_makespan(random_order(sizes, seed=s), 8)
+                for s in range(10)
+            ]
+        )
+        assert ours < rand
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            intra_reorder([1, 2, 3], 2)
+
+    def test_works_on_sample_objects(self):
+        samples = [
+            TrainingSample(
+                sample_id=i,
+                subsequences=(Subsequence("image", 100 * (i + 1)),),
+            )
+            for i in range(8)
+        ]
+        reordered = intra_reorder(samples, 2)
+        assert sorted(s.sample_id for s in reordered) == list(range(8))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.1, max_value=100, allow_nan=False),
+        min_size=4,
+        max_size=10,
+    ).filter(lambda xs: len(xs) % 2 == 0),
+)
+def test_lpt_within_4_3_of_optimal(sizes):
+    """The paper cites the <4/3 approximation ratio of greedy LPT."""
+    groups = lpt_partition(sizes, 2)
+    greedy = partition_makespan(groups)
+    optimal = brute_force_optimal_makespan(sizes, 2)
+    assert greedy <= optimal * 4.0 / 3.0 + 1e-9
+
+
+def test_brute_force_guard():
+    with pytest.raises(ValueError):
+        brute_force_optimal_makespan(list(range(20)), 2)

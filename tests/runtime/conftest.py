@@ -1,0 +1,26 @@
+"""Shared runtime fixtures."""
+
+import pytest
+
+from repro.cluster.cluster import make_cluster
+from repro.data.synthetic import SyntheticMultimodalDataset
+from repro.models.mllm import MLLM_9B
+from repro.parallelism.orchestration_plan import ModelOrchestrationPlan
+from repro.parallelism.plan import ParallelismPlan
+
+
+@pytest.fixture(scope="session")
+def small_plan():
+    """Hand-built disaggregated plan: 4 enc + 16 llm + 4 gen on 24 GPUs."""
+    return ModelOrchestrationPlan(
+        mllm=MLLM_9B,
+        cluster=make_cluster(24),
+        encoder_plan=ParallelismPlan(tp=1, pp=1, dp=4),
+        llm_plan=ParallelismPlan(tp=8, pp=1, dp=2),
+        generator_plan=ParallelismPlan(tp=1, pp=1, dp=4),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_batch():
+    return SyntheticMultimodalDataset(seed=2).take(16)

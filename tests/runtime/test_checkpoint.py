@@ -1,0 +1,51 @@
+"""Async checkpointing tests."""
+
+import pytest
+
+from repro.runtime.checkpoint import AsyncCheckpointer, CheckpointConfig
+
+
+def checkpointer(interval=10, state=100e9, per_gpu=1e9, **kwargs):
+    return AsyncCheckpointer(
+        config=CheckpointConfig(interval_iterations=interval, **kwargs),
+        state_bytes=state,
+        per_gpu_state_bytes=per_gpu,
+    )
+
+
+class TestCheckpointer:
+    def test_interval_respected(self):
+        cp = checkpointer(interval=5)
+        stalls = [cp.on_iteration(i, float(i)) for i in range(1, 16)]
+        stalled_iters = [i + 1 for i, s in enumerate(stalls) if s > 0]
+        assert stalled_iters == [5, 10, 15]
+
+    def test_no_stall_at_iteration_zero(self):
+        assert checkpointer().on_iteration(0, 0.0) == 0.0
+
+    def test_snapshot_stall_value(self):
+        cp = checkpointer(per_gpu=20e9, snapshot_bandwidth=20e9)
+        assert cp.snapshot_stall == pytest.approx(1.0)
+
+    def test_back_to_back_checkpoints_wait_for_upload(self):
+        cp = checkpointer(interval=1, state=400e9, upload_bandwidth=40e9)
+        first = cp.on_iteration(1, 1.0)
+        # Next request arrives long before the 10s upload finishes.
+        second = cp.on_iteration(2, 2.0)
+        assert second > first
+
+    def test_total_stall_accumulates(self):
+        cp = checkpointer(interval=2)
+        for i in range(1, 9):
+            cp.on_iteration(i, float(i) * 100)
+        assert cp.snapshots_taken == 4
+        assert cp.total_stall == pytest.approx(4 * cp.snapshot_stall)
+
+    def test_last_checkpoint_iteration(self):
+        cp = checkpointer(interval=10)
+        assert cp.last_checkpoint_iteration(37) == 30
+        assert cp.last_checkpoint_iteration(9) == 0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            CheckpointConfig(interval_iterations=0)

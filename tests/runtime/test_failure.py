@@ -1,0 +1,68 @@
+"""Failure injection / goodput tests."""
+
+import pytest
+
+from repro.runtime.failure import FailureModel, run_with_failures
+
+
+class TestFailureModel:
+    def test_cluster_mtbf_shrinks_with_scale(self):
+        model = FailureModel()
+        assert model.cluster_mtbf_seconds(1000) == pytest.approx(
+            model.cluster_mtbf_seconds(1) / 1000
+        )
+
+    def test_invalid_gpus(self):
+        with pytest.raises(ValueError):
+            FailureModel().cluster_mtbf_seconds(0)
+
+    def test_failure_times_sorted_within_horizon(self):
+        model = FailureModel(mtbf_gpu_hours=10.0)
+        times = model.sample_failure_times(1000, 3600.0, seed=1)
+        assert times == sorted(times)
+        assert all(0 < t < 3600.0 for t in times)
+
+    def test_reliable_cluster_rarely_fails(self):
+        model = FailureModel(mtbf_gpu_hours=1e9)
+        assert model.sample_failure_times(8, 3600.0, seed=0) == []
+
+
+class TestRunWithFailures:
+    def test_no_failures_full_goodput(self):
+        report = run_with_failures(
+            iteration_seconds=1.0,
+            num_iterations=100,
+            num_gpus=8,
+            failures=FailureModel(mtbf_gpu_hours=1e12),
+        )
+        assert report.num_failures == 0
+        assert report.goodput > 0.95
+
+    def test_flaky_cluster_loses_goodput(self):
+        report = run_with_failures(
+            iteration_seconds=1.0,
+            num_iterations=200,
+            num_gpus=1000,
+            failures=FailureModel(mtbf_gpu_hours=50.0, restart_seconds=60.0),
+            checkpoint_interval=50,
+            seed=3,
+        )
+        assert report.num_failures > 0
+        assert report.goodput < 0.95
+        assert report.total_seconds > report.useful_seconds
+
+    def test_frequent_checkpoints_reduce_replay(self):
+        kwargs = dict(
+            iteration_seconds=1.0,
+            num_iterations=300,
+            num_gpus=2000,
+            failures=FailureModel(mtbf_gpu_hours=100.0, restart_seconds=30.0),
+            seed=7,
+        )
+        sparse = run_with_failures(checkpoint_interval=100, **kwargs)
+        dense = run_with_failures(checkpoint_interval=10, **kwargs)
+        assert dense.replayed_iterations <= sparse.replayed_iterations
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            run_with_failures(0.0, 10, 8, FailureModel())

@@ -1,0 +1,66 @@
+"""Frozen-training configuration tests (section 7.3 semantics)."""
+
+import pytest
+
+from repro.runtime.frozen import FROZEN_PRESETS, FrozenConfig
+
+
+class TestPresets:
+    def test_four_paper_settings_present(self):
+        for name in ("all-frozen", "encoder-only", "llm-only",
+                      "generator-only", "full"):
+            assert name in FROZEN_PRESETS
+
+    def test_full_trains_everything(self):
+        full = FROZEN_PRESETS["full"]
+        assert all(full.trains(m) for m in ("encoder", "llm", "generator"))
+
+    def test_unknown_module(self):
+        with pytest.raises(KeyError):
+            FrozenConfig().trains("audio")
+
+
+class TestBackwardRequirements:
+    def test_full_training_full_backward(self):
+        full = FrozenConfig()
+        for module in ("encoder", "llm", "generator"):
+            assert full.backward_factor(module) == 2.0
+
+    def test_frozen_encoder_skips_backward_entirely(self):
+        """Nothing is upstream of the encoder: frozen => no backward."""
+        cfg = FROZEN_PRESETS["llm-only"]
+        assert cfg.backward_factor("encoder") == 0.0
+
+    def test_frozen_llm_relays_gradients(self):
+        """Trainable encoder/projectors upstream force the frozen LLM to
+        compute dX (factor 1.0)."""
+        cfg = FROZEN_PRESETS["encoder-only"]
+        assert cfg.backward_factor("llm") == 1.0
+
+    def test_generator_only(self):
+        cfg = FROZEN_PRESETS["generator-only"]
+        assert cfg.backward_factor("generator") == 2.0
+        assert cfg.backward_factor("llm") == 1.0  # projectors still train
+        assert cfg.backward_factor("encoder") == 0.0
+
+    def test_all_frozen_projector_training_still_relays(self):
+        cfg = FROZEN_PRESETS["all-frozen"]
+        assert cfg.backward_factor("llm") == 1.0
+        assert cfg.backward_factor("generator") == 1.0
+        assert cfg.backward_factor("encoder") == 0.0
+
+    def test_no_projectors_no_relay(self):
+        cfg = FrozenConfig(
+            train_encoder=False,
+            train_llm=False,
+            train_generator=False,
+            train_projectors=False,
+        )
+        assert cfg.backward_factor("generator") == 0.0
+
+
+class TestDescribe:
+    def test_labels(self):
+        assert FROZEN_PRESETS["all-frozen"].describe() == "projectors-only"
+        assert FROZEN_PRESETS["full"].describe() == "full-training"
+        assert "encoder" in FROZEN_PRESETS["encoder-only"].describe()

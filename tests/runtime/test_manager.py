@@ -1,0 +1,73 @@
+"""DistTrainManager lifecycle tests (section 3, Figure 8)."""
+
+import pytest
+
+from repro.core.config import DistTrainConfig
+from repro.runtime.checkpoint import CheckpointConfig
+from repro.runtime.manager import DistTrainManager
+
+
+@pytest.fixture(scope="module")
+def manager():
+    config = DistTrainConfig.preset("mllm-9b", 48, 32, num_iterations=1)
+    return DistTrainManager(config)
+
+
+class TestManagerPhase:
+    def test_data_analysis_cached(self, manager):
+        profile_a = manager.analyze_data()
+        profile_b = manager.analyze_data()
+        assert profile_a is profile_b
+        assert profile_a.image_tokens > 0
+
+    def test_orchestrate_cached(self, manager):
+        assert manager.orchestrate() is manager.orchestrate()
+
+    def test_baseline_system_uses_its_orchestrator(self):
+        config = DistTrainConfig.preset(
+            "mllm-9b", 48, 32, system="megatron-lm"
+        )
+        result = DistTrainManager(config).orchestrate()
+        assert result.plan.monolithic
+
+
+class TestInitializerPhase:
+    def test_units_cover_disjoint_ranks(self, manager):
+        init = manager.initialize()
+        ranks = []
+        for unit in init.units.values():
+            ranks.extend(unit.global_ranks)
+        assert len(ranks) == len(set(ranks))
+        assert max(ranks) < 48
+
+    def test_brokers_for_both_boundaries(self, manager):
+        init = manager.initialize()
+        assert set(init.brokers) == {"encoder->llm", "llm->generator"}
+
+    def test_warmup_trials_recorded(self, manager):
+        init = manager.initialize()
+        assert all(t > 0 for t in init.warmup_trial_seconds.values())
+
+    def test_cpu_pool_sized(self, manager):
+        init = manager.initialize()
+        assert init.recommended_cpu_nodes >= 1
+
+    def test_describe(self, manager):
+        text = manager.initialize().describe()
+        assert "unit 'llm'" in text
+        assert "broker" in text
+
+
+class TestRuntimePhase:
+    def test_run_produces_metrics(self, manager):
+        result = manager.run(num_iterations=1)
+        assert len(result.iterations) == 1
+        assert result.mean_mfu > 0.1
+
+    def test_run_with_checkpointing(self):
+        config = DistTrainConfig.preset("mllm-9b", 48, 32)
+        manager = DistTrainManager(
+            config, checkpoint=CheckpointConfig(interval_iterations=1)
+        )
+        result = manager.run(num_iterations=2)
+        assert result.checkpoint_stall > 0

@@ -1,0 +1,62 @@
+"""MFU and throughput accounting tests."""
+
+import pytest
+
+from repro.data.synthetic import SyntheticMultimodalDataset
+from repro.models.mllm import MLLM_9B
+from repro.runtime.frozen import FROZEN_PRESETS, FrozenConfig
+from repro.runtime.mfu import ModelFlopsAccountant, mfu, token_throughput
+
+SAMPLES = SyntheticMultimodalDataset(seed=0).take(16)
+
+
+class TestAccountant:
+    def test_positive_flops(self):
+        accountant = ModelFlopsAccountant(MLLM_9B, FrozenConfig())
+        assert accountant.batch_flops(SAMPLES) > 0
+
+    def test_frozen_training_needs_fewer_flops(self):
+        full = ModelFlopsAccountant(MLLM_9B, FrozenConfig())
+        frozen = ModelFlopsAccountant(MLLM_9B, FROZEN_PRESETS["all-frozen"])
+        assert frozen.batch_flops(SAMPLES) < full.batch_flops(SAMPLES)
+
+    def test_batch_is_sum_of_samples(self):
+        accountant = ModelFlopsAccountant(MLLM_9B, FrozenConfig())
+        total = sum(accountant.sample_flops(s) for s in SAMPLES)
+        assert accountant.batch_flops(SAMPLES) == pytest.approx(total)
+
+    def test_llm_dominates_sample_flops(self):
+        accountant = ModelFlopsAccountant(MLLM_9B, FrozenConfig())
+        sample = SAMPLES[0]
+        llm_fwd = MLLM_9B.llm.forward_flops(sample.workload())
+        assert accountant.sample_flops(sample) > 3 * llm_fwd
+
+    def test_generator_workload_uses_generation_resolution(self):
+        accountant = ModelFlopsAccountant(MLLM_9B, FrozenConfig())
+        sample = next(s for s in SAMPLES if s.num_images > 0)
+        workload = accountant.generator_workload(sample)
+        assert workload.image_tokens == sample.num_images * 1024
+
+
+class TestMfu:
+    def test_basic(self):
+        assert mfu(1e15, 10.0, 8, 312e12) == pytest.approx(
+            1e15 / (10.0 * 8 * 312e12)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mfu(1.0, 0.0, 8, 312e12)
+        with pytest.raises(ValueError):
+            mfu(1.0, 1.0, 0, 312e12)
+
+
+class TestThroughput:
+    def test_tokens_per_second(self):
+        assert token_throughput(1920, 8192, 10.0) == pytest.approx(
+            1920 * 8192 / 10.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            token_throughput(1, 1, 0.0)

@@ -1,0 +1,66 @@
+"""StepCCL layer-level tests (Figure 22's experiment)."""
+
+import pytest
+
+from repro.cluster.node import AMPERE_NODE
+from repro.models.llm import LLAMA3_7B, LLAMA3_13B, LLAMA3_70B
+from repro.stepccl.layer import StepCCLLayerModel, llm_stage_iteration_time
+
+
+class TestLayerModel:
+    def test_comm_zero_at_tp1(self):
+        model = StepCCLLayerModel(llm=LLAMA3_7B, node=AMPERE_NODE, tp=1)
+        assert model.layer_comm_time(8192) == 0.0
+
+    def test_comm_positive_at_tp8(self):
+        model = StepCCLLayerModel(llm=LLAMA3_7B, node=AMPERE_NODE, tp=8)
+        assert model.layer_comm_time(8192) > 0.0
+
+    def test_backward_costs_double(self):
+        model = StepCCLLayerModel(llm=LLAMA3_7B, node=AMPERE_NODE, tp=8)
+        fwd = model.layer_compute_time(8192, "fwd")
+        bwd = model.layer_compute_time(8192, "bwd")
+        assert bwd == pytest.approx(2 * fwd, rel=0.05)
+
+    def test_stepccl_layer_faster(self):
+        model = StepCCLLayerModel(llm=LLAMA3_7B, node=AMPERE_NODE, tp=8)
+        assert model.layer_time(8192, "fwd", stepccl=True) < model.layer_time(
+            8192, "fwd", stepccl=False
+        )
+
+    def test_invalid_tp(self):
+        with pytest.raises(ValueError):
+            StepCCLLayerModel(llm=LLAMA3_7B, node=AMPERE_NODE, tp=0)
+
+
+class TestFigure22:
+    @pytest.mark.parametrize("llm", [LLAMA3_7B, LLAMA3_13B, LLAMA3_70B])
+    @pytest.mark.parametrize("tp", [4, 8])
+    def test_stepccl_always_wins(self, llm, tp):
+        base = llm_stage_iteration_time(llm, AMPERE_NODE, tp, stepccl=False)
+        fast = llm_stage_iteration_time(llm, AMPERE_NODE, tp, stepccl=True)
+        assert fast < base
+
+    @pytest.mark.parametrize("llm", [LLAMA3_7B, LLAMA3_13B, LLAMA3_70B])
+    def test_gain_larger_at_tp8_than_tp4(self, llm):
+        """The paper: 1.1-1.12x at TP=4 vs 1.15-1.17x at TP=8 — gains
+        grow with TP because communication grows relative to compute."""
+
+        def gain(tp):
+            base = llm_stage_iteration_time(llm, AMPERE_NODE, tp, False)
+            fast = llm_stage_iteration_time(llm, AMPERE_NODE, tp, True)
+            return base / fast
+
+        assert gain(8) > gain(4) > 1.0
+
+    @pytest.mark.parametrize("tp,lo,hi", [(4, 1.02, 1.15), (8, 1.05, 1.30)])
+    def test_gains_in_paper_band(self, tp, lo, hi):
+        for llm in (LLAMA3_7B, LLAMA3_13B, LLAMA3_70B):
+            base = llm_stage_iteration_time(llm, AMPERE_NODE, tp, False)
+            fast = llm_stage_iteration_time(llm, AMPERE_NODE, tp, True)
+            assert lo < base / fast < hi
+
+    def test_bigger_model_longer_iteration(self):
+        t7 = llm_stage_iteration_time(LLAMA3_7B, AMPERE_NODE, 8, True)
+        t70 = llm_stage_iteration_time(LLAMA3_70B, AMPERE_NODE, 8, True)
+        assert t70 > 2 * t7

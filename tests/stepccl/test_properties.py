@@ -1,0 +1,85 @@
+"""Property-based tests for the StepCCL overlap simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stepccl.overlap import (
+    OverlapConfig,
+    simulate_overlapped,
+    simulate_sequential,
+)
+
+
+@st.composite
+def overlap_configs(draw):
+    return OverlapConfig(
+        comm_time=draw(st.floats(min_value=0.0, max_value=10.0,
+                                 allow_nan=False)),
+        compute_time=draw(st.floats(min_value=0.01, max_value=10.0,
+                                    allow_nan=False)),
+        num_chunks=draw(st.integers(min_value=1, max_value=32)),
+        chunk_overhead=draw(st.floats(min_value=0.0, max_value=0.01,
+                                      allow_nan=False)),
+        remap_time=draw(st.floats(min_value=0.0, max_value=0.5,
+                                  allow_nan=False)),
+        remap_overlappable=draw(st.booleans()),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(overlap_configs())
+def test_timelines_always_physical(config):
+    """Both schedules produce stream-consistent timelines."""
+    simulate_sequential(config).assert_valid()
+    simulate_overlapped(config).assert_valid()
+
+
+@settings(max_examples=80, deadline=None)
+@given(overlap_configs())
+def test_overlap_lower_bounds(config):
+    """The overlapped schedule can never beat the physical floor: all
+    communication must flow and all computation must execute."""
+    timeline = simulate_overlapped(config)
+    n = config.num_chunks
+    comm_floor = config.comm_time + n * config.chunk_overhead
+    compute_floor = config.compute_time + n * config.chunk_overhead
+    assert timeline.total_time >= comm_floor - 1e-9
+    assert timeline.total_time >= compute_floor - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(overlap_configs())
+def test_overlap_never_worse_than_serializing_chunks(config):
+    """StepCCL is at most the fully serialized chunked execution."""
+    timeline = simulate_overlapped(config)
+    n = config.num_chunks
+    serialized = (
+        config.comm_time
+        + config.compute_time
+        + 2 * n * config.chunk_overhead
+        + (0.0 if config.remap_overlappable else config.remap_time)
+    )
+    assert timeline.total_time <= serialized + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+    st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+)
+def test_more_chunks_monotone_without_overhead(comm, compute):
+    """With zero chunk overhead and remap, more chunks never hurt."""
+    times = [
+        simulate_overlapped(
+            OverlapConfig(
+                comm_time=comm,
+                compute_time=compute,
+                num_chunks=n,
+                chunk_overhead=0.0,
+                remap_time=0.0,
+            )
+        ).total_time
+        for n in (1, 2, 4, 8, 16)
+    ]
+    for earlier, later in zip(times, times[1:]):
+        assert later <= earlier + 1e-9

@@ -1,0 +1,110 @@
+"""Cross-package integration tests.
+
+End-to-end invariants spanning orchestration, runtime, data, and the
+public API — the claims a downstream user relies on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import build_simulator, plan, simulate
+from repro.core.config import DistTrainConfig
+from repro.data.synthetic import SyntheticMultimodalDataset
+from repro.orchestration.adaptive import AdaptiveOrchestrator
+from repro.orchestration.problem import OrchestrationProblem, SampleProfile
+from repro.pipeline.schedules import ScheduleKind
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return SampleProfile.from_samples(
+        SyntheticMultimodalDataset(seed=1).take(128)
+    )
+
+
+class TestOrchestrationRobustness:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        nodes=st.integers(min_value=3, max_value=20),
+        gbs_factor=st.integers(min_value=2, max_value=8),
+    )
+    def test_plan_always_fits_and_validates(self, nodes, gbs_factor):
+        """For any cluster size / batch size, the adaptive plan fits the
+        cluster, divides the batch, and splits the layers."""
+        profile = SampleProfile()  # defaults, avoids re-profiling data
+        problem = OrchestrationProblem(
+            mllm=DistTrainConfig.preset("mllm-9b", 8, 8).mllm,
+            cluster=DistTrainConfig.preset(
+                "mllm-9b", nodes * 8, 8
+            ).cluster,
+            global_batch_size=8 * gbs_factor,
+            profile=profile,
+        )
+        result = AdaptiveOrchestrator(problem).plan()
+        assert result.plan.num_gpus <= problem.num_gpus
+        result.plan.validate(problem.global_batch_size)
+
+    def test_bigger_cluster_never_slower(self, profile):
+        """More GPUs => iteration time does not increase."""
+        times = []
+        for gpus in (32, 64, 128):
+            problem = OrchestrationProblem(
+                mllm=DistTrainConfig.preset("mllm-9b", gpus, 64).mllm,
+                cluster=DistTrainConfig.preset("mllm-9b", gpus, 64).cluster,
+                global_batch_size=64,
+                profile=profile,
+            )
+            result = AdaptiveOrchestrator(problem).plan()
+            times.append(result.predicted_iteration_time)
+        assert times[0] >= times[1] * 0.95
+        assert times[1] >= times[2] * 0.95
+
+
+class TestEndToEndClaims:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return DistTrainConfig.preset("mllm-9b", 48, 32)
+
+    def test_disttrain_beats_megatron_on_iteration_time(self, config):
+        ours = simulate(config)
+        theirs = simulate(config.with_system("megatron-lm"))
+        assert ours.iteration_time < theirs.iteration_time
+
+    def test_gpipe_schedule_runs(self, config):
+        gpipe_config = config.with_(schedule=ScheduleKind.GPIPE)
+        result = simulate(gpipe_config)
+        assert result.iteration_time > 0
+
+    def test_frozen_phase_runs_faster(self, config):
+        frozen = config.with_(
+            frozen=DistTrainConfig.preset(
+                "mllm-9b", 48, 32, frozen="all-frozen"
+            ).frozen
+        )
+        orchestration = plan(config)  # same plan for both
+        full = build_simulator(config, orchestration).simulate(
+            SyntheticMultimodalDataset(seed=0).take(32)
+        )
+        light = build_simulator(frozen, orchestration).simulate(
+            SyntheticMultimodalDataset(seed=0).take(32)
+        )
+        assert light.pipeline_time < full.pipeline_time
+
+    def test_determinism(self, config):
+        a = simulate(config)
+        b = simulate(config)
+        assert a.iteration_time == pytest.approx(b.iteration_time)
+        assert a.mfu == pytest.approx(b.mfu)
+
+
+class TestReorderingConvergenceSemantics:
+    def test_reordered_batches_are_permutations(self):
+        """The simulator consumes every sample exactly once regardless
+        of reordering — the convergence-semantics guarantee."""
+        from repro.reordering.intra import intra_reorder
+
+        batch = SyntheticMultimodalDataset(seed=9).take(64)
+        reordered = intra_reorder(batch, 8)
+        assert sorted(s.sample_id for s in reordered) == sorted(
+            s.sample_id for s in batch
+        )

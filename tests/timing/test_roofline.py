@@ -1,0 +1,73 @@
+"""Roofline model tests."""
+
+import pytest
+
+from repro.cluster.gpu import AMPERE_A100_80G, L20
+from repro.models.base import ModuleKind
+from repro.timing.roofline import DEFAULT_EFFICIENCY, EfficiencyModel, kernel_time
+
+
+class TestEfficiency:
+    def test_backbone_most_efficient(self):
+        e = DEFAULT_EFFICIENCY
+        assert (
+            e.efficiency(ModuleKind.BACKBONE)
+            > e.efficiency(ModuleKind.ENCODER)
+            > e.efficiency(ModuleKind.GENERATOR)
+        )
+
+    def test_tp_degrades_efficiency(self):
+        e = DEFAULT_EFFICIENCY
+        for kind in ModuleKind:
+            assert e.efficiency(kind, 8) < e.efficiency(kind, 1)
+
+    def test_generator_suffers_most_from_tp(self):
+        e = DEFAULT_EFFICIENCY
+        drop = lambda kind: e.efficiency(kind, 8) / e.efficiency(kind, 1)
+        assert drop(ModuleKind.GENERATOR) < drop(ModuleKind.ENCODER)
+        assert drop(ModuleKind.ENCODER) < drop(ModuleKind.BACKBONE)
+
+    def test_efficiency_floor(self):
+        e = EfficiencyModel(
+            tp_penalty_per_doubling={k: 0.5 for k in ModuleKind}
+        )
+        assert e.efficiency(ModuleKind.BACKBONE, 8) == pytest.approx(0.05)
+
+    def test_invalid_tp(self):
+        with pytest.raises(ValueError):
+            DEFAULT_EFFICIENCY.efficiency(ModuleKind.BACKBONE, 0)
+
+
+class TestKernelTime:
+    def test_zero_flops_zero_time(self):
+        assert kernel_time(0, AMPERE_A100_80G, ModuleKind.BACKBONE) == 0.0
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_time(-1, AMPERE_A100_80G, ModuleKind.BACKBONE)
+
+    def test_tp_splits_work(self):
+        t1 = kernel_time(1e15, AMPERE_A100_80G, ModuleKind.BACKBONE, tp=1)
+        t8 = kernel_time(1e15, AMPERE_A100_80G, ModuleKind.BACKBONE, tp=8)
+        # 8-way split is nearly 8x faster, minus the efficiency penalty.
+        assert 6.0 < t1 / t8 < 8.0
+
+    def test_launch_overhead_scales_with_layers(self):
+        shallow = kernel_time(
+            1e12, AMPERE_A100_80G, ModuleKind.BACKBONE, num_layers=1
+        )
+        deep = kernel_time(
+            1e12, AMPERE_A100_80G, ModuleKind.BACKBONE, num_layers=100
+        )
+        assert deep > shallow
+
+    def test_slower_gpu_slower_kernels(self):
+        fast = kernel_time(1e14, AMPERE_A100_80G, ModuleKind.BACKBONE)
+        slow = kernel_time(1e14, L20, ModuleKind.BACKBONE)
+        assert slow > 2 * fast
+
+    def test_achievable_fraction_realistic(self):
+        """1e15 FLOPs at bf16 peak should take ~5s at ~66% efficiency."""
+        t = kernel_time(1e15, AMPERE_A100_80G, ModuleKind.BACKBONE)
+        implied_eff = 1e15 / (t * 312e12)
+        assert 0.55 < implied_eff < 0.70
