@@ -4,6 +4,11 @@ Paper-scale: ~1.2k GPUs, GBS 1920. Paper results: DistTrain reaches
 51.8-54.7% MFU; Megatron-LM trails by 1.7-2.8x on MLLM-9B/15B and ~1.2x
 on MLLM-72B. The headline claim — 54.7% MFU training a 72B MLLM on 1172
 GPUs — corresponds to this figure's right-most bars.
+
+Runs through the experiment campaign engine: the grid is declared in
+``conftest.py`` and executed in parallel with content-addressed caching,
+and the MFU-gain column is a :meth:`ResultFrame.with_ratio` over the
+Megatron-LM baseline rows.
 """
 
 import pytest
@@ -12,22 +17,29 @@ from benchmarks.conftest import MODELS
 from repro.core.reports import format_table
 
 
-def test_figure13_overall_mfu(benchmark, overall_results):
-    rows = benchmark.pedantic(
-        lambda: [
-            [
-                model,
-                overall_results[model]["megatron-lm"].num_gpus,
-                f"{overall_results[model]['megatron-lm'].mfu * 100:.1f}%",
-                overall_results[model]["disttrain"].num_gpus,
-                f"{overall_results[model]['disttrain'].mfu * 100:.1f}%",
-                f"{overall_results[model]['disttrain'].mfu / overall_results[model]['megatron-lm'].mfu:.2f}x",
-            ]
-            for model in MODELS
-        ],
+def test_figure13_overall_mfu(benchmark, overall_frame):
+    frame = benchmark.pedantic(
+        lambda: overall_frame.with_ratio(
+            "mfu",
+            baseline={"system": "megatron-lm"},
+            join=("model",),
+            name="mfu_gain",
+        ),
         rounds=1,
         iterations=1,
     )
+
+    rows = [
+        [
+            model,
+            frame.filter(model=model, system="megatron-lm").value("num_gpus"),
+            f"{frame.filter(model=model, system='megatron-lm').value('mfu') * 100:.1f}%",
+            frame.filter(model=model, system="disttrain").value("num_gpus"),
+            f"{frame.filter(model=model, system='disttrain').value('mfu') * 100:.1f}%",
+            f"{frame.filter(model=model, system='disttrain').value('mfu_gain'):.2f}x",
+        ]
+        for model in MODELS
+    ]
     print()
     print(format_table(
         ["model", "megatron GPUs", "megatron MFU",
@@ -36,20 +48,18 @@ def test_figure13_overall_mfu(benchmark, overall_results):
         title="Figure 13: overall MFU (GBS 1920, <=1296 GPUs)",
     ))
 
+    gain = lambda m: frame.filter(model=m, system="disttrain").value(
+        "mfu_gain"
+    )
     for model in MODELS:
-        ours = overall_results[model]["disttrain"]
-        theirs = overall_results[model]["megatron-lm"]
+        ours = frame.filter(model=model, system="disttrain")
         # DistTrain lands in the high-MFU regime of the paper.
-        assert ours.mfu > 0.40
+        assert ours.value("mfu") > 0.40
         # Megatron trails everywhere.
-        assert ours.mfu > theirs.mfu
+        assert gain(model) > 1.0
 
     # Shape: the gain is much larger for the small models (their
     # monolithic pipelines waste 2/3 of the GPUs) than for the 72B.
-    gain = lambda m: (
-        overall_results[m]["disttrain"].mfu
-        / overall_results[m]["megatron-lm"].mfu
-    )
     assert gain("mllm-9b") > gain("mllm-72b")
     assert 1.1 < gain("mllm-72b") < 2.0  # paper: ~1.2x
     assert gain("mllm-9b") > 1.7  # paper: up to 2.8x

@@ -3,11 +3,12 @@
 A from-scratch reproduction of "DistTrain: Addressing Model and Data
 Heterogeneity with Disaggregated Training for Multimodal Large Language
 Models" (SIGCOMM 2025) over a high-fidelity analytic + discrete-event
-simulation substrate. See DESIGN.md for the system inventory and
-EXPERIMENTS.md for the paper-vs-measured record.
+simulation substrate. See README.md for the quickstart, the CLI, and
+the experiment campaign engine; the figure/table record lives in the
+``benchmarks/`` reproduction suite.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core import (
     DistTrainConfig,
@@ -16,6 +17,14 @@ from repro.core import (
     simulate_run,
     compare_systems,
 )
+from repro.experiments import (
+    Axis,
+    CampaignRunner,
+    ResultCache,
+    ResultFrame,
+    SweepSpec,
+    ZippedAxes,
+)
 
 __all__ = [
     "DistTrainConfig",
@@ -23,5 +32,11 @@ __all__ = [
     "simulate",
     "simulate_run",
     "compare_systems",
+    "Axis",
+    "ZippedAxes",
+    "SweepSpec",
+    "CampaignRunner",
+    "ResultCache",
+    "ResultFrame",
     "__version__",
 ]

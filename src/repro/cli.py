@@ -2,11 +2,17 @@
 
 Usage::
 
-    python -m repro plan     --model mllm-72b --gpus 1296 --gbs 1920
-    python -m repro simulate --model mllm-9b  --gpus 96   --gbs 128
-    python -m repro compare  --model mllm-9b  --gpus 96   --gbs 128 \
-                             --systems disttrain megatron-lm
-    python -m repro data-stats --samples 1000
+    repro plan     --model mllm-72b --gpus 1296 --gbs 1920
+    repro simulate --model mllm-9b  --gpus 96   --gbs 128
+    repro compare  --model mllm-9b  --gpus 96   --gbs 128 \
+                   --systems disttrain megatron-lm
+    repro data-stats --samples 1000
+    repro sweep    --models mllm-9b mllm-15b \
+                   --systems disttrain megatron-lm \
+                   --gpus 48 96 192 --gbs 128
+    repro report   --baseline-system megatron-lm --csv results.csv
+
+(Also runnable as ``python -m repro ...``.)
 """
 
 from __future__ import annotations
@@ -20,6 +26,15 @@ from repro.core.config import KNOWN_SYSTEMS, DistTrainConfig
 from repro.core.reports import format_comparison, format_table
 from repro.models.mllm import MLLM_PRESETS
 from repro.runtime.frozen import FROZEN_PRESETS
+
+#: Default on-disk location of the campaign result cache.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Columns ``repro sweep``/``repro report`` print by default.
+REPORT_COLUMNS = (
+    "model", "system", "gpus", "gbs", "frozen",
+    "mfu", "throughput_tokens_per_s", "iteration_time", "status",
+)
 
 
 def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
@@ -142,6 +157,142 @@ def cmd_data_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_filter(text: str):
+    """``key=value`` with value coerced to int/float/bool when possible."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"filter {text!r} must look like key=value"
+        )
+    key, raw = text.split("=", 1)
+    value: object = raw
+    for cast in (int, float):
+        try:
+            value = cast(raw)
+            break
+        except ValueError:
+            continue
+    if raw in ("true", "false"):
+        value = raw == "true"
+    return key, value
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        Axis,
+        CampaignRunner,
+        ResultCache,
+        SweepSpec,
+        print_progress,
+    )
+
+    base = {"vpp": args.vpp}
+    if args.seed is not None:
+        base["seed"] = args.seed
+    try:
+        spec = SweepSpec.grid(
+            models=args.models,
+            systems=args.systems,
+            gpus=args.gpus,
+            gbs=args.gbs,
+            name=args.name,
+            **base,
+        )
+    except ValueError as exc:
+        print(f"repro sweep: error: {exc}", file=sys.stderr)
+        return 2
+    if len(args.frozen) == 1:
+        spec.base = {**spec.base, "frozen": args.frozen[0]}
+    else:
+        spec.axes = list(spec.axes) + [Axis("frozen", args.frozen)]
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = CampaignRunner(
+        spec,
+        cache=cache,
+        processes=args.jobs,
+        progress=None if args.quiet else print_progress,
+        derive_seeds=args.derive_seeds,
+    )
+    campaign = runner.run()
+
+    frame = campaign.frame().sort_by("model", "system", "gpus")
+    available = set(frame.columns)
+    header, rows = frame.table(
+        [c for c in REPORT_COLUMNS if c in available]
+    )
+    print(format_table(header, rows, title=f"campaign {spec.name!r}:"))
+    print(campaign.summary())
+    if cache is not None:
+        print(f"cache: {cache.root} ({len(cache)} entries)")
+    if args.output:
+        frame.to_json(args.output)
+        print(f"results written to {args.output}")
+    # Exit non-zero only when nothing succeeded (partial grids are
+    # normal: e.g. Megatron-LM is infeasible on tiny clusters).
+    return 1 if campaign.records and not campaign.ok_records else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import ResultCache, ResultFrame
+
+    if args.input:
+        frame = ResultFrame.from_json(args.input)
+        source = args.input
+    else:
+        cache = ResultCache(args.cache_dir)
+        frame = ResultFrame.from_cache(cache)
+        source = str(cache.root)
+    if args.ok_only:
+        frame = frame.ok()
+    for key, value in args.filter or []:
+        frame = frame.filter(**{key: value})
+    if not frame:
+        print(f"no results in {source} match")
+        return 1
+
+    available = set(frame.columns)
+    columns = [c for c in REPORT_COLUMNS if c in available]
+    if args.baseline_system:
+        join = ("model", "gpus", "gbs", "frozen", "vpp", "seed", "schedule")
+        join = tuple(k for k in join if k in available)
+        try:
+            for metric, name in (
+                ("mfu", "mfu_gain"),
+                ("throughput_tokens_per_s", "throughput_gain"),
+            ):
+                frame = frame.with_ratio(
+                    metric,
+                    baseline={"system": args.baseline_system},
+                    join=join,
+                    name=name,
+                )
+        except ValueError as exc:
+            print(
+                f"repro report: error: {exc} "
+                f"(narrow the rows with --filter)",
+                file=sys.stderr,
+            )
+            return 2
+        columns += ["mfu_gain", "throughput_gain"]
+    if args.metrics:
+        columns = [c for c in columns if c not in (
+            "mfu", "throughput_tokens_per_s", "iteration_time"
+        )] + args.metrics
+
+    frame = frame.sort_by(*(k for k in ("model", "system", "gpus", "gbs")
+                            if k in available))
+    header, rows = frame.table(columns)
+    print(format_table(
+        header, rows, title=f"{len(frame)} results from {source}:"
+    ))
+    if args.csv:
+        frame.to_csv(args.csv)
+        print(f"CSV written to {args.csv}")
+    if args.json:
+        frame.to_json(args.json)
+        print(f"JSON written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -185,6 +336,96 @@ def build_parser() -> argparse.ArgumentParser:
     data_parser.add_argument("--samples", type=int, default=500)
     data_parser.add_argument("--seed", type=int, default=0)
     data_parser.set_defaults(fn=cmd_data_stats)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a campaign: a grid of tasks in parallel, with caching",
+    )
+    sweep_parser.add_argument(
+        "--models", nargs="+", required=True, choices=sorted(MLLM_PRESETS)
+    )
+    sweep_parser.add_argument(
+        "--systems", nargs="+", default=["disttrain", "megatron-lm"],
+        choices=KNOWN_SYSTEMS,
+    )
+    sweep_parser.add_argument(
+        "--gpus", nargs="+", type=int, required=True,
+        help="cluster sizes to sweep",
+    )
+    sweep_parser.add_argument(
+        "--gbs", nargs="+", type=int, required=True,
+        help="one global batch size for all cluster sizes, or one per "
+             "--gpus value (zipped: batch scales with the cluster)",
+    )
+    sweep_parser.add_argument(
+        "--frozen", nargs="+", default=["full"],
+        choices=sorted(FROZEN_PRESETS),
+        help="frozen-training phases (several values add a sweep axis)",
+    )
+    sweep_parser.add_argument("--vpp", type=int, default=1)
+    sweep_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="data seed shared by every trial (default 0)",
+    )
+    sweep_parser.add_argument(
+        "--derive-seeds", action="store_true",
+        help="give each trial a distinct deterministic data seed "
+             "(ignored if --seed is set)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help="content-addressed result store (re-runs skip cached trials)",
+    )
+    sweep_parser.add_argument(
+        "--no-cache", action="store_true", help="always re-execute"
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: one per core; 1 = serial)",
+    )
+    sweep_parser.add_argument(
+        "--name", default="sweep", help="campaign label"
+    )
+    sweep_parser.add_argument(
+        "--output", default=None, help="write results (JSON) to this path"
+    )
+    sweep_parser.add_argument(
+        "--quiet", action="store_true", help="no per-trial progress lines"
+    )
+    sweep_parser.set_defaults(fn=cmd_sweep)
+
+    report_parser = subparsers.add_parser(
+        "report", help="tabulate cached campaign results"
+    )
+    report_parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help="result store to read (default: %(default)s)",
+    )
+    report_parser.add_argument(
+        "--input", default=None,
+        help="read a results JSON written by `repro sweep --output` "
+             "instead of the cache",
+    )
+    report_parser.add_argument(
+        "--filter", nargs="+", type=_parse_filter, default=None,
+        metavar="KEY=VALUE", help="keep only matching rows",
+    )
+    report_parser.add_argument(
+        "--ok-only", action="store_true", help="drop failed trials"
+    )
+    report_parser.add_argument(
+        "--metrics", nargs="+", default=None,
+        help="metric columns to print instead of the defaults",
+    )
+    report_parser.add_argument(
+        "--baseline-system", default=None, choices=KNOWN_SYSTEMS,
+        help="add MFU/throughput ratio columns vs this system",
+    )
+    report_parser.add_argument("--csv", default=None, help="export CSV here")
+    report_parser.add_argument(
+        "--json", default=None, help="export JSON here"
+    )
+    report_parser.set_defaults(fn=cmd_report)
 
     return parser
 

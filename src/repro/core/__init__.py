@@ -24,6 +24,30 @@ from repro.core.reports import format_table, format_comparison
 # layer, so it is exported here to keep imports acyclic.
 from repro.runtime.manager import DistTrainManager, InitializationReport
 
+# The campaign engine (repro.experiments) builds ON TOP of this package,
+# so its entry points are re-exported lazily (PEP 562): importing them
+# eagerly here would put repro.core below and above repro.experiments at
+# once and trap any future `from repro.core import ...` inside the
+# experiments modules in a circular import.
+_EXPERIMENT_EXPORTS = (
+    "Axis",
+    "ZippedAxes",
+    "SweepSpec",
+    "ResultCache",
+    "CampaignRunner",
+    "CampaignResult",
+    "ResultFrame",
+)
+
+
+def __getattr__(name):
+    if name in _EXPERIMENT_EXPORTS:
+        import repro.experiments
+
+        return getattr(repro.experiments, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "DistTrainConfig",
     "plan",
@@ -35,4 +59,11 @@ __all__ = [
     "format_comparison",
     "DistTrainManager",
     "InitializationReport",
+    "Axis",
+    "ZippedAxes",
+    "SweepSpec",
+    "ResultCache",
+    "CampaignRunner",
+    "CampaignResult",
+    "ResultFrame",
 ]

@@ -1,0 +1,57 @@
+"""Experiment campaign engine.
+
+Turns the single-shot ``(plan, simulate)`` API into a high-throughput
+evaluation engine: declarative sweeps (:mod:`~repro.experiments.spec`),
+parallel cached execution (:mod:`~repro.experiments.runner`,
+:mod:`~repro.experiments.cache`), and tabular analysis
+(:mod:`~repro.experiments.results`).
+
+Typical use::
+
+    from repro.experiments import SweepSpec, CampaignRunner, ResultCache
+
+    spec = SweepSpec.grid(
+        models=["mllm-9b", "mllm-72b"],
+        systems=["disttrain", "megatron-lm"],
+        gpus=[96, 192, 384],
+        gbs=128,
+    )
+    campaign = CampaignRunner(spec, cache=ResultCache(".repro-cache")).run()
+    frame = campaign.frame().ok().with_ratio(
+        "mfu", baseline={"system": "megatron-lm"}, join=("model", "gpus"),
+    )
+"""
+
+from repro.experiments.spec import (
+    Axis,
+    SweepSpec,
+    TrialSpec,
+    ZippedAxes,
+    canonical_json,
+    config_hash,
+)
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import (
+    CampaignResult,
+    CampaignRunner,
+    TrialRecord,
+    derive_trial_seed,
+    print_progress,
+)
+from repro.experiments.results import ResultFrame
+
+__all__ = [
+    "Axis",
+    "ZippedAxes",
+    "SweepSpec",
+    "TrialSpec",
+    "canonical_json",
+    "config_hash",
+    "ResultCache",
+    "CampaignRunner",
+    "CampaignResult",
+    "TrialRecord",
+    "derive_trial_seed",
+    "print_progress",
+    "ResultFrame",
+]

@@ -1,0 +1,134 @@
+"""Content-addressed on-disk result store.
+
+Each completed trial is stored as one JSON file named by its config hash
+(see :func:`repro.experiments.spec.config_hash`), so a campaign re-run
+only executes trials whose configuration actually changed. One file per
+trial keeps concurrent writers (parallel campaigns sharing a cache
+directory) from contending on a single index file, and writes are
+atomic (temp file + rename) so a killed run never leaves a torn entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+#: Bump when the record layout changes; older entries read as misses.
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """A directory of ``<config-hash>.json`` trial records."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def is_key(key: str) -> bool:
+        return bool(key) and all(ch in "0123456789abcdef" for ch in key)
+
+    def path_for(self, key: str) -> Path:
+        if not self.is_key(key):
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored record for ``key``, or None on miss.
+
+        Torn, unreadable, or version-mismatched entries count as misses:
+        the trial simply re-executes and overwrites them.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError, UnicodeDecodeError):
+            # ValueError covers JSONDecodeError; UnicodeDecodeError (a
+            # ValueError subclass) is listed for clarity — any unreadable
+            # byte stream is a miss, never a crash.
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("cache_version") != CACHE_VERSION:
+            return None
+        return record
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> List[str]:
+        """Keys of stored entries; stray non-key ``*.json`` files (e.g. a
+        sweep export written into the cache dir) are ignored."""
+        return sorted(
+            path.stem
+            for path in self.root.glob("*.json")
+            if self.is_key(path.stem)
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __iter__(self) -> Iterator[Dict]:
+        for key in self.keys():
+            record = self.get(key)
+            if record is not None:
+                yield record
+
+    def load_all(self) -> List[Dict]:
+        """Every valid record in the cache, ordered by key."""
+        return list(self)
+
+    # ------------------------------------------------------------------ #
+    # Write side
+    # ------------------------------------------------------------------ #
+    def put(self, key: str, record: Dict) -> Path:
+        """Atomically store ``record`` under ``key``."""
+        path = self.path_for(key)
+        payload = dict(record)
+        payload["cache_version"] = CACHE_VERSION
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True, indent=1)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def discard(self, key: str) -> bool:
+        """Remove one entry; True if it existed."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted.
+
+        Only key-named files are touched — stray files in the cache
+        directory (which :meth:`keys` ignores) are left alone.
+        """
+        removed = 0
+        for path in self.root.glob("*.json"):
+            if not self.is_key(path.stem):
+                continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

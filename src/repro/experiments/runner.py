@@ -1,0 +1,316 @@
+"""Campaign execution: parallel trials, caching, and error isolation.
+
+A :class:`CampaignRunner` takes a :class:`~repro.experiments.spec.SweepSpec`,
+expands it, skips every trial whose config hash is already in the
+:class:`~repro.experiments.cache.ResultCache`, and executes the rest in a
+``multiprocessing.Pool``. A trial that raises records a failure row and
+the campaign keeps going — one bad configuration never kills a sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.api import plan, simulate
+from repro.experiments.cache import ResultCache
+from repro.experiments.spec import (
+    SweepSpec,
+    TrialSpec,
+    canonical_json,
+    config_hash,
+)
+
+ProgressFn = Callable[[int, int, "TrialRecord"], None]
+
+
+@dataclass
+class TrialRecord:
+    """Outcome of one trial: parameters, identity, and metrics."""
+
+    params: Dict[str, Any]
+    config_hash: str
+    status: str  # "ok" or "failed"
+    metrics: Dict[str, float] = field(default_factory=dict)
+    error: str = ""
+    elapsed_seconds: float = 0.0
+    cached: bool = False  # runtime-only; not serialized
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "params": dict(self.params),
+            "config_hash": self.config_hash,
+            "status": self.status,
+            "metrics": dict(self.metrics),
+            "error": self.error,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, record: Dict[str, Any], cached: bool = False
+    ) -> "TrialRecord":
+        return cls(
+            params=dict(record.get("params", {})),
+            config_hash=str(record.get("config_hash", "")),
+            status=str(record.get("status", "failed")),
+            metrics=dict(record.get("metrics", {})),
+            error=str(record.get("error", "")),
+            elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+            cached=cached,
+        )
+
+    def label(self) -> str:
+        return TrialSpec(self.params).label() if self.params else "<invalid>"
+
+
+def derive_trial_seed(params: Dict[str, Any]) -> int:
+    """A deterministic per-trial seed from the parameter assignment.
+
+    Stable across process restarts and platforms (pure function of the
+    canonical parameter serialization), so re-running a campaign replays
+    identical data streams.
+    """
+    digest = hashlib.sha256(canonical_json(params).encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % (2**31)
+
+
+# --------------------------------------------------------------------- #
+# Worker (top-level so multiprocessing can pickle it)
+# --------------------------------------------------------------------- #
+def execute_trial(payload: Tuple[int, Dict[str, Any], str]):
+    """Run one (plan, simulate) trial; never raises.
+
+    Returns ``(index, record_dict)`` where the record carries either the
+    metrics or the formatted failure.
+    """
+    index, params, key = payload
+    start = time.monotonic()
+    try:
+        config = TrialSpec(params).to_config()
+        orchestration = plan(config)
+        result = simulate(config, orchestration)
+        metrics = {
+            "iteration_time": result.iteration_time,
+            "pipeline_time": result.pipeline_time,
+            "dp_sync_time": result.dp_sync_time,
+            "preprocess_overhead": result.preprocess_overhead,
+            "optimizer_time": result.optimizer_time,
+            "model_flops": result.model_flops,
+            "num_gpus": result.num_gpus,
+            "mfu": result.mfu,
+            "throughput_tokens_per_s": result.throughput_tokens_per_s,
+            "bubble_fraction": result.bubble_fraction,
+            "straggler_spread": result.straggler_spread,
+            "solve_seconds": orchestration.solve_seconds,
+        }
+        record = TrialRecord(
+            params=params,
+            config_hash=key,
+            status="ok",
+            metrics=metrics,
+            elapsed_seconds=time.monotonic() - start,
+        )
+    except Exception as exc:  # error isolation: a trial never kills the run
+        record = TrialRecord(
+            params=params,
+            config_hash=key,
+            status="failed",
+            error=f"{type(exc).__name__}: {exc}",
+            elapsed_seconds=time.monotonic() - start,
+        )
+    return index, record.to_dict()
+
+
+# --------------------------------------------------------------------- #
+# Campaign
+# --------------------------------------------------------------------- #
+@dataclass
+class CampaignResult:
+    """All trial records of one campaign run, plus execution counters."""
+
+    name: str
+    records: List[TrialRecord]
+    executed: int
+    cached: int
+    elapsed_seconds: float
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for record in self.records if not record.ok)
+
+    @property
+    def ok_records(self) -> List[TrialRecord]:
+        return [record for record in self.records if record.ok]
+
+    @property
+    def failures(self) -> List[TrialRecord]:
+        return [record for record in self.records if not record.ok]
+
+    def frame(self):
+        """The campaign's results as a filterable ResultFrame."""
+        from repro.experiments.results import ResultFrame
+
+        return ResultFrame(self.records)
+
+    def summary(self) -> str:
+        return (
+            f"campaign {self.name!r}: {len(self.records)} trials "
+            f"({self.executed} executed, {self.cached} cached, "
+            f"{self.failed} failed) in {self.elapsed_seconds:.1f} s"
+        )
+
+
+def print_progress(done: int, total: int, record: TrialRecord) -> None:
+    """Default progress reporter: one stderr line per completed trial."""
+    if record.ok:
+        outcome = "cached" if record.cached else (
+            f"{record.elapsed_seconds:.1f}s"
+        )
+        detail = (
+            f"mfu={record.metrics.get('mfu', 0.0) * 100:.1f}% "
+            f"[{outcome}]"
+        )
+    else:
+        detail = f"FAILED: {record.error}"
+    print(f"[{done}/{total}] {record.label()} {detail}", file=sys.stderr)
+
+
+class CampaignRunner:
+    """Executes a sweep with caching, parallelism, and failure isolation.
+
+    Args:
+        spec: The sweep to run.
+        cache: Result store; None disables caching (every trial runs).
+        processes: Worker processes; None picks ``min(cpu, trials)``,
+            1 (or 0) forces in-process serial execution.
+        progress: Per-trial completion callback ``(done, total, record)``;
+            e.g. :func:`print_progress`. None is silent.
+        derive_seeds: Give each trial a distinct deterministic data seed
+            derived from its parameters (unless it sets one explicitly).
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        cache: Optional[ResultCache] = None,
+        processes: Optional[int] = None,
+        progress: Optional[ProgressFn] = None,
+        derive_seeds: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.cache = cache
+        self.processes = processes
+        self.progress = progress
+        self.derive_seeds = derive_seeds
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> CampaignResult:
+        start = time.monotonic()
+        trials = self.spec.expand()
+        total = len(trials)
+        records: List[Optional[TrialRecord]] = [None] * total
+        pending: List[Tuple[int, Dict[str, Any], str]] = []
+        done = 0
+        cached_count = 0
+
+        for index, trial in enumerate(trials):
+            params = dict(trial.params)
+            if self.derive_seeds and "seed" not in params:
+                params["seed"] = derive_trial_seed(params)
+            try:
+                key = config_hash(TrialSpec(params).to_config())
+            except Exception as exc:
+                # The config itself is invalid: record the failure here,
+                # without occupying a worker or a cache slot.
+                records[index] = TrialRecord(
+                    params=params,
+                    config_hash="",
+                    status="failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                done += 1
+                self._report(done, total, records[index])
+                continue
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                records[index] = TrialRecord.from_dict(hit, cached=True)
+                records[index].params = params  # identity over stored copy
+                cached_count += 1
+                done += 1
+                self._report(done, total, records[index])
+            else:
+                pending.append((index, params, key))
+
+        executed = len(pending)
+        for index, record in self._execute(pending):
+            records[index] = record
+            if self.cache is not None and record.ok:
+                self.cache.put(record.config_hash, record.to_dict())
+            done += 1
+            self._report(done, total, record)
+
+        final = [record for record in records if record is not None]
+        return CampaignResult(
+            name=self.spec.name,
+            records=final,
+            executed=executed,
+            cached=cached_count,
+            elapsed_seconds=time.monotonic() - start,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _report(self, done: int, total: int, record: TrialRecord) -> None:
+        if self.progress is not None:
+            self.progress(done, total, record)
+
+    def _worker_count(self, pending: int) -> int:
+        if self.processes is not None:
+            return max(1, min(self.processes, pending))
+        return max(1, min(multiprocessing.cpu_count(), pending))
+
+    def _execute(self, pending):
+        """Yield ``(index, TrialRecord)`` as trials complete."""
+        if not pending:
+            return
+        workers = self._worker_count(len(pending))
+        if workers == 1 or len(pending) == 1:
+            for payload in pending:
+                index, record = execute_trial(payload)
+                yield index, TrialRecord.from_dict(record)
+            return
+        context = _pool_context()
+        completed = set()
+        try:
+            with context.Pool(processes=workers) as pool:
+                for index, record in pool.imap_unordered(
+                    execute_trial, pending, chunksize=1
+                ):
+                    completed.add(index)
+                    yield index, TrialRecord.from_dict(record)
+        except Exception:
+            # Pool machinery failed (not a trial — those never raise):
+            # finish the remainder serially rather than losing the run.
+            traceback.print_exc(file=sys.stderr)
+            for payload in pending:
+                if payload[0] in completed:
+                    continue
+                index, record = execute_trial(payload)
+                yield index, TrialRecord.from_dict(record)
+
+
+def _pool_context():
+    """Prefer fork (inherits sys.path; cheap) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()

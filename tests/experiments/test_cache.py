@@ -1,0 +1,88 @@
+"""On-disk result cache behavior."""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import CACHE_VERSION, ResultCache
+
+KEY = "ab12" * 5
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, cache):
+        assert cache.get(KEY) is None
+        assert KEY not in cache
+        assert len(cache) == 0
+
+    def test_put_then_hit(self, cache):
+        record = {"params": {"model": "mllm-9b"}, "status": "ok"}
+        cache.put(KEY, record)
+        hit = cache.get(KEY)
+        assert hit is not None
+        assert hit["params"] == {"model": "mllm-9b"}
+        assert KEY in cache
+        assert cache.keys() == [KEY]
+
+    def test_put_overwrites(self, cache):
+        cache.put(KEY, {"status": "ok", "metrics": {"mfu": 0.1}})
+        cache.put(KEY, {"status": "ok", "metrics": {"mfu": 0.2}})
+        assert cache.get(KEY)["metrics"]["mfu"] == 0.2
+        assert len(cache) == 1
+
+    def test_torn_entry_reads_as_miss(self, cache):
+        cache.put(KEY, {"status": "ok"})
+        cache.path_for(KEY).write_text("{not json", encoding="utf-8")
+        assert cache.get(KEY) is None
+
+    def test_non_utf8_entry_reads_as_miss(self, cache):
+        cache.path_for(KEY).write_bytes(b"\xff\xfe\x00garbage")
+        assert cache.get(KEY) is None
+        assert cache.load_all() == []
+
+    def test_version_mismatch_reads_as_miss(self, cache):
+        cache.path_for(KEY).write_text(
+            json.dumps({"status": "ok", "cache_version": CACHE_VERSION + 1}),
+            encoding="utf-8",
+        )
+        assert cache.get(KEY) is None
+
+    def test_malformed_key_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.get("../../etc/passwd")
+        with pytest.raises(ValueError):
+            cache.put("UPPER", {})
+
+    def test_stray_non_key_json_ignored(self, cache):
+        cache.put(KEY, {"status": "ok"})
+        (cache.root / "summary.json").write_text("[]", encoding="utf-8")
+        assert cache.keys() == [KEY]
+        assert len(cache.load_all()) == 1
+
+    def test_load_all_skips_invalid(self, cache):
+        cache.put(KEY, {"status": "ok"})
+        other = "cd34" * 5
+        cache.path_for(other).write_text("garbage", encoding="utf-8")
+        records = cache.load_all()
+        assert len(records) == 1
+        assert records[0]["status"] == "ok"
+
+    def test_clear_and_discard(self, cache):
+        cache.put(KEY, {"status": "ok"})
+        assert cache.discard(KEY) is True
+        assert cache.discard(KEY) is False
+        cache.put(KEY, {"status": "ok"})
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_clear_spares_stray_files(self, cache):
+        cache.put(KEY, {"status": "ok"})
+        stray = cache.root / "summary.json"
+        stray.write_text("[]", encoding="utf-8")
+        assert cache.clear() == 1
+        assert stray.exists()

@@ -1,0 +1,137 @@
+"""CLI smoke tests for ``repro sweep`` and ``repro report``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+def run_sweep(cache_dir, tmp_path, extra=()):
+    return main([
+        "sweep",
+        "--models", "mllm-9b",
+        "--systems", "disttrain", "megatron-lm",
+        "--gpus", "32", "48",
+        "--gbs", "8",
+        "--cache-dir", cache_dir,
+        "--jobs", "1",
+        "--quiet",
+        *extra,
+    ])
+
+
+class TestSweep:
+    def test_sweep_runs_grid(self, cache_dir, tmp_path, capsys):
+        code = run_sweep(cache_dir, tmp_path)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 trials (4 executed, 0 cached, 0 failed)" in out
+        assert "disttrain" in out and "megatron-lm" in out
+
+    def test_rerun_hits_cache(self, cache_dir, tmp_path, capsys):
+        run_sweep(cache_dir, tmp_path)
+        capsys.readouterr()
+        code = run_sweep(cache_dir, tmp_path)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(0 executed, 4 cached, 0 failed)" in out
+
+    def test_output_json(self, cache_dir, tmp_path, capsys):
+        results = tmp_path / "results.json"
+        code = run_sweep(cache_dir, tmp_path, ["--output", str(results)])
+        assert code == 0
+        payload = json.loads(results.read_text(encoding="utf-8"))
+        assert len(payload["records"]) == 4
+        statuses = {record["status"] for record in payload["records"]}
+        assert statuses == {"ok"}
+
+    def test_derive_seeds_gives_distinct_seeds(
+        self, cache_dir, tmp_path, capsys
+    ):
+        results = tmp_path / "seeded.json"
+        code = main([
+            "sweep", "--models", "mllm-9b", "--systems", "disttrain",
+            "--gpus", "32", "48", "--gbs", "8", "--derive-seeds",
+            "--cache-dir", cache_dir, "--jobs", "1", "--quiet",
+            "--output", str(results),
+        ])
+        assert code == 0
+        payload = json.loads(results.read_text(encoding="utf-8"))
+        seeds = [record["params"]["seed"] for record in payload["records"]]
+        assert len(set(seeds)) == 2
+
+    def test_all_failed_exits_nonzero(self, cache_dir, tmp_path, capsys):
+        # 9B monolithic needs >=24 GPUs: megatron-only at 16 always fails.
+        code = main([
+            "sweep", "--models", "mllm-9b", "--systems", "megatron-lm",
+            "--gpus", "16", "--gbs", "8",
+            "--cache-dir", cache_dir, "--jobs", "1", "--quiet",
+        ])
+        assert code == 1
+
+
+class TestReport:
+    def test_report_from_cache(self, cache_dir, tmp_path, capsys):
+        run_sweep(cache_dir, tmp_path)
+        capsys.readouterr()
+        code = main([
+            "report", "--cache-dir", cache_dir,
+            "--baseline-system", "megatron-lm",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mfu_gain" in out
+        assert "4 results" in out
+
+    def test_report_filter_and_csv(self, cache_dir, tmp_path, capsys):
+        run_sweep(cache_dir, tmp_path)
+        capsys.readouterr()
+        csv_path = tmp_path / "report.csv"
+        code = main([
+            "report", "--cache-dir", cache_dir,
+            "--filter", "system=disttrain", "gpus=32",
+            "--csv", str(csv_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 results" in out
+        assert len(csv_path.read_text(encoding="utf-8").splitlines()) == 2
+
+    def test_report_empty_cache_errors(self, cache_dir, capsys):
+        code = main(["report", "--cache-dir", cache_dir])
+        assert code == 1
+        assert "no results" in capsys.readouterr().out
+
+    def test_report_ignores_stray_json_in_cache_dir(
+        self, cache_dir, tmp_path, capsys
+    ):
+        # A sweep export written into the cache dir must not break report.
+        run_sweep(cache_dir, tmp_path,
+                  ["--output", f"{cache_dir}/summary.json"])
+        capsys.readouterr()
+        code = main(["report", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 results" in out
+
+    def test_report_baseline_with_mixed_seeds(
+        self, cache_dir, tmp_path, capsys
+    ):
+        # Runs differing only in seed pair with their own baselines.
+        for seed in ("0", "1"):
+            run_sweep(cache_dir, tmp_path, ["--seed", seed])
+        capsys.readouterr()
+        code = main([
+            "report", "--cache-dir", cache_dir,
+            "--baseline-system", "megatron-lm",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mfu_gain" in out
+        assert "8 results" in out

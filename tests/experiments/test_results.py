@@ -1,0 +1,119 @@
+"""ResultFrame filtering, grouping, ratios, and export."""
+
+import pytest
+
+from repro.experiments import ResultCache, ResultFrame, TrialRecord
+
+
+def record(model, system, gpus, mfu, status="ok", **metrics):
+    return TrialRecord(
+        params={"model": model, "system": system, "gpus": gpus, "gbs": 8},
+        config_hash=f"{abs(hash((model, system, gpus))):x}"[:8],
+        status=status,
+        metrics={"mfu": mfu, **metrics} if status == "ok" else {},
+        error="" if status == "ok" else "boom",
+    )
+
+
+@pytest.fixture
+def frame():
+    return ResultFrame([
+        record("mllm-9b", "disttrain", 16, 0.50, throughput_tokens_per_s=200.0),
+        record("mllm-9b", "megatron-lm", 16, 0.25, throughput_tokens_per_s=100.0),
+        record("mllm-15b", "disttrain", 16, 0.40, throughput_tokens_per_s=150.0),
+        record("mllm-15b", "megatron-lm", 16, 0.20, throughput_tokens_per_s=50.0),
+        record("mllm-15b", "megatron-lm", 32, 0.0, status="failed"),
+    ])
+
+
+class TestSelection:
+    def test_len_and_ok(self, frame):
+        assert len(frame) == 5
+        assert len(frame.ok()) == 4
+
+    def test_filter_by_columns(self, frame):
+        sub = frame.filter(model="mllm-9b", system="disttrain")
+        assert len(sub) == 1
+        assert sub.value("mfu") == 0.50
+
+    def test_filter_predicate(self, frame):
+        fast = frame.ok().filter(lambda row: row["mfu"] > 0.3)
+        assert sorted(fast.values("mfu")) == [0.40, 0.50]
+
+    def test_group_by(self, frame):
+        groups = frame.ok().group_by("model")
+        assert set(groups) == {("mllm-9b",), ("mllm-15b",)}
+        assert len(groups[("mllm-9b",)]) == 2
+
+    def test_sort_by(self, frame):
+        ordered = frame.ok().sort_by("mfu")
+        assert ordered.values("mfu") == [0.20, 0.25, 0.40, 0.50]
+
+    def test_value_requires_single_row(self, frame):
+        with pytest.raises(ValueError):
+            frame.value("mfu")
+
+    def test_mean(self, frame):
+        assert frame.ok().filter(model="mllm-9b").mean("mfu") == pytest.approx(
+            0.375
+        )
+
+
+class TestRatio:
+    def test_ratio_vs_baseline(self, frame):
+        ratios = frame.ok().with_ratio(
+            "mfu", baseline={"system": "megatron-lm"}, join=("model",),
+            name="gain",
+        )
+        assert ratios.filter(
+            model="mllm-9b", system="disttrain"
+        ).value("gain") == pytest.approx(2.0)
+        assert ratios.filter(
+            model="mllm-15b", system="megatron-lm"
+        ).value("gain") == pytest.approx(1.0)
+
+    def test_missing_baseline_gives_none(self, frame):
+        only_ours = frame.ok().filter(system="disttrain")
+        ratios = only_ours.with_ratio(
+            "mfu", baseline={"system": "megatron-lm"}, join=("model",),
+        )
+        assert ratios.values("mfu_ratio") == [None, None]
+
+    def test_ambiguous_baseline_rejected(self, frame):
+        with pytest.raises(ValueError, match="ambiguous"):
+            # Two megatron rows for mllm-15b once gpus is not a join key.
+            frame.with_ratio(
+                "mfu", baseline={"system": "megatron-lm"}, join=("model",),
+            )
+
+
+class TestExport:
+    def test_csv_round_trips_columns(self, frame, tmp_path):
+        path = tmp_path / "out.csv"
+        text = frame.to_csv(path)
+        assert path.read_text(encoding="utf-8") == text
+        header = text.splitlines()[0].split(",")
+        assert "model" in header and "mfu" in header and "status" in header
+        assert len(text.splitlines()) == 6  # header + 5 rows
+
+    def test_json_round_trip(self, frame, tmp_path):
+        path = tmp_path / "out.json"
+        frame.to_json(path)
+        loaded = ResultFrame.from_json(path)
+        assert len(loaded) == len(frame)
+        assert loaded.filter(
+            model="mllm-9b", system="disttrain"
+        ).value("mfu") == 0.50
+
+    def test_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        rec = record("mllm-9b", "disttrain", 16, 0.5)
+        cache.put("ab" * 10, rec.to_dict())
+        frame = ResultFrame.from_cache(cache)
+        assert len(frame) == 1
+        assert frame.value("mfu") == 0.5
+
+    def test_table_formats_floats(self, frame):
+        header, rows = frame.ok().table(["model", "mfu"])
+        assert header == ["model", "mfu"]
+        assert ["mllm-9b", "0.5"] in rows

@@ -1,0 +1,168 @@
+"""Sweep expansion and config hashing."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import DistTrainConfig
+from repro.experiments.spec import (
+    Axis,
+    SweepSpec,
+    TrialSpec,
+    ZippedAxes,
+    canonical_json,
+    config_hash,
+)
+from repro.pipeline.schedules import ScheduleKind
+
+
+class TestAxis:
+    def test_assignments(self):
+        axis = Axis("model", ["mllm-9b", "mllm-15b"])
+        assert axis.assignments() == [
+            {"model": "mllm-9b"}, {"model": "mllm-15b"}
+        ]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Axis("model", [])
+
+    def test_zipped_lockstep(self):
+        zipped = ZippedAxes([Axis("gpus", [16, 32]), Axis("gbs", [8, 16])])
+        assert zipped.assignments() == [
+            {"gpus": 16, "gbs": 8}, {"gpus": 32, "gbs": 16}
+        ]
+
+    def test_zipped_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            ZippedAxes([Axis("gpus", [16, 32]), Axis("gbs", [8])])
+
+
+class TestSweepSpec:
+    def test_grid_expansion(self):
+        spec = SweepSpec(
+            axes=[
+                Axis("model", ["mllm-9b", "mllm-15b"]),
+                Axis("system", ["disttrain", "megatron-lm"]),
+                Axis("gpus", [16, 32, 64]),
+            ],
+            base={"gbs": 32},
+        )
+        trials = spec.expand()
+        assert spec.num_trials == len(trials) == 12
+        # Every combination appears exactly once.
+        combos = {
+            (t["model"], t["system"], t["gpus"]) for t in trials
+        }
+        assert len(combos) == 12
+        assert all(t["gbs"] == 32 for t in trials)
+
+    def test_zipped_axis_in_grid(self):
+        spec = SweepSpec(
+            axes=[
+                Axis("model", ["mllm-9b"]),
+                ZippedAxes([
+                    Axis("gpus", [16, 32]), Axis("gbs", [8, 16]),
+                ]),
+            ],
+        )
+        pairs = [(t["gpus"], t["gbs"]) for t in spec.expand()]
+        assert pairs == [(16, 8), (32, 16)]  # no cross product
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError, match="more than one axis"):
+            SweepSpec(axes=[Axis("gpus", [8]), Axis("gpus", [16])])
+
+    def test_expansion_order_deterministic(self):
+        spec = SweepSpec.grid(
+            models=["mllm-9b", "mllm-15b"],
+            systems=["disttrain"],
+            gpus=[16, 32],
+            gbs=8,
+        )
+        assert [t.params for t in spec.expand()] == [
+            t.params for t in spec.expand()
+        ]
+
+    def test_grid_helper_zips_gbs_per_cluster(self):
+        spec = SweepSpec.grid(
+            models=["mllm-9b"], systems=["disttrain"],
+            gpus=[16, 32], gbs=[8, 16],
+        )
+        pairs = [(t["gpus"], t["gbs"]) for t in spec.expand()]
+        assert pairs == [(16, 8), (32, 16)]
+
+
+class TestTrialSpec:
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep parameters"):
+            TrialSpec({"model": "mllm-9b", "gpus": 8, "gbs": 8, "nope": 1})
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(ValueError, match="required"):
+            TrialSpec({"model": "mllm-9b"})
+
+    def test_to_config(self):
+        trial = TrialSpec({
+            "model": "mllm-9b", "gpus": 16, "gbs": 8,
+            "system": "megatron-lm", "frozen": "llm-only",
+            "schedule": "gpipe", "seed": 7, "vpp": 2,
+        })
+        config = trial.to_config()
+        assert config.cluster.num_gpus == 16
+        assert config.global_batch_size == 8
+        assert config.system == "megatron-lm"
+        assert config.schedule is ScheduleKind.GPIPE
+        assert config.data_seed == 7
+        assert config.vpp == 2
+        assert not config.frozen.train_encoder
+        assert config.frozen.train_llm
+
+
+class TestConfigHash:
+    def _config(self, **kwargs) -> DistTrainConfig:
+        return DistTrainConfig.preset("mllm-9b", 16, 8, **kwargs)
+
+    def test_equal_configs_hash_equal(self):
+        assert config_hash(self._config()) == config_hash(self._config())
+
+    def test_any_field_changes_hash(self):
+        base = config_hash(self._config())
+        assert config_hash(self._config(system="megatron-lm")) != base
+        assert config_hash(self._config(data_seed=1)) != base
+        assert config_hash(self._config(vpp=2)) != base
+        assert config_hash(
+            DistTrainConfig.preset("mllm-9b", 16, 16)
+        ) != base
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = canonical_json(self._config())
+        assert " " not in text
+        assert text.index('"cluster"') < text.index('"system"')
+
+    def test_hash_stable_across_process_restarts(self):
+        """The cache key must not depend on interpreter state."""
+        here = config_hash(self._config())
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+        # PYTHONHASHSEED differs per process by default — the content
+        # hash must not notice.
+        env["PYTHONHASHSEED"] = "random"
+        script = (
+            "from repro.core.config import DistTrainConfig\n"
+            "from repro.experiments.spec import config_hash\n"
+            "print(config_hash(DistTrainConfig.preset('mllm-9b', 16, 8)))\n"
+        )
+        fresh = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        ).stdout.strip()
+        assert fresh == here
+
+    def test_trial_spec_hash_matches_config_hash(self):
+        trial = TrialSpec({"model": "mllm-9b", "gpus": 16, "gbs": 8})
+        assert trial.config_hash == config_hash(self._config())

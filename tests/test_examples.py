@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "heterogeneous_hardware",
     "moe_expert_parallelism",
     "audio_modality",
+    "campaign_sweep",
 ]
 
 
