@@ -18,6 +18,10 @@ from repro.orchestration.convex import solve_resource_split
 from repro.orchestration.formulation import CandidateConfig, objective
 from repro.orchestration.problem import OrchestrationProblem, SampleProfile
 
+#: Heavyweight figure reproduction; deselected from the default tier-1
+#: run (see pyproject addopts) and exercised by CI's full benchmark job.
+pytestmark = pytest.mark.slow
+
 
 def make_problem(num_gpus):
     profile = SampleProfile.from_samples(

@@ -14,6 +14,10 @@ from repro.core.reports import format_table
 from repro.data.synthetic import SyntheticMultimodalDataset
 from repro.pipeline.schedules import ScheduleKind
 
+#: Heavyweight figure reproduction; deselected from the default tier-1
+#: run (see pyproject addopts) and exercised by CI's full benchmark job.
+pytestmark = pytest.mark.slow
+
 
 def run_vpp_ablation():
     results = {}

@@ -11,6 +11,10 @@ from repro.core.reports import format_table
 from repro.data.stats import DatasetStatistics, histogram_density
 from repro.data.synthetic import SyntheticMultimodalDataset
 
+#: Heavyweight figure reproduction; deselected from the default tier-1
+#: run (see pyproject addopts) and exercised by CI's full benchmark job.
+pytestmark = pytest.mark.slow
+
 
 def compute_figure5(num_samples=2000):
     dataset = SyntheticMultimodalDataset(seed=0)

@@ -11,6 +11,10 @@ import pytest
 from benchmarks.conftest import MODELS
 from repro.core.reports import format_table
 
+#: Heavyweight figure reproduction; deselected from the default tier-1
+#: run (see pyproject addopts) and exercised by CI's full benchmark job.
+pytestmark = pytest.mark.slow
+
 
 def test_figure14_overall_throughput(benchmark, overall_frame):
     frame = benchmark.pedantic(

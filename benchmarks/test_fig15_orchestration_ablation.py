@@ -11,6 +11,10 @@ import pytest
 from benchmarks.conftest import MODELS
 from repro.core.reports import format_table
 
+#: Heavyweight figure reproduction; deselected from the default tier-1
+#: run (see pyproject addopts) and exercised by CI's full benchmark job.
+pytestmark = pytest.mark.slow
+
 SYSTEMS = ("megatron-lm", "distmm*", "disttrain")
 
 

@@ -14,6 +14,10 @@ from repro.core.config import DistTrainConfig
 from repro.core.reports import format_table
 from repro.data.synthetic import SyntheticMultimodalDataset
 
+#: Heavyweight figure reproduction; deselected from the default tier-1
+#: run (see pyproject addopts) and exercised by CI's full benchmark job.
+pytestmark = pytest.mark.slow
+
 
 def run_reordering_ablation():
     rows = {}

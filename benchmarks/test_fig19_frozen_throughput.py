@@ -10,6 +10,10 @@ import pytest
 from benchmarks.conftest import FROZEN_SETTINGS, MODELS
 from repro.core.reports import format_table
 
+#: Heavyweight figure reproduction; deselected from the default tier-1
+#: run (see pyproject addopts) and exercised by CI's full benchmark job.
+pytestmark = pytest.mark.slow
+
 
 def test_figure19_frozen_throughput(benchmark, frozen_results):
     rows = benchmark.pedantic(

@@ -41,6 +41,24 @@ class Subsequence:
             raise ValueError("subsequence fields must be non-negative")
 
 
+#: Text spans carry no bytes/pixels, so there is one distinct value per
+#: token count; interning them makes the dominant allocation of dataset
+#: generation a list lookup. Safe because Subsequence is frozen.
+_TEXT_INTERN_MAX = 4096
+_TEXT_INTERNED: List[Subsequence] = []
+
+
+def text_subsequence(tokens: int) -> Subsequence:
+    """A (shared, immutable) text subsequence of ``tokens`` length."""
+    if 0 <= tokens < _TEXT_INTERN_MAX:
+        if not _TEXT_INTERNED:
+            _TEXT_INTERNED.extend(
+                Subsequence("text", t) for t in range(_TEXT_INTERN_MAX)
+            )
+        return _TEXT_INTERNED[tokens]
+    return Subsequence("text", tokens)
+
+
 @dataclass(frozen=True)
 class TrainingSample:
     """One packed training sequence.
@@ -59,25 +77,51 @@ class TrainingSample:
     # ------------------------------------------------------------------ #
     # Token accounting
     # ------------------------------------------------------------------ #
+    # Subsequences are immutable, so the per-modality aggregates are
+    # computed once at construction: reordering and statistics consult
+    # ``size``/``pixels`` O(n log n) times per batch, which made the
+    # repeated generator-expression sums a measurable hot spot.
+    def __post_init__(self) -> None:
+        text = image = audio = images = clips = raw = pixels = 0
+        for s in self.subsequences:
+            if s.modality == "text":
+                text += s.tokens
+            elif s.modality == "image":
+                image += s.tokens
+                images += 1
+            else:
+                audio += s.tokens
+                clips += 1
+            raw += s.raw_bytes
+            pixels += s.pixels
+        set_ = object.__setattr__
+        set_(self, "_text_tokens", text)
+        set_(self, "_image_tokens", image)
+        set_(self, "_num_images", images)
+        set_(self, "_audio_tokens", audio)
+        set_(self, "_num_audio_clips", clips)
+        set_(self, "_raw_bytes", raw)
+        set_(self, "_pixels", pixels)
+
     @property
     def text_tokens(self) -> int:
-        return sum(s.tokens for s in self.subsequences if s.modality == "text")
+        return self._text_tokens
 
     @property
     def image_tokens(self) -> int:
-        return sum(s.tokens for s in self.subsequences if s.modality == "image")
+        return self._image_tokens
 
     @property
     def num_images(self) -> int:
-        return sum(1 for s in self.subsequences if s.modality == "image")
+        return self._num_images
 
     @property
     def audio_tokens(self) -> int:
-        return sum(s.tokens for s in self.subsequences if s.modality == "audio")
+        return self._audio_tokens
 
     @property
     def num_audio_clips(self) -> int:
-        return sum(1 for s in self.subsequences if s.modality == "audio")
+        return self._num_audio_clips
 
     @property
     def total_tokens(self) -> int:
@@ -89,11 +133,11 @@ class TrainingSample:
 
     @property
     def raw_bytes(self) -> int:
-        return sum(s.raw_bytes for s in self.subsequences)
+        return self._raw_bytes
 
     @property
     def pixels(self) -> int:
-        return sum(s.pixels for s in self.subsequences)
+        return self._pixels
 
     @property
     def size(self) -> int:

@@ -20,9 +20,10 @@ from repro.data.distributions import (
     sample_image_count,
     sample_image_subsequence_tokens,
     sample_text_subsequence_tokens,
+    sample_text_subsequence_tokens_batch,
 )
 from repro.data.packing import pack_subsequences
-from repro.data.sample import Subsequence, TrainingSample
+from repro.data.sample import Subsequence, TrainingSample, text_subsequence
 
 
 @dataclass
@@ -63,15 +64,19 @@ class SyntheticMultimodalDataset:
                 int(rng.lognormal(cfg.text_heavy_spans_mu,
                                   cfg.text_heavy_spans_sigma)),
             )
+            # One vectorized draw for the whole document; same RNG
+            # stream as per-span scalar draws.
             return [
-                Subsequence("text", sample_text_subsequence_tokens(rng, cfg))
-                for _ in range(spans)
+                text_subsequence(tokens)
+                for tokens in sample_text_subsequence_tokens_batch(
+                    rng, spans, cfg
+                )
             ]
         num_images = sample_image_count(rng, cfg)
         subsequences: List[Subsequence] = []
         # Leading text span.
         text_tokens = sample_text_subsequence_tokens(rng, cfg)
-        subsequences.append(Subsequence("text", text_tokens))
+        subsequences.append(text_subsequence(text_tokens))
         for _ in range(num_images):
             tokens = sample_image_subsequence_tokens(rng, cfg)
             pixels = tokens * cfg.patch_size**2
@@ -85,7 +90,7 @@ class SyntheticMultimodalDataset:
             )
             # Interleaving text between images.
             text_tokens = sample_text_subsequence_tokens(rng, cfg)
-            subsequences.append(Subsequence("text", text_tokens))
+            subsequences.append(text_subsequence(text_tokens))
         if cfg.audio_fraction > 0 and rng.random() < cfg.audio_fraction:
             tokens = sample_audio_subsequence_tokens(rng, cfg)
             # Raw audio bytes: 16 kHz mono 16-bit per clip second.

@@ -5,6 +5,13 @@ expands it, skips every trial whose config hash is already in the
 :class:`~repro.experiments.cache.ResultCache`, and executes the rest in a
 ``multiprocessing.Pool``. A trial that raises records a failure row and
 the campaign keeps going — one bad configuration never kills a sweep.
+
+Trials execute on the vectorized simulation kernel
+(:mod:`repro.pipeline.kernel`): every pipeline shape a trial touches is
+compiled once per worker process and reused by all subsequent trials in
+that worker — under the preferred ``fork`` start method, shapes already
+compiled in the parent are inherited copy-on-write, so sweep grids that
+revisit a schedule shape never recompile it.
 """
 
 from __future__ import annotations
@@ -112,6 +119,12 @@ def execute_trial(payload: Tuple[int, Dict[str, Any], str]):
             "bubble_fraction": result.bubble_fraction,
             "straggler_spread": result.straggler_spread,
             "solve_seconds": orchestration.solve_seconds,
+            # Kernel-refined uniform-workload pipeline estimate of the
+            # chosen plan; lets sweeps compare the planner's model
+            # against the heterogeneity-aware simulation above.
+            "planned_pipeline_time": (
+                orchestration.simulated_pipeline_seconds or 0.0
+            ),
         }
         record = TrialRecord(
             params=params,

@@ -124,6 +124,16 @@ class DiffusionSpec(ModuleSpec):
     # Parameters
     # ------------------------------------------------------------------ #
     def unet_param_count(self) -> int:
+        # Per-instance memo (the spec is frozen, so the count is fixed);
+        # avoids an unbounded class-level lru_cache pinning every spec.
+        cached = self.__dict__.get("_unet_param_count")
+        if cached is not None:
+            return cached
+        value = self._unet_param_count_walk()
+        object.__setattr__(self, "_unet_param_count", value)
+        return value
+
+    def _unet_param_count_walk(self) -> int:
         cfg = self.unet
         total = 0
         # Down path.
@@ -181,7 +191,25 @@ class DiffusionSpec(ModuleSpec):
         return max(1, round(pixels_side / self.unet.latent_downsample))
 
     def unet_flops_per_image(self, tokens_per_image: int) -> float:
-        """Forward FLOPs of one denoising step for one image."""
+        """Forward FLOPs of one denoising step for one image.
+
+        Pure in ``(self, tokens_per_image)`` — and image sizes snap to
+        the 16-pixel patch grid, so only ~64 distinct token counts occur
+        per run. A per-instance memo keeps the UNet walk off the
+        per-sample cost path (safe: the spec is frozen).
+        """
+        cache = self.__dict__.get("_unet_flops_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_unet_flops_cache", cache)
+        cached = cache.get(tokens_per_image)
+        if cached is not None:
+            return cached
+        value = self._unet_flops_walk(tokens_per_image)
+        cache[tokens_per_image] = value
+        return value
+
+    def _unet_flops_walk(self, tokens_per_image: int) -> float:
         cfg = self.unet
         latent_side = self.latent_side_for_tokens(tokens_per_image)
         ctx = self.cross_attention_tokens

@@ -37,8 +37,8 @@ from repro.orchestration.memory import MemoryModel
 from repro.orchestration.problem import OrchestrationProblem
 from repro.parallelism.orchestration_plan import ModelOrchestrationPlan
 from repro.parallelism.plan import ParallelismPlan
+from repro.pipeline.kernel import get_kernel
 from repro.pipeline.schedules import ScheduleKind
-from repro.pipeline.simulator import PipelineSimulator, StageWork
 from repro.timing.collectives import CollectiveModel
 
 #: Exposed fraction of the DP gradient reduce-scatter/allgather after
@@ -74,10 +74,70 @@ class OrchestrationResult:
     solve_seconds: float
     candidates_evaluated: int
     convex_solutions: int
+    #: Kernel-refined uniform-workload pipeline makespan of the chosen
+    #: plan (captures warm-up/cool-down/schedule effects Eqs. 1-2 omit).
+    simulated_pipeline_seconds: Optional[float] = None
 
     @property
     def predicted_iteration_time(self) -> float:
         return self.breakdown.total
+
+
+def simulated_pipeline_seconds(
+    problem: OrchestrationProblem,
+    collectives: CollectiveModel,
+    plans: Dict[str, ParallelismPlan],
+) -> float:
+    """Uniform-workload pipeline makespan of one iteration.
+
+    Runs the cycle-accurate 1F1B simulator kernel on the candidate's
+    stage structure with average per-microbatch durations, capturing
+    warm-up, cool-down, inter-stage communication, and schedule effects
+    that Eqs. 1-2 abstract away. Large microbatch counts are
+    extrapolated linearly from two smaller simulations (the steady phase
+    is exactly linear once ``n > p``).
+    """
+    profiler = problem.profiler()
+    M = problem.microbatch_size
+    dp_lm = plans["llm"].dp
+    num_microbatches = problem.global_batch_size // (dp_lm * M)
+
+    stage_fwd: List[float] = []
+    stage_bwd: List[float] = []
+    for name in ("encoder", "llm", "generator"):
+        plan = plans[name]
+        workload = problem.per_sample_workload(name)
+        fwd = profiler.estimate(name, workload, plan.tp, "fwd")
+        bwd = profiler.estimate(name, workload, plan.tp, "bwd")
+        factor = problem.frozen.backward_factor(name)
+        bwd = bwd * factor / 2.0
+        if name == "llm":
+            per_stage_fwd = fwd * M / plan.pp
+            per_stage_bwd = bwd * M / plan.pp
+        else:
+            share = dp_lm * M / plan.dp
+            per_stage_fwd = fwd * share / plan.pp
+            per_stage_bwd = bwd * share / plan.pp
+        stage_fwd.extend([per_stage_fwd] * plan.pp)
+        stage_bwd.extend([per_stage_bwd] * plan.pp)
+
+    p = len(stage_fwd)
+    llm = problem.mllm.llm
+    comm = collectives.pp_send(llm.boundary_activation_bytes(M))
+
+    def makespan(n: int) -> float:
+        kernel = get_kernel(ScheduleKind.ONE_F_ONE_B, p, n, 1)
+        durations = kernel.durations_from_stage_times(stage_fwd, stage_bwd)
+        _, end = kernel.evaluate(durations, comm)
+        return kernel.makespan(end)
+
+    n_small = min(num_microbatches, max(2 * p, 4))
+    if n_small == num_microbatches:
+        return makespan(num_microbatches)
+    n_smaller = max(p, n_small // 2)
+    m_small, m_smaller = makespan(n_small), makespan(n_smaller)
+    slope = (m_small - m_smaller) / max(1, n_small - n_smaller)
+    return m_small + slope * (num_microbatches - n_small)
 
 
 class AdaptiveOrchestrator:
@@ -155,6 +215,7 @@ class AdaptiveOrchestrator:
         _, candidate, breakdown, plans = best
         plans = self._trim_small_units(candidate, plans)
         _, breakdown = self._evaluate(candidate, plans)
+        simulated_seconds = self._simulated_cost(candidate, plans)
         plan = ModelOrchestrationPlan(
             mllm=problem.mllm,
             cluster=problem.cluster,
@@ -171,6 +232,7 @@ class AdaptiveOrchestrator:
             solve_seconds=time.perf_counter() - started,
             candidates_evaluated=candidates_evaluated,
             convex_solutions=convex_solutions,
+            simulated_pipeline_seconds=simulated_seconds,
         )
 
     # ------------------------------------------------------------------ #
@@ -454,63 +516,9 @@ class AdaptiveOrchestrator:
     def _simulated_cost(
         self, candidate: CandidateConfig, plans: Dict[str, ParallelismPlan]
     ) -> float:
-        """Uniform-workload pipeline makespan of one iteration.
-
-        Runs the cycle-accurate 1F1B simulator on the candidate's stage
-        structure with average per-microbatch durations, capturing
-        warm-up, cool-down, inter-stage communication, and schedule
-        effects that Eqs. 1-2 simplify away. Large microbatch counts are
-        extrapolated linearly from two smaller simulations (the steady
-        phase is exactly linear once ``n > p``).
-        """
-        problem = self.problem
-        profiler = problem.profiler()
-        M = problem.microbatch_size
-        dp_lm = plans["llm"].dp
-        num_microbatches = problem.global_batch_size // (dp_lm * M)
-
-        stage_fwd: List[float] = []
-        stage_bwd: List[float] = []
-        for name in ("encoder", "llm", "generator"):
-            plan = plans[name]
-            workload = problem.per_sample_workload(name)
-            fwd = profiler.estimate(name, workload, plan.tp, "fwd")
-            bwd = profiler.estimate(name, workload, plan.tp, "bwd")
-            factor = problem.frozen.backward_factor(name)
-            bwd = bwd * factor / 2.0
-            if name == "llm":
-                per_stage_fwd = fwd * M / plan.pp
-                per_stage_bwd = bwd * M / plan.pp
-            else:
-                share = dp_lm * M / plan.dp
-                per_stage_fwd = fwd * share / plan.pp
-                per_stage_bwd = bwd * share / plan.pp
-            stage_fwd.extend([per_stage_fwd] * plan.pp)
-            stage_bwd.extend([per_stage_bwd] * plan.pp)
-
-        p = len(stage_fwd)
-        llm = problem.mllm.llm
-        comm = self.collectives.pp_send(llm.boundary_activation_bytes(M))
-
-        def makespan(n: int) -> float:
-            sim = PipelineSimulator(p, n, ScheduleKind.ONE_F_ONE_B)
-            work = StageWork(
-                duration=lambda op: (
-                    stage_fwd[op.stage]
-                    if op.is_forward
-                    else stage_bwd[op.stage]
-                ),
-                comm_delay=lambda s, d, dr: comm,
-            )
-            return sim.run(work).makespan
-
-        n_small = min(num_microbatches, max(2 * p, 4))
-        if n_small == num_microbatches:
-            return makespan(num_microbatches)
-        n_smaller = max(p, n_small // 2)
-        m_small, m_smaller = makespan(n_small), makespan(n_smaller)
-        slope = (m_small - m_smaller) / max(1, n_small - n_smaller)
-        return m_small + slope * (num_microbatches - n_small)
+        """Kernel-refined uniform-workload pipeline makespan (see
+        :func:`simulated_pipeline_seconds`)."""
+        return simulated_pipeline_seconds(self.problem, self.collectives, plans)
 
     def _dp_sync_cost(self, plans: Dict[str, ParallelismPlan]) -> float:
         """Exposed gradient reduce-scatter + param allgather time.

@@ -17,7 +17,12 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.models.base import ModuleWorkload
-from repro.orchestration.adaptive import OrchestrationResult, divisors
+from repro.orchestration.adaptive import (
+    OrchestrationResult,
+    divisors,
+    simulated_pipeline_seconds,
+)
+from repro.timing.collectives import CollectiveModel
 from repro.orchestration.formulation import (
     CandidateConfig,
     module_sample_time,
@@ -44,6 +49,10 @@ class MegatronOrchestrator:
         self.tp = min(tp, problem.cluster.gpus_per_node)
         gpu = problem.cluster.gpu
         self.memory = MemoryModel(gpu_memory_bytes=gpu.memory_bytes)
+        node = problem.cluster.node
+        self.collectives = CollectiveModel(
+            intra_link=node.intra_link, inter_link=node.inter_link
+        )
 
     def plan(self) -> OrchestrationResult:
         problem = self.problem
@@ -108,6 +117,9 @@ class MegatronOrchestrator:
             solve_seconds=time.perf_counter() - started,
             candidates_evaluated=1,
             convex_solutions=0,
+            simulated_pipeline_seconds=simulated_pipeline_seconds(
+                problem, self.collectives, plans
+            ),
         )
 
     def _llm_pp(self) -> int:
@@ -151,6 +163,10 @@ class DistMMOrchestrator:
         self.tp_lm = min(tp_lm, problem.cluster.gpus_per_node)
         gpu = problem.cluster.gpu
         self.memory = MemoryModel(gpu_memory_bytes=gpu.memory_bytes)
+        node = problem.cluster.node
+        self.collectives = CollectiveModel(
+            intra_link=node.intra_link, inter_link=node.inter_link
+        )
 
     def plan(self) -> OrchestrationResult:
         problem = self.problem
@@ -240,4 +256,7 @@ class DistMMOrchestrator:
             solve_seconds=time.perf_counter() - started,
             candidates_evaluated=1,
             convex_solutions=0,
+            simulated_pipeline_seconds=simulated_pipeline_seconds(
+                problem, self.collectives, plans
+            ),
         )

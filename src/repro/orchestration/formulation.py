@@ -70,17 +70,27 @@ def module_sample_time(
     The paper's ``C`` functions with the backward pass folded in,
     honouring the frozen configuration (full backward for trainable
     modules, dX-only for frozen relays, none for a frozen encoder).
+
+    Memoized per problem: the candidate enumeration queries the same
+    ``(module, tp)`` pairs hundreds of times per search.
     """
+    cache = problem.__dict__.setdefault("_module_sample_time_cache", {})
+    key = (module_name, tp)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
     profiler = problem.profiler()
     workload = problem.per_sample_workload(module_name)
     frozen = problem.frozen
-    return profiler.estimate_fwd_bwd(
+    value = profiler.estimate_fwd_bwd(
         module_name,
         workload,
         tp,
         weight_grads=frozen.trains(module_name),
         backward=frozen.needs_backward(module_name),
     )
+    cache[key] = value
+    return value
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,12 @@ bubble analysis (Figures 4, 7, 10, 12) and the inter-microbatch
 reordering algorithm (Algorithm 2) are built and evaluated.
 """
 
+from repro.pipeline.kernel import (
+    SimulatorKernel,
+    clear_kernel_cache,
+    get_kernel,
+    kernel_cache_info,
+)
 from repro.pipeline.ops import Direction, PipelineOp
 from repro.pipeline.schedules import (
     ScheduleKind,
@@ -31,4 +37,8 @@ __all__ = [
     "StageWork",
     "PipelineTrace",
     "OpRecord",
+    "SimulatorKernel",
+    "get_kernel",
+    "kernel_cache_info",
+    "clear_kernel_cache",
 ]

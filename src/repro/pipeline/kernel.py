@@ -1,0 +1,568 @@
+"""Vectorized longest-path kernel for pipeline simulation.
+
+The cycle-accurate simulator evaluates start/end times over the schedule
+DAG. The dependency *structure* of that DAG is a pure function of the
+schedule shape ``(kind, stages, microbatches, vpp)`` — only the duration
+and communication tables change between evaluations. Reordering
+ablations, the adaptive orchestration search, and experiment campaigns
+evaluate the same handful of shapes thousands of times, so this module
+compiles each shape once into index arrays:
+
+* ``stage_prev[i]``   — op executed immediately before op ``i`` on its
+  stage (schedule order), or -1;
+* ``data_pred[i]``    — the data dependency (upstream forward for a
+  forward op, downstream backward for a backward op) carrying the
+  inter-stage communication delay, or -1;
+* ``fwd_pred[i]``     — for a backward op, its matching forward, or -1;
+* ``levels``          — a topological levelization: every op's
+  predecessors live in strictly earlier levels.
+
+Evaluation then sweeps the levels with numpy gathers::
+
+    ready[data]  = end[data_pred] + delay
+    ready        = max(ready, end[fwd_pred], end[stage_prev])
+    start[level] = ready;  end[level] = ready + duration[level]
+
+which is arithmetically identical (same IEEE operations per op) to the
+reference per-op worklist, so traces are bit-identical. A second, batched
+entry point evaluates ``(B, n)`` duration matrices simultaneously —
+one level sweep prices a whole portfolio of candidate orders.
+
+Kernels are cached per shape via :func:`get_kernel`; repeated
+evaluations only pay for new duration tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.pipeline.ops import Direction, PipelineOp
+from repro.pipeline.schedules import ScheduleKind, schedule_order
+from repro.pipeline.trace import OpRecord, PipelineTrace
+
+#: Distinct shapes kept compiled. Inter-microbatch reordering evaluates
+#: one shape per placed-prefix length, so a campaign touches O(l) shapes
+#: per pipeline; 1024 covers every realistic sweep without growing
+#: unboundedly.
+KERNEL_CACHE_SIZE = 1024
+
+ArrayLike = Union[Sequence[Sequence[float]], np.ndarray]
+
+
+@dataclass(frozen=True)
+class _LevelStep:
+    """Precomputed gather indices for one topological level."""
+
+    idx: np.ndarray          # ops in this level
+    data_rows: np.ndarray    # rows of ``idx`` that have a data pred
+    data_pred: np.ndarray    # their predecessor op indices
+    data_ops: np.ndarray     # their op indices (``idx[data_rows]``)
+    fwd_rows: np.ndarray
+    fwd_pred: np.ndarray
+    stage_rows: np.ndarray
+    stage_pred: np.ndarray
+
+
+def _schedule_arrays(
+    kind: ScheduleKind, p: int, l: int, vpp: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(op_stage, op_mb, op_chunk, op_is_fwd) in stage-major schedule
+    order, without materializing :class:`PipelineOp` objects.
+
+    GPipe and 1F1B orders are generated directly with numpy (they are
+    simple warm-up/steady/drain patterns); the interleaved schedule
+    falls back to flattening :func:`schedule_order`. Array order matches
+    the generators exactly — the equivalence and golden-trace suites
+    pin this.
+    """
+    if kind is not ScheduleKind.INTERLEAVED or vpp == 1:
+        if p < 1 or l < 1:
+            # Delegate the error to the reference generator.
+            schedule_order(kind, p, l, vpp)
+        per_stage = 2 * l
+        op_stage = np.repeat(np.arange(p, dtype=np.int64), per_stage)
+        op_mb = np.empty(p * per_stage, dtype=np.int64)
+        op_is_fwd = np.empty(p * per_stage, dtype=bool)
+        if kind is ScheduleKind.GPIPE:
+            mb = np.concatenate(
+                [np.arange(l), np.arange(l)[::-1]]
+            )
+            flags = np.zeros(per_stage, dtype=bool)
+            flags[:l] = True
+            for s in range(p):
+                op_mb[s * per_stage:(s + 1) * per_stage] = mb
+                op_is_fwd[s * per_stage:(s + 1) * per_stage] = flags
+        else:  # 1F1B (also INTERLEAVED with vpp == 1)
+            for s in range(p):
+                w = min(p - s - 1, l)
+                steady = l - w
+                mb = np.empty(per_stage, dtype=np.int64)
+                flags = np.zeros(per_stage, dtype=bool)
+                mb[:w] = np.arange(w)
+                flags[:w] = True
+                mb[w:w + 2 * steady:2] = np.arange(w, l)
+                flags[w:w + 2 * steady:2] = True
+                mb[w + 1:w + 2 * steady:2] = np.arange(steady)
+                mb[w + 2 * steady:] = np.arange(steady, l)
+                op_mb[s * per_stage:(s + 1) * per_stage] = mb
+                op_is_fwd[s * per_stage:(s + 1) * per_stage] = flags
+        op_chunk = np.zeros(p * per_stage, dtype=np.int64)
+        return op_stage, op_mb, op_chunk, op_is_fwd
+
+    order = schedule_order(kind, p, l, vpp)
+    ops: List[PipelineOp] = []
+    for stage in range(p):
+        ops.extend(order.get(stage, []))
+    n = len(ops)
+    return (
+        np.fromiter((op.stage for op in ops), np.int64, n),
+        np.fromiter((op.microbatch for op in ops), np.int64, n),
+        np.fromiter((op.chunk for op in ops), np.int64, n),
+        np.fromiter((op.is_forward for op in ops), bool, n),
+    )
+
+
+@dataclass(frozen=True)
+class SimulatorKernel:
+    """Compiled dependency structure of one schedule shape.
+
+    Build via :func:`get_kernel`; instances are immutable and shared.
+    """
+
+    kind: ScheduleKind
+    num_stages: int
+    num_microbatches: int
+    vpp: int
+    op_stage: np.ndarray
+    op_microbatch: np.ndarray
+    op_chunk: np.ndarray
+    op_is_forward: np.ndarray
+    stage_prev: np.ndarray
+    data_pred: np.ndarray
+    fwd_pred: np.ndarray
+    stage_first: np.ndarray   # index of each stage's first op in ``ops``
+    stage_count: np.ndarray   # ops per stage
+    levels: Tuple[_LevelStep, ...] = field(repr=False)
+
+    @property
+    def ops(self) -> Tuple[PipelineOp, ...]:
+        """Op objects in kernel order (built lazily — only the trace
+        and callable-work paths need them)."""
+        cached = self.__dict__.get("_ops")
+        if cached is None:
+            direction = [Direction.BWD, Direction.FWD]
+            cached = tuple(
+                PipelineOp(
+                    stage=int(self.op_stage[i]),
+                    microbatch=int(self.op_microbatch[i]),
+                    direction=direction[int(self.op_is_forward[i])],
+                    chunk=int(self.op_chunk[i]),
+                )
+                for i in range(len(self.op_stage))
+            )
+            object.__setattr__(self, "_ops", cached)
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        kind: ScheduleKind,
+        num_stages: int,
+        num_microbatches: int,
+        vpp: int = 1,
+    ) -> "SimulatorKernel":
+        p = num_stages
+        num_vstages = p * vpp
+        l = num_microbatches
+
+        op_stage, op_mb, op_chunk, op_is_fwd = _schedule_arrays(
+            kind, p, l, vpp
+        )
+        n = len(op_stage)
+        # Stage-major order: each stage's ops are one contiguous block.
+        stage_count = np.bincount(op_stage, minlength=p).astype(np.int64)
+        stage_first = np.concatenate(
+            [[0], np.cumsum(stage_count)[:-1]]
+        ).astype(np.int64)
+        vstage = op_chunk * p + op_stage
+
+        # Ops are contiguous per stage, so the stage predecessor is the
+        # previous index except at each stage's first op.
+        stage_prev = np.arange(-1, n - 1, dtype=np.int64)
+        stage_prev[stage_first[stage_count > 0]] = -1
+
+        # Data/forward predecessors via a flat (direction, vstage, mb)
+        # index map — no Python per-op loop.
+        flat = np.full(2 * num_vstages * l, -1, dtype=np.int64)
+        key = (op_is_fwd * num_vstages + vstage) * l + op_mb
+        flat[key] = np.arange(n)
+
+        data_pred = np.full(n, -1, dtype=np.int64)
+        fwd_up = op_is_fwd & (vstage > 0)
+        data_pred[fwd_up] = flat[
+            (num_vstages + vstage[fwd_up] - 1) * l + op_mb[fwd_up]
+        ]
+        bwd_down = ~op_is_fwd & (vstage < num_vstages - 1)
+        data_pred[bwd_down] = flat[
+            (vstage[bwd_down] + 1) * l + op_mb[bwd_down]
+        ]
+        fwd_pred = np.full(n, -1, dtype=np.int64)
+        bwd = ~op_is_fwd
+        fwd_pred[bwd] = flat[(num_vstages + vstage[bwd]) * l + op_mb[bwd]]
+
+        kernel = cls(
+            kind=kind,
+            num_stages=p,
+            num_microbatches=num_microbatches,
+            vpp=vpp,
+            op_stage=op_stage,
+            op_microbatch=op_mb,
+            op_chunk=op_chunk,
+            op_is_forward=op_is_fwd,
+            stage_prev=stage_prev,
+            data_pred=data_pred,
+            fwd_pred=fwd_pred,
+            stage_first=stage_first,
+            stage_count=stage_count,
+            levels=(),
+        )
+        levels = cls._levelize(
+            n, stage_prev, data_pred, fwd_pred,
+            lambda i: str(kernel.ops[i]),
+        )
+        object.__setattr__(kernel, "levels", levels)
+        return kernel
+
+    @staticmethod
+    def _levelize(
+        n: int,
+        stage_prev: np.ndarray,
+        data_pred: np.ndarray,
+        fwd_pred: np.ndarray,
+        describe_op,
+    ) -> Tuple[_LevelStep, ...]:
+        """Levelization: ops grouped so every predecessor is in a
+        strictly earlier group. A cycle means the schedule/dependency
+        combination is infeasible — same failure the reference worklist
+        reports as a deadlock.
+
+        A topological order is recovered with the reference evaluator's
+        cursor worklist (stage cursors advance while data dependencies
+        are met), then ``level[i] = 1 + max(level[preds])`` resolves in
+        one pass over that order."""
+        sp = stage_prev.tolist()
+        dp = data_pred.tolist()
+        fp = fwd_pred.tolist()
+        # Per-stage [start, end) cursor windows over the op array.
+        windows: List[List[int]] = []
+        for i in range(n):
+            if sp[i] == -1:
+                if windows:
+                    windows[-1][1] = i
+                windows.append([i, n])
+        scheduled = [False] * n
+        topo: List[int] = []
+        remaining = n
+        while remaining:
+            progressed = False
+            for window in windows:
+                i, end = window
+                while i < end:
+                    d, f = dp[i], fp[i]
+                    if d >= 0 and not scheduled[d]:
+                        break
+                    if f >= 0 and not scheduled[f]:
+                        break
+                    scheduled[i] = True
+                    topo.append(i)
+                    i += 1
+                    remaining -= 1
+                    progressed = True
+                window[0] = i
+            if not progressed:
+                stuck = [
+                    describe_op(window[0])
+                    for window in windows
+                    if window[0] < window[1]
+                ]
+                raise RuntimeError(
+                    f"pipeline schedule deadlocked; waiting ops: {stuck[:8]}"
+                )
+
+        level_of = [0] * n
+        max_level = 0
+        for i in topo:
+            lv = -1
+            for pred in (sp[i], dp[i], fp[i]):
+                if pred >= 0 and level_of[pred] > lv:
+                    lv = level_of[pred]
+            lv += 1
+            level_of[i] = lv
+            if lv > max_level:
+                max_level = lv
+        level = np.asarray(level_of, dtype=np.int64)
+
+        # Group ops by level with one stable argsort instead of a
+        # level-equality scan per level.
+        by_level = np.argsort(level, kind="stable")
+        bounds = np.searchsorted(
+            level[by_level], np.arange(max_level + 2) if n else [0]
+        )
+        has_data = data_pred >= 0
+        has_fwd = fwd_pred >= 0
+        has_stage = stage_prev >= 0
+        steps: List[_LevelStep] = []
+        for value in range(max_level + 1 if n else 0):
+            idx = by_level[bounds[value]:bounds[value + 1]]
+            data_rows = np.flatnonzero(has_data[idx])
+            fwd_rows = np.flatnonzero(has_fwd[idx])
+            stage_rows = np.flatnonzero(has_stage[idx])
+            steps.append(
+                _LevelStep(
+                    idx=idx,
+                    data_rows=data_rows,
+                    data_pred=data_pred[idx[data_rows]],
+                    data_ops=idx[data_rows],
+                    fwd_rows=fwd_rows,
+                    fwd_pred=fwd_pred[idx[fwd_rows]],
+                    stage_rows=stage_rows,
+                    stage_pred=stage_prev[idx[stage_rows]],
+                )
+            )
+        return tuple(steps)
+
+    # ------------------------------------------------------------------ #
+    # Duration / delay vectors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_ops(self) -> int:
+        return len(self.op_stage)
+
+    def durations_from_tables(
+        self,
+        fwd: ArrayLike,
+        bwd: ArrayLike,
+        order: Optional[Sequence[int]] = None,
+        transpose: bool = False,
+    ) -> np.ndarray:
+        """Gather the per-op duration vector from stage/microbatch tables.
+
+        Args:
+            fwd / bwd: ``[stage][microbatch]`` duration tables (chunked
+                ops index their physical stage's table).
+            order: Optional microbatch permutation — op ``i`` reads row
+                ``order[op_microbatch[i]]``.
+            transpose: Tables are ``[microbatch][stage]`` instead.
+        """
+        fwd = np.asarray(fwd, dtype=float)
+        bwd = np.asarray(bwd, dtype=float)
+        mb = self.op_microbatch
+        if order is not None:
+            mb = np.asarray(order, dtype=np.int64)[mb]
+        if transpose:
+            rows, cols = mb, self.op_stage
+        else:
+            rows, cols = self.op_stage, mb
+        return np.where(
+            self.op_is_forward, fwd[rows, cols], bwd[rows, cols]
+        )
+
+    def durations_from_stage_times(
+        self,
+        stage_fwd: Sequence[float],
+        stage_bwd: Sequence[float],
+    ) -> np.ndarray:
+        """Durations for uniform-per-stage workloads (no microbatch
+        heterogeneity) — the orchestration refinement's case."""
+        stage_fwd = np.asarray(stage_fwd, dtype=float)
+        stage_bwd = np.asarray(stage_bwd, dtype=float)
+        return np.where(
+            self.op_is_forward,
+            stage_fwd[self.op_stage],
+            stage_bwd[self.op_stage],
+        )
+
+    def durations_from_callable(self, duration) -> np.ndarray:
+        """Per-op durations from an arbitrary ``op -> seconds`` callable."""
+        return np.fromiter(
+            (duration(op) for op in self.ops), float, self.num_ops
+        )
+
+    def delays_from_callable(self, comm_delay) -> np.ndarray:
+        """Per-op communication delays from a ``(src, dst, dir)`` callable.
+
+        ``delays[i]`` is the transfer time on op ``i``'s data edge; ops
+        without a data edge keep 0 (never read during evaluation).
+        """
+        delays = np.zeros(self.num_ops)
+        for i in np.flatnonzero(self.data_pred >= 0):
+            op = self.ops[i]
+            pred = self.ops[self.data_pred[i]]
+            delays[i] = comm_delay(pred.stage, op.stage, op.direction)
+        return delays
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        durations: np.ndarray,
+        delays: Union[float, np.ndarray] = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Start/end times for one duration vector.
+
+        ``delays`` is a scalar (uniform inter-stage delay) or a per-op
+        vector aligned with ``ops``.
+        """
+        n = self.num_ops
+        uniform = np.ndim(delays) == 0
+        start = np.zeros(n)
+        end = np.zeros(n)
+        for step in self.levels:
+            ready = np.zeros(len(step.idx))
+            if len(step.data_rows):
+                edge = delays if uniform else delays[step.data_ops]
+                ready[step.data_rows] = end[step.data_pred] + edge
+            if len(step.fwd_rows):
+                ready[step.fwd_rows] = np.maximum(
+                    ready[step.fwd_rows], end[step.fwd_pred]
+                )
+            if len(step.stage_rows):
+                ready[step.stage_rows] = np.maximum(
+                    ready[step.stage_rows], end[step.stage_pred]
+                )
+            start[step.idx] = ready
+            end[step.idx] = ready + durations[step.idx]
+        return start, end
+
+    def evaluate_batch(
+        self,
+        durations: np.ndarray,
+        delays: Union[float, np.ndarray] = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Start/end times for a ``(B, n)`` duration matrix.
+
+        ``delays`` is a scalar shared by the whole batch or a ``(B,)``
+        vector of per-item uniform delays.
+        """
+        durations = np.asarray(durations, dtype=float)
+        if durations.ndim != 2 or durations.shape[1] != self.num_ops:
+            raise ValueError(
+                f"expected (B, {self.num_ops}) durations, "
+                f"got {durations.shape}"
+            )
+        batch = durations.shape[0]
+        if np.ndim(delays) == 1:
+            delays = np.asarray(delays, dtype=float)[:, None]
+        start = np.zeros((batch, self.num_ops))
+        end = np.zeros((batch, self.num_ops))
+        for step in self.levels:
+            ready = np.zeros((batch, len(step.idx)))
+            if len(step.data_rows):
+                ready[:, step.data_rows] = end[:, step.data_pred] + delays
+            if len(step.fwd_rows):
+                ready[:, step.fwd_rows] = np.maximum(
+                    ready[:, step.fwd_rows], end[:, step.fwd_pred]
+                )
+            if len(step.stage_rows):
+                ready[:, step.stage_rows] = np.maximum(
+                    ready[:, step.stage_rows], end[:, step.stage_pred]
+                )
+            start[:, step.idx] = ready
+            end[:, step.idx] = ready + durations[:, step.idx]
+        return start, end
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities (trace-free fast paths)
+    # ------------------------------------------------------------------ #
+    def makespan(self, end: np.ndarray) -> float:
+        """Pipeline makespan from an end-time vector."""
+        return float(end.max()) if len(end) else 0.0
+
+    def first_stage_gap(
+        self, start: np.ndarray, end: np.ndarray
+    ) -> float:
+        """Length of the first idle window at stage 0, or 0.0.
+
+        Matches ``PipelineTrace.stage_idle_gaps(0)``: stage-0 ops sorted
+        by (start, end), gaps wider than 1e-12 count.
+        """
+        lo = int(self.stage_first[0])
+        hi = lo + int(self.stage_count[0])
+        idx = np.arange(lo, hi)
+        s, e = start[idx], end[idx]
+        sorted_rows = np.lexsort((e, s))
+        s, e = s[sorted_rows], e[sorted_rows]
+        gaps = np.flatnonzero(s[1:] > e[:-1] + 1e-12)
+        if not len(gaps):
+            return 0.0
+        g = gaps[0]
+        return float(s[g + 1] - e[g])
+
+    def bubble_fraction(self, start: np.ndarray, end: np.ndarray) -> float:
+        """Mean idle fraction across stages, without building a trace.
+
+        Mirrors :meth:`PipelineTrace.bubble_fraction` bit-for-bit: per
+        stage, durations are accumulated left-to-right over records
+        sorted by ``(start, end)`` (Python-float sequential sums, same
+        as the trace's ``sum``), then averaged against the makespan.
+        """
+        makespan = self.makespan(end)
+        if makespan == 0:
+            return 0.0
+        total_busy = 0.0
+        for stage in range(self.num_stages):
+            lo = int(self.stage_first[stage])
+            hi = lo + int(self.stage_count[stage])
+            s, e = start[lo:hi], end[lo:hi]
+            sorted_rows = np.lexsort((e, s))
+            busy = 0.0
+            for value in (e[sorted_rows] - s[sorted_rows]).tolist():
+                busy += value
+            total_busy += busy
+        capacity = makespan * self.num_stages
+        return 1.0 - total_busy / capacity
+
+    def trace(self, start: np.ndarray, end: np.ndarray) -> PipelineTrace:
+        """Materialize the full :class:`PipelineTrace`.
+
+        Records appear in the same (stage-major schedule) order as the
+        reference evaluator's, so traces compare bit-identical.
+        """
+        records = [
+            OpRecord(op=op, start=float(start[i]), end=float(end[i]))
+            for i, op in enumerate(self.ops)
+        ]
+        return PipelineTrace(
+            num_stages=self.num_stages,
+            num_microbatches=self.num_microbatches,
+            vpp=self.vpp,
+            records=records,
+        )
+
+
+@lru_cache(maxsize=KERNEL_CACHE_SIZE)
+def get_kernel(
+    kind: ScheduleKind,
+    num_stages: int,
+    num_microbatches: int,
+    vpp: int = 1,
+) -> SimulatorKernel:
+    """The compiled kernel for one schedule shape (process-wide cache)."""
+    return SimulatorKernel.build(kind, num_stages, num_microbatches, vpp)
+
+
+def kernel_cache_info():
+    """Hit/miss statistics of the shape cache (for diagnostics)."""
+    return get_kernel.cache_info()
+
+
+def clear_kernel_cache() -> None:
+    get_kernel.cache_clear()

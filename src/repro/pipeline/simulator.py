@@ -13,13 +13,24 @@ DAG:
 Durations may vary per microbatch — the essential capability for studying
 data heterogeneity (section 2.3), where encoder/generator stage times
 depend on the images in each microbatch.
+
+Evaluation runs on the vectorized :mod:`repro.pipeline.kernel`: the
+dependency structure is compiled once per ``(kind, stages, microbatches,
+vpp)`` shape and cached, so repeated evaluations (reordering ablations,
+orchestration search, campaigns) only pay for new duration tables. The
+original per-op worklist survives as :meth:`PipelineSimulator.run_reference`
+— the oracle the property-based equivalence suite checks the kernel
+against, bit for bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from repro.pipeline.kernel import SimulatorKernel, get_kernel
 from repro.pipeline.ops import Direction, PipelineOp
 from repro.pipeline.schedules import ScheduleKind, schedule_order
 from repro.pipeline.trace import OpRecord, PipelineTrace
@@ -36,10 +47,19 @@ class StageWork:
         duration: Op -> seconds of compute.
         comm_delay: (src_stage, dst_stage, direction) -> seconds of
             activation/gradient transfer between adjacent stages.
+        fwd_table / bwd_table: Optional ``[stage][microbatch]`` duration
+            tables. When present (see :meth:`from_tables`) the simulator
+            gathers durations as one numpy operation instead of calling
+            ``duration`` per op.
+        uniform_comm: Optional uniform inter-stage delay mirroring
+            ``comm_delay``; enables the vectorized delay path.
     """
 
     duration: DurationFn
     comm_delay: CommFn = lambda src, dst, direction: 0.0
+    fwd_table: Optional[np.ndarray] = None
+    bwd_table: Optional[np.ndarray] = None
+    uniform_comm: Optional[float] = None
 
     @classmethod
     def from_tables(
@@ -51,12 +71,37 @@ class StageWork:
         """Build from ``fwd[stage][microbatch]`` / ``bwd[stage][microbatch]``
         tables and a uniform inter-stage delay (chunked ops index the same
         physical-stage tables)."""
+        fwd_array = np.asarray(fwd, dtype=float)
+        bwd_array = np.asarray(bwd, dtype=float)
 
         def duration(op: PipelineOp) -> float:
-            table = fwd if op.is_forward else bwd
+            table = fwd_array if op.is_forward else bwd_array
             return float(table[op.stage][op.microbatch])
 
-        return cls(duration=duration, comm_delay=lambda s, d, dr: comm)
+        return cls(
+            duration=duration,
+            comm_delay=lambda s, d, dr: comm,
+            fwd_table=fwd_array,
+            bwd_table=bwd_array,
+            uniform_comm=float(comm),
+        )
+
+    @classmethod
+    def uniform(
+        cls, fwd_time: float, bwd_time: float, comm: float = 0.0
+    ) -> "StageWork":
+        """Identical durations for every stage and microbatch.
+
+        Tables are filled lazily by the simulator (which knows the
+        shape); the callable fallback keeps direct use working.
+        """
+        work = cls(
+            duration=lambda op: fwd_time if op.is_forward else bwd_time,
+            comm_delay=lambda s, d, dr: comm,
+            uniform_comm=float(comm),
+        )
+        work._uniform_times = (float(fwd_time), float(bwd_time))
+        return work
 
 
 class PipelineSimulator:
@@ -80,22 +125,136 @@ class PipelineSimulator:
         self.num_microbatches = num_microbatches
         self.schedule = schedule
         self.vpp = vpp if schedule is ScheduleKind.INTERLEAVED else 1
-        self.order = schedule_order(
-            schedule, num_stages, num_microbatches, self.vpp
+
+    @property
+    def kernel(self) -> SimulatorKernel:
+        """The compiled (cached) kernel for this simulator's shape."""
+        return get_kernel(
+            self.schedule, self.num_stages, self.num_microbatches, self.vpp
+        )
+
+    @property
+    def order(self) -> Dict[int, List[PipelineOp]]:
+        """Per-stage op order (regenerated view; kept for inspection)."""
+        return schedule_order(
+            self.schedule, self.num_stages, self.num_microbatches, self.vpp
         )
 
     # ------------------------------------------------------------------ #
     # Simulation
     # ------------------------------------------------------------------ #
+    def _work_vectors(
+        self, work: StageWork, kernel: SimulatorKernel
+    ) -> Tuple[np.ndarray, Union[float, np.ndarray]]:
+        """(durations, delays) for one work model, vectorized if possible."""
+        if work.fwd_table is not None and work.bwd_table is not None:
+            durations = kernel.durations_from_tables(
+                work.fwd_table, work.bwd_table
+            )
+        else:
+            uniform_times = getattr(work, "_uniform_times", None)
+            if uniform_times is not None:
+                fwd_time, bwd_time = uniform_times
+                durations = np.where(
+                    kernel.op_is_forward, fwd_time, bwd_time
+                )
+            else:
+                durations = kernel.durations_from_callable(work.duration)
+        if work.uniform_comm is not None:
+            delays: Union[float, np.ndarray] = work.uniform_comm
+        else:
+            delays = kernel.delays_from_callable(work.comm_delay)
+        return durations, delays
+
     def run(self, work: StageWork) -> PipelineTrace:
         """Evaluate the schedule and return the full trace."""
+        kernel = self.kernel
+        durations, delays = self._work_vectors(work, kernel)
+        start, end = kernel.evaluate(durations, delays)
+        return kernel.trace(start, end)
+
+    def simulate_many(
+        self,
+        work_tables: Sequence[
+            Union[StageWork, Tuple[np.ndarray, np.ndarray]]
+        ],
+        comm: float = 0.0,
+        traces: bool = False,
+    ) -> Union[np.ndarray, List[PipelineTrace]]:
+        """Batch-evaluate many duration tables on this schedule shape.
+
+        Args:
+            work_tables: Each item is a table-backed :class:`StageWork`
+                (from :meth:`StageWork.from_tables`) or a plain
+                ``(fwd, bwd)`` pair of ``[stage][microbatch]`` tables.
+            comm: Uniform inter-stage delay for plain-pair items (a
+                ``StageWork`` item's own ``uniform_comm`` wins).
+            traces: Return full :class:`PipelineTrace` objects instead of
+                the makespan vector.
+
+        Returns:
+            ``(B,)`` array of makespans, or a list of traces.
+        """
+        kernel = self.kernel
+        durations = np.empty((len(work_tables), kernel.num_ops))
+        delays = np.empty(len(work_tables))
+        for i, item in enumerate(work_tables):
+            if isinstance(item, StageWork):
+                if (
+                    item.fwd_table is None
+                    or item.bwd_table is None
+                    or item.uniform_comm is None
+                ):
+                    raise ValueError(
+                        "simulate_many needs table-backed StageWork "
+                        "(use StageWork.from_tables)"
+                    )
+                durations[i] = kernel.durations_from_tables(
+                    item.fwd_table, item.bwd_table
+                )
+                delays[i] = item.uniform_comm
+            else:
+                fwd, bwd = item
+                durations[i] = kernel.durations_from_tables(fwd, bwd)
+                delays[i] = comm
+        start, end = kernel.evaluate_batch(durations, delays)
+        if traces:
+            return [
+                kernel.trace(start[i], end[i])
+                for i in range(len(work_tables))
+            ]
+        return end.max(axis=1) if len(work_tables) else np.zeros(0)
+
+    def makespan_from_tables(
+        self,
+        fwd: Sequence[Sequence[float]],
+        bwd: Sequence[Sequence[float]],
+        comm: float = 0.0,
+    ) -> float:
+        """Makespan only — no trace objects (hot-path convenience)."""
+        kernel = self.kernel
+        durations = kernel.durations_from_tables(fwd, bwd)
+        _, end = kernel.evaluate(durations, comm)
+        return kernel.makespan(end)
+
+    # ------------------------------------------------------------------ #
+    # Reference evaluator (test oracle)
+    # ------------------------------------------------------------------ #
+    def run_reference(self, work: StageWork) -> PipelineTrace:
+        """Original per-op worklist evaluation.
+
+        Retained verbatim as the oracle for the property-based
+        equivalence suite; the vectorized kernel must reproduce its
+        start/end times exactly.
+        """
         p = self.num_stages
         num_vstages = p * self.vpp
+        order = self.order
 
         # Index ops and per-stage predecessors.
         stage_prev: Dict[PipelineOp, PipelineOp] = {}
         all_ops: List[PipelineOp] = []
-        for stage, ops in self.order.items():
+        for stage, ops in order.items():
             for i, op in enumerate(ops):
                 all_ops.append(op)
                 if i > 0:
@@ -144,11 +303,11 @@ class PipelineSimulator:
         # Worklist evaluation in per-stage order; each pass schedules the
         # next ready op of every stage. Deadlock (no progress) means the
         # schedule/dependency combination is infeasible.
-        cursors = {stage: 0 for stage in self.order}
+        cursors = {stage: 0 for stage in order}
         remaining = len(all_ops)
         while remaining:
             progressed = False
-            for stage, ops in self.order.items():
+            for stage, ops in order.items():
                 while cursors[stage] < len(ops):
                     op = ops[cursors[stage]]
                     ready = data_ready(op)
@@ -161,9 +320,9 @@ class PipelineSimulator:
                     progressed = True
             if not progressed:
                 stuck = [
-                    str(self.order[stage][cursors[stage]])
-                    for stage in self.order
-                    if cursors[stage] < len(self.order[stage])
+                    str(order[stage][cursors[stage]])
+                    for stage in order
+                    if cursors[stage] < len(order[stage])
                 ]
                 raise RuntimeError(
                     f"pipeline schedule deadlocked; waiting ops: {stuck[:8]}"
@@ -186,10 +345,4 @@ class PipelineSimulator:
         self, fwd_time: float, bwd_time: float, comm: float = 0.0
     ) -> PipelineTrace:
         """Run with identical durations for all microbatches/stages."""
-
-        def duration(op: PipelineOp) -> float:
-            return fwd_time if op.is_forward else bwd_time
-
-        return self.run(
-            StageWork(duration=duration, comm_delay=lambda s, d, dr: comm)
-        )
+        return self.run(StageWork.uniform(fwd_time, bwd_time, comm))

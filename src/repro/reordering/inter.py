@@ -31,9 +31,8 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
-from repro.pipeline.ops import Direction, PipelineOp
+from repro.pipeline.kernel import SimulatorKernel, get_kernel
 from repro.pipeline.schedules import ScheduleKind
-from repro.pipeline.simulator import PipelineSimulator, StageWork
 
 T = TypeVar("T")
 
@@ -120,7 +119,14 @@ class InterReorderer:
             sorted(range(l), key=key),
             sorted(range(l), key=key, reverse=True),
         ]
-        return min(portfolio, key=self.evaluate)
+        # One batched kernel sweep prices all four candidate orders.
+        kernel, scale = self._kernel(l)
+        durations = np.stack([
+            self._durations(kernel, order, scale) for order in portfolio
+        ])
+        _, end = kernel.evaluate_batch(durations, self.costs.comm)
+        makespans = end.max(axis=1)
+        return portfolio[int(np.argmin(makespans))]
 
     def _construct(self) -> List[int]:
         """Algorithm 2's interval-filling construction."""
@@ -164,7 +170,8 @@ class InterReorderer:
 
     def evaluate(self, order: Sequence[int]) -> float:
         """Pipeline makespan of executing microbatches in ``order``."""
-        return self._simulate(list(order)).makespan
+        _, end, kernel = self._evaluate_order(list(order))
+        return kernel.makespan(end)
 
     # ------------------------------------------------------------------ #
     # Algorithm internals
@@ -209,36 +216,37 @@ class InterReorderer:
     def _get_interval(self, placed: List[int]) -> float:
         """``GETINTERVAL``: first unfilled idle window at stage 0 under
         the current partial order."""
-        trace = self._simulate(placed)
-        gaps = trace.stage_idle_gaps(0)
-        if not gaps:
-            return 0.0
-        start, end = gaps[0]
-        return end - start
+        start, end, kernel = self._evaluate_order(placed)
+        return kernel.first_stage_gap(start, end)
 
     # ------------------------------------------------------------------ #
-    # Pipeline evaluation
+    # Pipeline evaluation (vectorized kernel; no trace objects)
     # ------------------------------------------------------------------ #
-    def _simulate(self, order: List[int]):
-        costs = self.costs
-        p = costs.num_stages
-        if self.vpp > 1 and len(order) % p == 0:
-            schedule = ScheduleKind.INTERLEAVED
-            vpp = self.vpp
-            scale = 1.0 / vpp
-        else:
-            schedule = ScheduleKind.ONE_F_ONE_B
-            vpp = 1
-            scale = 1.0
+    def _kernel(self, num_microbatches: int):
+        """Compiled kernel + duration scale for an order of this length.
 
-        def duration(op: PipelineOp) -> float:
-            mb = order[op.microbatch]
-            table = costs.fwd if op.is_forward else costs.bwd
-            return float(table[mb, op.stage]) * scale
+        Orders whose length fits the interleaving constraint evaluate
+        under the interleaved schedule with per-chunk (1/vpp) durations;
+        partial prefixes fall back to plain 1F1B.
+        """
+        p = self.costs.num_stages
+        if self.vpp > 1 and num_microbatches % p == 0:
+            kernel = get_kernel(
+                ScheduleKind.INTERLEAVED, p, num_microbatches, self.vpp
+            )
+            return kernel, 1.0 / self.vpp
+        return get_kernel(ScheduleKind.ONE_F_ONE_B, p, num_microbatches, 1), 1.0
 
-        sim = PipelineSimulator(p, len(order), schedule, vpp=vpp)
-        work = StageWork(
-            duration=duration,
-            comm_delay=lambda s, d, dr: costs.comm,
-        )
-        return sim.run(work)
+    def _durations(
+        self, kernel: SimulatorKernel, order: Sequence[int], scale: float
+    ) -> np.ndarray:
+        """Per-op durations for one microbatch permutation."""
+        return kernel.durations_from_tables(
+            self.costs.fwd, self.costs.bwd, order=order, transpose=True
+        ) * scale
+
+    def _evaluate_order(self, order: List[int]):
+        kernel, scale = self._kernel(len(order))
+        durations = self._durations(kernel, order, scale)
+        start, end = kernel.evaluate(durations, self.costs.comm)
+        return start, end, kernel

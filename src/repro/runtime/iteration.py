@@ -27,9 +27,8 @@ from repro.data.sample import TrainingSample
 from repro.models.base import ModuleWorkload
 from repro.parallelism.broker import broker_transfer_time
 from repro.parallelism.orchestration_plan import ModelOrchestrationPlan
-from repro.pipeline.ops import Direction, PipelineOp
+from repro.pipeline.kernel import get_kernel
 from repro.pipeline.schedules import ScheduleKind
-from repro.pipeline.simulator import PipelineSimulator, StageWork
 from repro.preprocessing.colocated import CoLocatedPreprocessing
 from repro.preprocessing.cost import PreprocessCostModel
 from repro.preprocessing.disaggregated import DisaggregatedPreprocessing
@@ -266,14 +265,13 @@ class TrainingIterationSimulator:
         ]
 
         ranks_to_simulate = self._select_ranks(rank_batches)
-        makespans: List[float] = []
-        bubble_fractions: List[float] = []
-        for r in ranks_to_simulate:
-            makespan, bubble = self._simulate_rank(
-                rank_batches[r], num_microbatches
-            )
-            makespans.append(makespan)
-            bubble_fractions.append(bubble)
+        rank_work = [
+            self._rank_work(rank_batches[r], num_microbatches)
+            for r in ranks_to_simulate
+        ]
+        makespans, bubble_fractions = self._evaluate_ranks(
+            rank_work, num_microbatches
+        )
 
         pipeline_time = max(makespans)
         dp_sync = self._dp_sync_time()
@@ -325,9 +323,10 @@ class TrainingIterationSimulator:
         picks.update(order[::step][: limit - 2])
         return sorted(picks)
 
-    def _simulate_rank(
+    def _rank_work(
         self, rank_batch: List[TrainingSample], num_microbatches: int
-    ) -> Tuple[float, float]:
+    ) -> Tuple[np.ndarray, np.ndarray, List[int], float]:
+        """One DP rank's duration tables, microbatch order, and comm delay."""
         M = self.plan.microbatch_size
         microbatches = [
             rank_batch[i * M : (i + 1) * M] for i in range(num_microbatches)
@@ -346,21 +345,37 @@ class TrainingIterationSimulator:
             costs = MicrobatchCostModel(fwd=fwd, bwd=bwd, comm=comm)
             vpp = self.plan.plans["llm"].vpp
             order = InterReorderer(costs, vpp=vpp).reorder()
+        return fwd, bwd, order, comm
 
-        num_stages = fwd.shape[1]
+    def _evaluate_ranks(
+        self,
+        rank_work: List[Tuple[np.ndarray, np.ndarray, List[int], float]],
+        num_microbatches: int,
+    ) -> Tuple[List[float], List[float]]:
+        """Makespan and bubble fraction per simulated rank.
+
+        All ranks share one schedule shape, so their final (reordered)
+        duration tables are priced in a single batched kernel sweep.
+        """
+        num_stages = rank_work[0][0].shape[1]
         schedule, vpp = self._effective_schedule(num_microbatches, num_stages)
+        kernel = get_kernel(schedule, num_stages, num_microbatches, vpp)
 
-        def duration(op: PipelineOp) -> float:
-            mb = order[op.microbatch]
-            table = fwd if op.is_forward else bwd
-            value = float(table[mb, op.stage])
-            return value / vpp if vpp > 1 else value
-
-        sim = PipelineSimulator(num_stages, num_microbatches, schedule, vpp)
-        trace = sim.run(
-            StageWork(duration=duration, comm_delay=lambda s, d, dr: comm)
-        )
-        return trace.makespan, trace.bubble_fraction()
+        durations = np.empty((len(rank_work), kernel.num_ops))
+        delays = np.empty(len(rank_work))
+        for i, (fwd, bwd, order, comm) in enumerate(rank_work):
+            gathered = kernel.durations_from_tables(
+                fwd, bwd, order=order, transpose=True
+            )
+            durations[i] = gathered / vpp if vpp > 1 else gathered
+            delays[i] = comm
+        start, end = kernel.evaluate_batch(durations, delays)
+        makespans = [kernel.makespan(end[i]) for i in range(len(rank_work))]
+        bubbles = [
+            kernel.bubble_fraction(start[i], end[i])
+            for i in range(len(rank_work))
+        ]
+        return makespans, bubbles
 
     def _effective_schedule(
         self, num_microbatches: int, num_stages: int

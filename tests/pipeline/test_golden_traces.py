@@ -1,0 +1,85 @@
+"""Golden-trace snapshots: the kernel vs committed known-good traces.
+
+Each fixture under ``tests/pipeline/golden/`` stores one canonical
+schedule's full trace with hex-serialized floats. The comparison is
+bit-exact — a kernel change that moves any start/end time by one ULP
+fails here and must either be fixed or explicitly re-blessed with::
+
+    PYTHONPATH=src python -m tests.pipeline.golden.regen
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.pipeline.ops import Direction, PipelineOp
+from repro.pipeline.schedules import ScheduleKind
+from repro.pipeline.simulator import PipelineSimulator, StageWork
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+FIXTURES = sorted(GOLDEN_DIR.glob("*.json"))
+
+
+def load_tables(fixture):
+    fwd = np.array(
+        [[float.fromhex(v) for v in row] for row in fixture["fwd"]]
+    )
+    bwd = np.array(
+        [[float.fromhex(v) for v in row] for row in fixture["bwd"]]
+    )
+    return fwd, bwd, float.fromhex(fixture["comm"])
+
+
+def run_fixture(fixture):
+    fwd, bwd, comm = load_tables(fixture)
+    sim = PipelineSimulator(
+        fixture["num_stages"],
+        fixture["num_microbatches"],
+        ScheduleKind(fixture["schedule"]),
+        vpp=fixture["vpp"],
+    )
+    return sim.run(StageWork.from_tables(fwd, bwd, comm=comm))
+
+
+def test_fixture_set_is_complete():
+    """One fixture per schedule kind, plus heterogeneous/frozen cases."""
+    assert FIXTURES, "no golden fixtures committed"
+    kinds = {
+        json.loads(path.read_text())["schedule"] for path in FIXTURES
+    }
+    assert kinds == {kind.value for kind in ScheduleKind}
+    names = {path.stem for path in FIXTURES}
+    assert "one_f_one_b_heterogeneous" in names
+    assert "one_f_one_b_frozen_backwards" in names
+
+
+@pytest.mark.parametrize(
+    "path", FIXTURES, ids=[path.stem for path in FIXTURES]
+)
+def test_trace_matches_golden(path):
+    fixture = json.loads(path.read_text())
+    trace = run_fixture(fixture)
+    assert trace.makespan == float.fromhex(fixture["makespan"])
+    golden = fixture["records"]
+    assert len(trace.records) == len(golden)
+    for record, expected in zip(trace.records, golden):
+        op = PipelineOp(
+            stage=expected["stage"],
+            microbatch=expected["microbatch"],
+            direction=Direction(expected["direction"]),
+            chunk=expected["chunk"],
+        )
+        assert record.op == op
+        assert record.start == float.fromhex(expected["start"]), op
+        assert record.end == float.fromhex(expected["end"]), op
+
+
+@pytest.mark.parametrize(
+    "path", FIXTURES, ids=[path.stem for path in FIXTURES]
+)
+def test_golden_traces_are_physical(path):
+    """The committed snapshots themselves satisfy the invariants."""
+    trace = run_fixture(json.loads(path.read_text()))
+    trace.assert_valid()

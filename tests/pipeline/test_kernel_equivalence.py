@@ -1,0 +1,153 @@
+"""Property-based equivalence: vectorized kernel vs reference evaluator.
+
+The vectorized :mod:`repro.pipeline.kernel` must reproduce the retained
+per-op worklist (:meth:`PipelineSimulator.run_reference`) **exactly** —
+same IEEE operations per op, so ``==`` on every start/end time, across
+all schedule kinds, heterogeneous durations (including zero-duration
+ops, as frozen modules produce), and communication delays. The suite
+also asserts the simulator invariants directly: no stage overlap,
+dependencies respected, makespan equals the latest op end.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline.kernel import get_kernel
+from repro.pipeline.ops import Direction
+from repro.pipeline.schedules import ScheduleKind
+from repro.pipeline.simulator import PipelineSimulator, StageWork
+
+
+@st.composite
+def simulator_instances(draw):
+    """A random (simulator, work) pair covering every ScheduleKind."""
+    kind = draw(st.sampled_from(list(ScheduleKind)))
+    p = draw(st.integers(min_value=1, max_value=5))
+    if kind is ScheduleKind.INTERLEAVED:
+        vpp = draw(st.integers(min_value=1, max_value=3))
+        groups = draw(st.integers(min_value=1, max_value=3))
+        l = p * groups  # the Megatron divisibility constraint
+    else:
+        vpp = 1
+        l = draw(st.integers(min_value=1, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    fwd = rng.uniform(0.05, 3.0, (p, l))
+    bwd = rng.uniform(0.05, 5.0, (p, l))
+    # Zero durations occur in practice (fully frozen backward passes).
+    if draw(st.booleans()):
+        zero_frac = draw(st.floats(min_value=0.0, max_value=1.0))
+        bwd[rng.uniform(size=(p, l)) < zero_frac] = 0.0
+    comm = draw(st.floats(min_value=0.0, max_value=0.5, allow_nan=False))
+    sim = PipelineSimulator(p, l, kind, vpp=vpp)
+    return sim, StageWork.from_tables(fwd, bwd, comm=comm)
+
+
+def assert_traces_identical(vectorized, reference):
+    assert len(vectorized.records) == len(reference.records)
+    for fast, ref in zip(vectorized.records, reference.records):
+        assert fast.op == ref.op
+        assert fast.start == ref.start, (fast.op, fast.start, ref.start)
+        assert fast.end == ref.end, (fast.op, fast.end, ref.end)
+
+
+@settings(max_examples=60, deadline=None)
+@given(simulator_instances())
+def test_kernel_matches_reference_exactly(instance):
+    sim, work = instance
+    assert_traces_identical(sim.run(work), sim.run_reference(work))
+
+
+@settings(max_examples=30, deadline=None)
+@given(simulator_instances())
+def test_kernel_matches_reference_with_callable_work(instance):
+    """The non-table (callable duration / generic comm) path too."""
+    sim, work = instance
+    fwd, bwd = work.fwd_table, work.bwd_table
+    comm = work.uniform_comm
+    generic = StageWork(
+        duration=lambda op: float(
+            (fwd if op.is_forward else bwd)[op.stage][op.microbatch]
+        ),
+        comm_delay=lambda src, dst, direction: (
+            comm if direction is Direction.FWD else comm * 0.5
+        ),
+    )
+    assert_traces_identical(sim.run(generic), sim.run_reference(generic))
+
+
+@settings(max_examples=60, deadline=None)
+@given(simulator_instances())
+def test_simulator_invariants(instance):
+    sim, work = instance
+    trace = sim.run(work)
+    # Physical consistency: no overlap, deps respected.
+    trace.assert_valid()
+    # Makespan is exactly the latest op end.
+    assert trace.makespan == max(r.end for r in trace.records)
+    # Every op ran, exactly once.
+    assert len(trace.records) == 2 * sim.num_stages * sim.num_microbatches * sim.vpp
+    assert len({r.op for r in trace.records}) == len(trace.records)
+    # Starts are non-negative and every op's duration matches its table.
+    for record in trace.records:
+        assert record.start >= 0.0
+        assert record.end == record.start + work.duration(record.op)
+
+
+@settings(max_examples=25, deadline=None)
+@given(simulator_instances(), st.integers(min_value=2, max_value=5))
+def test_simulate_many_matches_individual_runs(instance, batch):
+    """The batched sweep equals per-item evaluation, bit for bit."""
+    sim, work = instance
+    rng = np.random.default_rng(0)
+    items = [work] + [
+        StageWork.from_tables(
+            work.fwd_table * rng.uniform(0.5, 2.0, work.fwd_table.shape),
+            work.bwd_table * rng.uniform(0.5, 2.0, work.bwd_table.shape),
+            comm=work.uniform_comm,
+        )
+        for _ in range(batch - 1)
+    ]
+    makespans = sim.simulate_many(items)
+    traces = sim.simulate_many(items, traces=True)
+    for i, item in enumerate(items):
+        reference = sim.run_reference(item)
+        assert makespans[i] == reference.makespan
+        assert_traces_identical(traces[i], reference)
+
+
+@settings(max_examples=40, deadline=None)
+@given(simulator_instances())
+def test_traceless_fast_paths_match_trace(instance):
+    """makespan / bubble / first-stage-gap helpers == trace values."""
+    sim, work = instance
+    kernel = sim.kernel
+    durations = kernel.durations_from_tables(work.fwd_table, work.bwd_table)
+    start, end = kernel.evaluate(durations, work.uniform_comm)
+    trace = sim.run_reference(work)
+    assert kernel.makespan(end) == trace.makespan
+    assert kernel.bubble_fraction(start, end) == trace.bubble_fraction()
+    gaps = trace.stage_idle_gaps(0)
+    expected = (gaps[0][1] - gaps[0][0]) if gaps else 0.0
+    assert kernel.first_stage_gap(start, end) == expected
+
+
+def test_kernel_cache_reuses_shapes():
+    get_kernel.cache_clear()
+    a = PipelineSimulator(4, 8, ScheduleKind.ONE_F_ONE_B).kernel
+    b = PipelineSimulator(4, 8, ScheduleKind.ONE_F_ONE_B).kernel
+    assert a is b
+    c = PipelineSimulator(4, 9, ScheduleKind.ONE_F_ONE_B).kernel
+    assert c is not a
+    info = get_kernel.cache_info()
+    assert info.hits >= 1 and info.misses >= 2
+
+
+def test_batched_shape_validation():
+    sim = PipelineSimulator(2, 3)
+    kernel = sim.kernel
+    with pytest.raises(ValueError):
+        kernel.evaluate_batch(np.zeros((2, kernel.num_ops + 1)))
+    with pytest.raises(ValueError):
+        sim.simulate_many([StageWork(duration=lambda op: 1.0)])
