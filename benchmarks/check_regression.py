@@ -38,12 +38,14 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
 DEFAULT_THRESHOLD = 1.2
 
 #: Benchmarks guarded against regression (substring match on the
-#: pytest-benchmark name). The three tracked figure benchmarks of the
-#: vectorized-kernel work.
+#: pytest-benchmark name): the three tracked figure benchmarks of the
+#: vectorized-kernel work plus the scenario engine's thousand-iteration
+#: dynamics hot path.
 TRACKED = (
     "test_figure16_reordering_ablation",
     "test_figure5_distributions",
     "test_convex_matches_enumeration",
+    "test_scenario_1000_iterations",
 )
 
 

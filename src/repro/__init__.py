@@ -8,7 +8,7 @@ the experiment campaign engine; the figure/table record lives in the
 ``benchmarks/`` reproduction suite.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.core import (
     DistTrainConfig,
@@ -25,6 +25,7 @@ from repro.experiments import (
     SweepSpec,
     ZippedAxes,
 )
+from repro.scenarios import EventTrace, ScenarioSpec, run_scenario
 
 __all__ = [
     "DistTrainConfig",
@@ -38,5 +39,8 @@ __all__ = [
     "CampaignRunner",
     "ResultCache",
     "ResultFrame",
+    "EventTrace",
+    "ScenarioSpec",
+    "run_scenario",
     "__version__",
 ]

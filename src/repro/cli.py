@@ -10,6 +10,12 @@ Usage::
     repro sweep    --models mllm-9b mllm-15b \
                    --systems disttrain megatron-lm \
                    --gpus 48 96 192 --gbs 128
+    repro sweep    --models mllm-9b --gpus 48 --gbs 16 \
+                   --scenario-iterations 1000 --mtbf 100 300 --elastic
+    repro scenario run   --model mllm-9b --gpus 48 --gbs 16 \
+                         --iterations 1000 --mtbf 200 --elastic
+    repro scenario sweep --models mllm-9b --gpus 48 96 --gbs 16 \
+                         --mtbf 50 200 800
     repro report   --baseline-system megatron-lm --csv results.csv
 
 (Also runnable as ``python -m repro ...``.)
@@ -34,6 +40,12 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 REPORT_COLUMNS = (
     "model", "system", "gpus", "gbs", "frozen",
     "mfu", "throughput_tokens_per_s", "iteration_time", "status",
+)
+
+#: Columns printed for dynamic-cluster (scenario) sweeps.
+SCENARIO_REPORT_COLUMNS = (
+    "model", "system", "gpus", "gbs", "mtbf", "elastic",
+    "goodput", "num_failures", "recovery_seconds", "mfu", "status",
 )
 
 
@@ -176,6 +188,147 @@ def _parse_filter(text: str):
     return key, value
 
 
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Grid + execution options shared by ``sweep`` and
+    ``scenario sweep``."""
+    parser.add_argument(
+        "--models", nargs="+", required=True, choices=sorted(MLLM_PRESETS)
+    )
+    parser.add_argument(
+        "--systems", nargs="+", default=["disttrain", "megatron-lm"],
+        choices=KNOWN_SYSTEMS,
+    )
+    parser.add_argument(
+        "--gpus", nargs="+", type=int, required=True,
+        help="cluster sizes to sweep",
+    )
+    parser.add_argument(
+        "--gbs", nargs="+", type=int, required=True,
+        help="one global batch size for all cluster sizes, or one per "
+             "--gpus value (zipped: batch scales with the cluster)",
+    )
+    parser.add_argument(
+        "--frozen", nargs="+", default=["full"],
+        choices=sorted(FROZEN_PRESETS),
+        help="frozen-training phases (several values add a sweep axis)",
+    )
+    parser.add_argument("--vpp", type=int, default=1)
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="data seed shared by every trial (default 0)",
+    )
+    parser.add_argument(
+        "--derive-seeds", action="store_true",
+        help="give each trial a distinct deterministic data seed "
+             "(ignored if --seed is set)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help="content-addressed result store (re-runs skip cached trials)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="always re-execute"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: one per core; 1 = serial)",
+    )
+    parser.add_argument(
+        "--name", default="sweep", help="campaign label"
+    )
+    parser.add_argument(
+        "--output", default=None, help="write results (JSON) to this path"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="no per-trial progress lines"
+    )
+
+
+def _add_scenario_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Scenario knobs accepted by ``repro sweep``/``repro scenario sweep``.
+
+    Multi-valued options become sweep axes; single values apply to every
+    trial. Any scenario option switches the sweep into scenario mode.
+    """
+    parser.add_argument(
+        "--scenario-iterations", type=int, default=None,
+        help="simulate this many iterations under cluster dynamics "
+             "(enables the scenario engine; default 1000)",
+    )
+    parser.add_argument(
+        "--mtbf", nargs="+", type=float, default=None,
+        help="per-GPU mean time between failures in hours "
+             "(several values add a sweep axis)",
+    )
+    parser.add_argument(
+        "--straggler-rate", nargs="+", type=float, default=None,
+        help="per-iteration probability a straggler episode starts "
+             "(several values add a sweep axis)",
+    )
+    parser.add_argument(
+        "--straggler-slowdown", type=float, default=None,
+        help="compute slowdown of a straggling rank (default 1.5)",
+    )
+    parser.add_argument(
+        "--elastic", action="store_true",
+        help="re-orchestrate on the surviving cluster after failures",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=None,
+        help="iterations between asynchronous checkpoints (default 50)",
+    )
+    parser.add_argument(
+        "--failure-seed", type=int, default=None,
+        help="seed for sampled failures and stragglers (default 0)",
+    )
+
+
+def _scenario_sweep_params(args: argparse.Namespace, default_on: bool):
+    """(base params, axes) for the scenario options, or (None, []) when
+    the sweep stays a plain single-iteration grid."""
+    from repro.experiments import Axis
+
+    scenario_on = default_on or args.elastic or any(
+        value is not None
+        for value in (
+            args.scenario_iterations, args.mtbf, args.straggler_rate,
+            args.straggler_slowdown, args.checkpoint_interval,
+            args.failure_seed,
+        )
+    )
+    if not scenario_on:
+        return None, []
+    if args.scenario_iterations is not None and args.scenario_iterations < 1:
+        raise ValueError("--scenario-iterations must be >= 1")
+    base = {
+        "scenario_iterations": (
+            args.scenario_iterations
+            if args.scenario_iterations is not None
+            else 1000
+        )
+    }
+    axes = []
+    for flag, values in (
+        ("mtbf", args.mtbf),
+        ("straggler_rate", args.straggler_rate),
+    ):
+        if values is None:
+            continue
+        if len(values) == 1:
+            base[flag] = values[0]
+        else:
+            axes.append(Axis(flag, values))
+    if args.straggler_slowdown is not None:
+        base["straggler_slowdown"] = args.straggler_slowdown
+    if args.elastic:
+        base["elastic"] = True
+    if args.checkpoint_interval is not None:
+        base["checkpoint_interval"] = args.checkpoint_interval
+    if args.failure_seed is not None:
+        base["failure_seed"] = args.failure_seed
+    return base, axes
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import (
         Axis,
@@ -204,6 +357,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         spec.base = {**spec.base, "frozen": args.frozen[0]}
     else:
         spec.axes = list(spec.axes) + [Axis("frozen", args.frozen)]
+    try:
+        scenario_base, scenario_axes = _scenario_sweep_params(
+            args, default_on=getattr(args, "scenario_mode", False)
+        )
+    except ValueError as exc:
+        print(f"repro sweep: error: {exc}", file=sys.stderr)
+        return 2
+    if scenario_base is not None:
+        spec.base = {**spec.base, **scenario_base}
+        spec.axes = list(spec.axes) + scenario_axes
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     runner = CampaignRunner(
         spec,
@@ -216,9 +379,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     frame = campaign.frame().sort_by("model", "system", "gpus")
     available = set(frame.columns)
-    header, rows = frame.table(
-        [c for c in REPORT_COLUMNS if c in available]
+    columns = (
+        SCENARIO_REPORT_COLUMNS if scenario_base is not None
+        else REPORT_COLUMNS
     )
+    header, rows = frame.table([c for c in columns if c in available])
     print(format_table(header, rows, title=f"campaign {spec.name!r}:"))
     print(campaign.summary())
     if cache is not None:
@@ -229,6 +394,76 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # Exit non-zero only when nothing succeeded (partial grids are
     # normal: e.g. Megatron-LM is infeasible on tiny clusters).
     return 1 if campaign.records and not campaign.ok_records else 0
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import EventTrace, ScenarioSpec, run_scenario
+
+    config = _config(args)
+    try:
+        events = (
+            EventTrace.from_json(args.events) if args.events else None
+        )
+        spec = ScenarioSpec(
+            num_iterations=args.iterations,
+            checkpoint_interval=args.checkpoint_interval,
+            mtbf_gpu_hours=args.mtbf,
+            straggler_rate=args.straggler_rate,
+            straggler_slowdown=args.straggler_slowdown,
+            straggler_iterations=args.straggler_iterations,
+            elastic=args.elastic,
+            sample_iterations=args.sample_iterations,
+            seed=args.failure_seed,
+            events=events,
+        )
+    except (OSError, ValueError) as exc:
+        # OSError: unreadable --events file; ValueError: malformed
+        # trace JSON or invalid scenario parameters.
+        print(f"repro scenario run: error: {exc}", file=sys.stderr)
+        return 2
+    result = run_scenario(config, spec)
+
+    gpus = f"{result.initial_gpus}"
+    if result.min_gpus != result.initial_gpus:
+        gpus += f" (min {result.min_gpus}, final {result.final_gpus})"
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["iterations", result.num_iterations],
+            ["wall-clock", f"{result.total_seconds:.1f} s"],
+            ["ideal (no dynamics)", f"{result.ideal_seconds:.1f} s"],
+            ["goodput", f"{result.goodput * 100:.1f} %"],
+            ["availability", f"{result.availability * 100:.1f} %"],
+            ["failures", result.num_failures],
+            ["replayed iterations", result.replayed_iterations],
+            ["lost work", f"{result.lost_seconds:.1f} s"],
+            ["recovery time", f"{result.recovery_seconds:.1f} s"],
+            ["re-orchestrations", result.num_replans],
+            ["checkpoint stalls", f"{result.checkpoint_stall_seconds:.1f} s"],
+            ["GPUs", gpus],
+            ["mean MFU", f"{result.mean_mfu * 100:.1f} %"],
+            ["effective throughput",
+             f"{result.effective_tokens_per_s / 1e3:.0f} K tokens/s"],
+        ],
+        title=f"scenario: {args.model} @ {args.gpus} GPUs, "
+              f"{args.iterations} iterations:",
+    ))
+    if args.save_events:
+        result.events.to_json(args.save_events)
+        print(
+            f"event trace ({len(result.events)} events) written to "
+            f"{args.save_events}"
+        )
+    if args.output:
+        import json
+
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(result.metrics(), indent=1) + "\n", encoding="utf-8"
+        )
+        print(f"metrics written to {args.output}")
+    return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -341,58 +576,80 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a campaign: a grid of tasks in parallel, with caching",
     )
-    sweep_parser.add_argument(
-        "--models", nargs="+", required=True, choices=sorted(MLLM_PRESETS)
+    _add_sweep_arguments(sweep_parser)
+    _add_scenario_sweep_arguments(sweep_parser)
+    sweep_parser.set_defaults(fn=cmd_sweep, scenario_mode=False)
+
+    scenario_parser = subparsers.add_parser(
+        "scenario",
+        help="simulate long runs under failures, stragglers, and "
+             "elastic resizing",
     )
-    sweep_parser.add_argument(
-        "--systems", nargs="+", default=["disttrain", "megatron-lm"],
-        choices=KNOWN_SYSTEMS,
+    scenario_sub = scenario_parser.add_subparsers(
+        dest="scenario_command", required=True
     )
-    sweep_parser.add_argument(
-        "--gpus", nargs="+", type=int, required=True,
-        help="cluster sizes to sweep",
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one dynamic-cluster scenario"
     )
-    sweep_parser.add_argument(
-        "--gbs", nargs="+", type=int, required=True,
-        help="one global batch size for all cluster sizes, or one per "
-             "--gpus value (zipped: batch scales with the cluster)",
+    _add_task_arguments(scenario_run)
+    scenario_run.add_argument(
+        "--iterations", type=int, default=1000,
+        help="iterations to retain (default: %(default)s)",
     )
-    sweep_parser.add_argument(
-        "--frozen", nargs="+", default=["full"],
-        choices=sorted(FROZEN_PRESETS),
-        help="frozen-training phases (several values add a sweep axis)",
+    scenario_run.add_argument(
+        "--mtbf", type=float, default=None,
+        help="per-GPU mean time between failures, in hours "
+             "(default: no sampled failures)",
     )
-    sweep_parser.add_argument("--vpp", type=int, default=1)
-    sweep_parser.add_argument(
-        "--seed", type=int, default=None,
-        help="data seed shared by every trial (default 0)",
+    scenario_run.add_argument(
+        "--straggler-rate", type=float, default=0.0,
+        help="per-iteration probability a straggler episode starts",
     )
-    sweep_parser.add_argument(
-        "--derive-seeds", action="store_true",
-        help="give each trial a distinct deterministic data seed "
-             "(ignored if --seed is set)",
+    scenario_run.add_argument(
+        "--straggler-slowdown", type=float, default=1.5,
+        help="compute slowdown of a straggling rank",
     )
-    sweep_parser.add_argument(
-        "--cache-dir", default=DEFAULT_CACHE_DIR,
-        help="content-addressed result store (re-runs skip cached trials)",
+    scenario_run.add_argument(
+        "--straggler-iterations", type=int, default=20,
+        help="length of a straggler episode",
     )
-    sweep_parser.add_argument(
-        "--no-cache", action="store_true", help="always re-execute"
+    scenario_run.add_argument(
+        "--elastic", action="store_true",
+        help="re-orchestrate on the surviving cluster after failures",
     )
-    sweep_parser.add_argument(
-        "--jobs", type=int, default=None,
-        help="worker processes (default: one per core; 1 = serial)",
+    scenario_run.add_argument(
+        "--checkpoint-interval", type=int, default=50,
+        help="iterations between asynchronous checkpoints",
     )
-    sweep_parser.add_argument(
-        "--name", default="sweep", help="campaign label"
+    scenario_run.add_argument(
+        "--sample-iterations", type=int, default=4,
+        help="distinct global batches priced per cluster size",
     )
-    sweep_parser.add_argument(
-        "--output", default=None, help="write results (JSON) to this path"
+    scenario_run.add_argument(
+        "--failure-seed", type=int, default=0,
+        help="seed for sampled failures and stragglers",
     )
-    sweep_parser.add_argument(
-        "--quiet", action="store_true", help="no per-trial progress lines"
+    scenario_run.add_argument(
+        "--events", default=None,
+        help="replay a JSON event trace instead of sampling",
     )
-    sweep_parser.set_defaults(fn=cmd_sweep)
+    scenario_run.add_argument(
+        "--save-events", default=None,
+        help="write the realized event trace (JSON) here for replay",
+    )
+    scenario_run.add_argument(
+        "--output", default=None, help="write metrics (JSON) to this path"
+    )
+    scenario_run.set_defaults(fn=cmd_scenario_run)
+
+    scenario_sweep = scenario_sub.add_parser(
+        "sweep",
+        help="sweep scenarios like any other campaign (cached, parallel)",
+    )
+    _add_sweep_arguments(scenario_sweep)
+    _add_scenario_sweep_arguments(scenario_sweep)
+    scenario_sweep.set_defaults(fn=cmd_sweep, scenario_mode=True)
 
     report_parser = subparsers.add_parser(
         "report", help="tabulate cached campaign results"

@@ -147,6 +147,32 @@ class ClusterSpec:
                 yield pool.node.gpu
 
 
+def resized_cluster(cluster: ClusterSpec, num_gpus: int) -> ClusterSpec:
+    """The same cluster with a different GPU count (elastic resize).
+
+    Node type and CPU preprocessing pool carry over; only whole nodes
+    can join or leave. Heterogeneous multi-pool clusters cannot be
+    resized mechanically — the scheduler would need a placement policy.
+    """
+    if not cluster.is_homogeneous:
+        raise ValueError("cannot mechanically resize a heterogeneous cluster")
+    node = cluster.node
+    if num_gpus <= 0:
+        raise ValueError("num_gpus must be positive")
+    if num_gpus % node.gpus_per_node != 0:
+        raise ValueError(
+            f"num_gpus={num_gpus} is not a multiple of "
+            f"gpus_per_node={node.gpus_per_node}"
+        )
+    num_nodes = num_gpus // node.gpus_per_node
+    return ClusterSpec(
+        pools=(NodePool(node=node, num_nodes=num_nodes),),
+        cpu_nodes=cluster.cpu_nodes,
+        cpu_cores_per_node=cluster.cpu_cores_per_node,
+        name=f"{node.name}-x{num_nodes}",
+    )
+
+
 def make_cluster(
     num_gpus: int,
     node: NodeSpec = AMPERE_NODE,

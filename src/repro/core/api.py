@@ -8,7 +8,11 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import DistTrainConfig
 from repro.data.synthetic import SyntheticMultimodalDataset
-from repro.orchestration.adaptive import AdaptiveOrchestrator, OrchestrationResult
+from repro.orchestration.adaptive import (
+    AdaptiveOrchestrator,
+    OrchestrationResult,
+    replan_for_cluster,
+)
 from repro.orchestration.baselines import DistMMOrchestrator, MegatronOrchestrator
 from repro.orchestration.problem import OrchestrationProblem, SampleProfile
 from repro.runtime.iteration import IterationResult, TrainingIterationSimulator
@@ -69,6 +73,22 @@ def plan(config: DistTrainConfig) -> OrchestrationResult:
     if config.system == "distmm*":
         return DistMMOrchestrator(problem).plan()
     raise ValueError(f"unknown system {config.system!r}")
+
+
+def replan(config: DistTrainConfig, num_gpus: int) -> OrchestrationResult:
+    """Re-orchestrate the same task on an elastically resized cluster.
+
+    DistTrain tasks go through the adaptive re-solve entry point
+    (:func:`repro.orchestration.adaptive.replan_for_cluster`); baseline
+    systems re-run their own orchestrators on the resized cluster.
+    """
+    from repro.cluster.cluster import resized_cluster
+
+    if config.system == "disttrain":
+        return replan_for_cluster(_problem(config), num_gpus)
+    return plan(
+        config.with_(cluster=resized_cluster(config.cluster, num_gpus))
+    )
 
 
 def build_simulator(

@@ -23,6 +23,8 @@ Typical use::
 """
 
 from repro.experiments.spec import (
+    SCENARIO_PARAMS,
+    TASK_PARAMS,
     Axis,
     SweepSpec,
     TrialSpec,
@@ -41,6 +43,8 @@ from repro.experiments.runner import (
 from repro.experiments.results import ResultFrame
 
 __all__ = [
+    "SCENARIO_PARAMS",
+    "TASK_PARAMS",
     "Axis",
     "ZippedAxes",
     "SweepSpec",

@@ -26,12 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.api import plan, simulate
 from repro.experiments.cache import ResultCache
-from repro.experiments.spec import (
-    SweepSpec,
-    TrialSpec,
-    canonical_json,
-    config_hash,
-)
+from repro.experiments.spec import SweepSpec, TrialSpec, canonical_json
 
 ProgressFn = Callable[[int, int, "TrialRecord"], None]
 
@@ -103,29 +98,39 @@ def execute_trial(payload: Tuple[int, Dict[str, Any], str]):
     index, params, key = payload
     start = time.monotonic()
     try:
-        config = TrialSpec(params).to_config()
-        orchestration = plan(config)
-        result = simulate(config, orchestration)
-        metrics = {
-            "iteration_time": result.iteration_time,
-            "pipeline_time": result.pipeline_time,
-            "dp_sync_time": result.dp_sync_time,
-            "preprocess_overhead": result.preprocess_overhead,
-            "optimizer_time": result.optimizer_time,
-            "model_flops": result.model_flops,
-            "num_gpus": result.num_gpus,
-            "mfu": result.mfu,
-            "throughput_tokens_per_s": result.throughput_tokens_per_s,
-            "bubble_fraction": result.bubble_fraction,
-            "straggler_spread": result.straggler_spread,
-            "solve_seconds": orchestration.solve_seconds,
-            # Kernel-refined uniform-workload pipeline estimate of the
-            # chosen plan; lets sweeps compare the planner's model
-            # against the heterogeneity-aware simulation above.
-            "planned_pipeline_time": (
-                orchestration.simulated_pipeline_seconds or 0.0
-            ),
-        }
+        trial = TrialSpec(params)
+        config = trial.to_config()
+        scenario = trial.to_scenario()
+        if scenario is not None:
+            # Dynamic-cluster trial: the scenario engine walks the full
+            # multi-iteration timeline (failures, stragglers, elastic
+            # re-orchestration) on the batched kernel path.
+            from repro.scenarios.engine import run_scenario
+
+            metrics = run_scenario(config, scenario).metrics()
+        else:
+            orchestration = plan(config)
+            result = simulate(config, orchestration)
+            metrics = {
+                "iteration_time": result.iteration_time,
+                "pipeline_time": result.pipeline_time,
+                "dp_sync_time": result.dp_sync_time,
+                "preprocess_overhead": result.preprocess_overhead,
+                "optimizer_time": result.optimizer_time,
+                "model_flops": result.model_flops,
+                "num_gpus": result.num_gpus,
+                "mfu": result.mfu,
+                "throughput_tokens_per_s": result.throughput_tokens_per_s,
+                "bubble_fraction": result.bubble_fraction,
+                "straggler_spread": result.straggler_spread,
+                "solve_seconds": orchestration.solve_seconds,
+                # Kernel-refined uniform-workload pipeline estimate of
+                # the chosen plan; lets sweeps compare the planner's
+                # model against the heterogeneity-aware simulation.
+                "planned_pipeline_time": (
+                    orchestration.simulated_pipeline_seconds or 0.0
+                ),
+            }
         record = TrialRecord(
             params=params,
             config_hash=key,
@@ -241,7 +246,7 @@ class CampaignRunner:
             if self.derive_seeds and "seed" not in params:
                 params["seed"] = derive_trial_seed(params)
             try:
-                key = config_hash(TrialSpec(params).to_config())
+                key = TrialSpec(params).cache_key
             except Exception as exc:
                 # The config itself is invalid: record the failure here,
                 # without occupying a worker or a cache slot.

@@ -39,9 +39,9 @@ from repro.pipeline.schedules import ScheduleKind
 #: collision-safe for any campaign size this repo will ever run.
 HASH_LENGTH = 20
 
-#: Parameter names :meth:`TrialSpec.to_config` understands. Everything maps
-#: onto :meth:`DistTrainConfig.preset` arguments.
-KNOWN_PARAMS = (
+#: Task parameter names :meth:`TrialSpec.to_config` understands.
+#: Everything maps onto :meth:`DistTrainConfig.preset` arguments.
+TASK_PARAMS = (
     "model",
     "gpus",
     "gbs",
@@ -56,6 +56,24 @@ KNOWN_PARAMS = (
     "inter_reordering",
     "preprocessing",
 )
+
+#: Dynamic-cluster scenario parameters (see
+#: :data:`repro.scenarios.spec.PARAM_FIELDS`). A trial carrying any of
+#: these runs through the scenario engine instead of the single-iteration
+#: simulator, and they join the task config in the trial's cache key.
+SCENARIO_PARAMS = (
+    "scenario_iterations",
+    "mtbf",
+    "straggler_rate",
+    "straggler_slowdown",
+    "straggler_iterations",
+    "elastic",
+    "checkpoint_interval",
+    "failure_seed",
+    "events",
+)
+
+KNOWN_PARAMS = TASK_PARAMS + SCENARIO_PARAMS
 
 REQUIRED_PARAMS = ("model", "gpus", "gbs")
 
@@ -199,9 +217,31 @@ class TrialSpec:
     def get(self, key: str, default: Any = None) -> Any:
         return self.params.get(key, default)
 
+    def scenario_params(self) -> Dict[str, Any]:
+        """The trial's dynamic-cluster parameters (empty = plain trial)."""
+        return {
+            key: value
+            for key, value in self.params.items()
+            if key in SCENARIO_PARAMS
+        }
+
+    def to_scenario(self):
+        """The trial's :class:`~repro.scenarios.spec.ScenarioSpec`, or
+        None for a plain single-iteration trial."""
+        scenario = self.scenario_params()
+        if not scenario:
+            return None
+        from repro.scenarios.spec import ScenarioSpec
+
+        return ScenarioSpec.from_params(scenario)
+
     def to_config(self) -> DistTrainConfig:
         """Build the concrete training-task config for this trial."""
-        params = dict(self.params)
+        params = {
+            key: value
+            for key, value in self.params.items()
+            if key not in SCENARIO_PARAMS
+        }
         kwargs: Dict[str, Any] = {}
         if "schedule" in params:
             kwargs["schedule"] = _schedule_kind(params.pop("schedule"))
@@ -230,6 +270,30 @@ class TrialSpec:
         """Content hash of the materialized config (the cache key)."""
         return config_hash(self.to_config())
 
+    @property
+    def cache_key(self) -> str:
+        """The trial's result-cache key.
+
+        Plain trials keep the task config hash (stable across this
+        change). A scenario trial's key also covers the fully resolved
+        :class:`~repro.scenarios.spec.ScenarioSpec` — every scenario
+        field change (including defaulted fields gaining new values in
+        future versions) re-executes exactly the affected trials.
+        """
+        scenario = self.to_scenario()
+        if scenario is None:
+            return self.config_hash
+        payload = {
+            "task": canonical_value(self.to_config()),
+            "scenario": canonical_value(scenario.canonical()),
+        }
+        digest = hashlib.sha256(
+            json.dumps(
+                payload, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+        )
+        return digest.hexdigest()[:HASH_LENGTH]
+
     def label(self) -> str:
         """Compact human-readable identity for progress lines."""
         parts = [
@@ -241,6 +305,9 @@ class TrialSpec:
         frozen = self.params.get("frozen")
         if frozen and frozen != "full":
             parts.append(str(frozen))
+        if self.scenario_params():
+            mtbf = self.params.get("mtbf")
+            parts.append(f"dyn(mtbf={mtbf})" if mtbf else "dyn")
         return "/".join(parts)
 
 

@@ -140,6 +140,28 @@ def simulated_pipeline_seconds(
     return m_small + slope * (num_microbatches - n_small)
 
 
+def replan_for_cluster(
+    problem: OrchestrationProblem, num_gpus: int
+) -> OrchestrationResult:
+    """Elastic re-orchestration: re-solve the resource split on a resized
+    cluster (surviving GPUs after a failure, or capacity returning after
+    repair).
+
+    The adaptive search re-runs from scratch on the new cluster — the
+    paper's algorithm is fast enough (hundreds of ms at thousand-GPU
+    scale) that re-solving at every membership change is cheap relative
+    to restart and checkpoint-reload time.
+    """
+    from dataclasses import replace
+
+    from repro.cluster.cluster import resized_cluster
+
+    shrunk = replace(
+        problem, cluster=resized_cluster(problem.cluster, num_gpus)
+    )
+    return AdaptiveOrchestrator(shrunk).plan()
+
+
 class AdaptiveOrchestrator:
     """DistTrain's disaggregated model orchestration."""
 

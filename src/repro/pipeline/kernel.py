@@ -486,6 +486,20 @@ class SimulatorKernel:
         """Pipeline makespan from an end-time vector."""
         return float(end.max()) if len(end) else 0.0
 
+    def makespans(self, end: np.ndarray) -> np.ndarray:
+        """Per-row makespans of a batched ``(B, n)`` end-time matrix.
+
+        One reduction prices a whole portfolio — the scenario engine's
+        thousand-iteration sweeps and the reordering search both read
+        only this scalar per evaluated row.
+        """
+        end = np.asarray(end, dtype=float)
+        if end.ndim != 2 or end.shape[1] != self.num_ops:
+            raise ValueError(
+                f"expected (B, {self.num_ops}) end times, got {end.shape}"
+            )
+        return end.max(axis=1)
+
     def first_stage_gap(
         self, start: np.ndarray, end: np.ndarray
     ) -> float:

@@ -51,6 +51,14 @@ class AsyncCheckpointer:
         self._upload_finish_time = 0.0
         self.snapshots_taken = 0
         self.total_stall = 0.0
+        # Restart bookkeeping, in *resume-iteration* terms: the first
+        # iteration a restarted job re-executes. 0 = only the initial
+        # weights are reloadable; a snapshot taken after iteration ``i``
+        # durably covers iterations 0..i (resume at ``i + 1``) once its
+        # background upload has cleared.
+        self._durable_resume = 0
+        self._pending_resume = 0
+        self.restarts = 0
 
     @property
     def snapshot_stall(self) -> float:
@@ -69,15 +77,62 @@ class AsyncCheckpointer:
         """
         if iteration % self.config.interval_iterations != 0 or iteration == 0:
             return 0.0
+        # Either the previous upload has already cleared, or the stall
+        # below waits for it: both ways its snapshot is durable by the
+        # time this one starts.
+        self._durable_resume = self._pending_resume
         stall = self.snapshot_stall
         if now < self._upload_finish_time:
             stall += self._upload_finish_time - now
         self._upload_finish_time = now + stall + self.upload_duration
+        # This snapshot is taken after iteration ``iteration`` finished,
+        # so it covers the run up to and including it.
+        self._pending_resume = iteration + 1
         self.snapshots_taken += 1
         self.total_stall += stall
         return stall
 
     def last_checkpoint_iteration(self, current_iteration: int) -> int:
-        """Most recent iteration with a durable checkpoint."""
+        """Most recent iteration with a snapshot taken (durable or not)."""
         interval = self.config.interval_iterations
         return (current_iteration // interval) * interval
+
+    def durable_resume_iteration(self, now: float) -> int:
+        """First iteration a job failing at ``now`` must re-execute.
+
+        Everything before it is covered by a durable checkpoint. A
+        snapshot in mid-upload is *not* reloadable — a failure during
+        the upload rolls back to the previous durable one.
+        """
+        if now >= self._upload_finish_time:
+            return self._pending_resume
+        return self._durable_resume
+
+    def resume_from(self, iteration: int) -> None:
+        """Seed restart bookkeeping: the next iteration to run is
+        ``iteration`` and everything before it is durable.
+
+        Used when a checkpointer is rebuilt mid-run (elastic replan
+        re-sizes the state shards): the reloaded checkpoint becomes the
+        durable baseline and no upload is in flight.
+        """
+        if iteration < 0:
+            raise ValueError("iteration must be >= 0")
+        self._upload_finish_time = 0.0
+        self._durable_resume = iteration
+        self._pending_resume = iteration
+
+    def restart_from_latest(self, now: float) -> int:
+        """Recover after a failure at time ``now``.
+
+        Returns the iteration training resumes from (everything before
+        it reloads from the latest durable checkpoint) and resets the
+        in-flight upload state: after a restart no upload is pending,
+        and the reloaded checkpoint is the durable baseline.
+        """
+        iteration = self.durable_resume_iteration(now)
+        self._upload_finish_time = 0.0
+        self._durable_resume = iteration
+        self._pending_resume = iteration
+        self.restarts += 1
+        return iteration

@@ -31,6 +31,11 @@ class FailureModel:
     restart_seconds: float = 300.0
     checkpoint_load_seconds: float = 120.0
 
+    @property
+    def downtime_seconds(self) -> float:
+        """Fixed per-failure downtime (restart + checkpoint reload)."""
+        return self.restart_seconds + self.checkpoint_load_seconds
+
     def cluster_mtbf_seconds(self, num_gpus: int) -> float:
         """MTBF of the whole job (any GPU failing kills the iteration)."""
         if num_gpus < 1:
@@ -102,7 +107,7 @@ def run_with_failures(
             clock = failure_times[failure_idx]
             failure_idx += 1
             num_failures += 1
-            clock += failures.restart_seconds + failures.checkpoint_load_seconds
+            clock += failures.downtime_seconds
             rollback = completed % checkpoint_interval
             replayed += rollback
             completed -= rollback

@@ -74,6 +74,24 @@ class IterationResult:
         return float(max(self.per_rank_makespans) / mean) if mean > 0 else 1.0
 
 
+@dataclass
+class PreparedIteration:
+    """One global batch's duration tables, ready for (re-)evaluation.
+
+    The expensive half of :meth:`TrainingIterationSimulator.simulate` —
+    batch ordering, per-sample cost-model pricing, and inter-microbatch
+    reordering — is independent of runtime dynamics. The scenario engine
+    prepares a batch once and re-prices it under straggler slowdowns via
+    :meth:`TrainingIterationSimulator.evaluate_prepared` without
+    re-running any of it.
+    """
+
+    global_batch: List[TrainingSample]
+    rank_work: List[Tuple[np.ndarray, np.ndarray, List[int], float]]
+    simulated_ranks: List[int]
+    num_microbatches: int
+
+
 class TrainingIterationSimulator:
     """Simulates training iterations under one orchestration plan.
 
@@ -245,6 +263,12 @@ class TrainingIterationSimulator:
     # Main entry point
     # ------------------------------------------------------------------ #
     def simulate(self, global_batch: Sequence[TrainingSample]) -> IterationResult:
+        return self.evaluate_prepared(self.prepare(global_batch))
+
+    def prepare(
+        self, global_batch: Sequence[TrainingSample]
+    ) -> PreparedIteration:
+        """Order, shard, and price a global batch (no pipeline sweep)."""
         plan = self.plan
         dp_lm = plan.plans["llm"].dp
         M = plan.microbatch_size
@@ -269,8 +293,34 @@ class TrainingIterationSimulator:
             self._rank_work(rank_batches[r], num_microbatches)
             for r in ranks_to_simulate
         ]
+        return PreparedIteration(
+            global_batch=list(global_batch),
+            rank_work=rank_work,
+            simulated_ranks=ranks_to_simulate,
+            num_microbatches=num_microbatches,
+        )
+
+    def evaluate_prepared(
+        self,
+        prepared: PreparedIteration,
+        rank_slowdowns: Optional[Sequence[float]] = None,
+    ) -> IterationResult:
+        """Run the pipeline sweep over a prepared batch.
+
+        Args:
+            prepared: Output of :meth:`prepare`.
+            rank_slowdowns: Optional per-simulated-rank compute slowdown
+                factors (aligned with ``prepared.simulated_ranks``); a
+                straggler rank's stage durations are scaled before the
+                kernel sweep while communication delays stay fixed. None
+                evaluates the batch exactly as :meth:`simulate` would.
+        """
+        plan = self.plan
+        global_batch = prepared.global_batch
         makespans, bubble_fractions = self._evaluate_ranks(
-            rank_work, num_microbatches
+            prepared.rank_work,
+            prepared.num_microbatches,
+            rank_slowdowns=rank_slowdowns,
         )
 
         pipeline_time = max(makespans)
@@ -351,11 +401,15 @@ class TrainingIterationSimulator:
         self,
         rank_work: List[Tuple[np.ndarray, np.ndarray, List[int], float]],
         num_microbatches: int,
+        rank_slowdowns: Optional[Sequence[float]] = None,
     ) -> Tuple[List[float], List[float]]:
         """Makespan and bubble fraction per simulated rank.
 
         All ranks share one schedule shape, so their final (reordered)
         duration tables are priced in a single batched kernel sweep.
+        ``rank_slowdowns`` scales each rank's compute durations (not its
+        communication delay) before the sweep — the scenario engine's
+        straggler injection point.
         """
         num_stages = rank_work[0][0].shape[1]
         schedule, vpp = self._effective_schedule(num_microbatches, num_stages)
@@ -369,8 +423,18 @@ class TrainingIterationSimulator:
             )
             durations[i] = gathered / vpp if vpp > 1 else gathered
             delays[i] = comm
+        if rank_slowdowns is not None:
+            factors = np.asarray(rank_slowdowns, dtype=float)
+            if factors.shape != (len(rank_work),):
+                raise ValueError(
+                    f"expected {len(rank_work)} rank slowdowns, "
+                    f"got shape {factors.shape}"
+                )
+            if np.any(factors < 1.0):
+                raise ValueError("straggler slowdowns must be >= 1.0")
+            durations *= factors[:, None]
         start, end = kernel.evaluate_batch(durations, delays)
-        makespans = [kernel.makespan(end[i]) for i in range(len(rank_work))]
+        makespans = [float(m) for m in kernel.makespans(end)]
         bubbles = [
             kernel.bubble_fraction(start[i], end[i])
             for i in range(len(rank_work))

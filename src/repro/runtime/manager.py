@@ -179,6 +179,8 @@ class DistTrainManager:
     # ------------------------------------------------------------------ #
     def run(self, num_iterations: Optional[int] = None) -> TrainingRunResult:
         """Run the training loop."""
+        if num_iterations is not None and num_iterations < 1:
+            raise ValueError("num_iterations must be >= 1")
         orchestration = self.orchestrate()
         self.initialize()
         config = self.config
@@ -208,7 +210,32 @@ class DistTrainManager:
                 seed=config.data_seed,
             ),
             global_batch_size=config.global_batch_size,
-            num_iterations=num_iterations or config.num_iterations,
+            num_iterations=(
+                num_iterations
+                if num_iterations is not None
+                else config.num_iterations
+            ),
             checkpoint=self.checkpoint,
         )
         return run.run()
+
+    def run_scenario(self, scenario):
+        """Run the training loop under cluster dynamics.
+
+        ``scenario`` is a :class:`~repro.scenarios.spec.ScenarioSpec`;
+        the returned :class:`~repro.scenarios.engine.ScenarioResult`
+        carries goodput, lost work, recovery time, and the MFU
+        trajectory. The manager's lifecycle (data analysis,
+        orchestration, initialization) runs first, exactly as for
+        :meth:`run`; failures and elastic resizes then re-enter the
+        orchestrator through the scenario engine. A checkpoint policy
+        the manager was constructed with overrides the scenario's
+        default interval, matching :meth:`run`.
+        """
+        from repro.scenarios.engine import ScenarioEngine
+
+        self.orchestrate()
+        self.initialize()
+        return ScenarioEngine(
+            self.config, scenario, checkpoint=self.checkpoint
+        ).run()

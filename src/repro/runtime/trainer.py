@@ -20,6 +20,34 @@ from repro.runtime.failure import FailureModel, GoodputReport, run_with_failures
 from repro.runtime.iteration import IterationResult, TrainingIterationSimulator
 
 
+def build_checkpointer(
+    plan, config: Optional[CheckpointConfig]
+) -> Optional[AsyncCheckpointer]:
+    """Size an :class:`AsyncCheckpointer` for an orchestration plan.
+
+    The checkpoint state is the full model + optimizer (bf16 weights,
+    fp32 optimizer state); the snapshot stall is driven by the largest
+    per-GPU shard, which the LLM unit holds. Shared by
+    :class:`TrainingRun` and the scenario engine so both price identical
+    stalls for the same plan.
+    """
+    if config is None:
+        return None
+    params = plan.mllm.param_count()
+    state_bytes = params * (2.0 + 12.0)  # bf16 weights + fp32 optim
+    llm_plan = plan.plans["llm"]
+    per_gpu = (
+        plan.mllm.llm.param_count()
+        / (llm_plan.tp * llm_plan.pp)
+        * (2.0 + 12.0 / llm_plan.dp)
+    )
+    return AsyncCheckpointer(
+        config=config,
+        state_bytes=state_bytes,
+        per_gpu_state_bytes=per_gpu,
+    )
+
+
 @dataclass
 class TrainingRunResult:
     """Aggregated outcome of a multi-iteration run."""
@@ -114,19 +142,4 @@ class TrainingRun:
         )
 
     def _build_checkpointer(self) -> Optional[AsyncCheckpointer]:
-        if self.checkpoint is None:
-            return None
-        plan = self.simulator.plan
-        params = plan.mllm.param_count()
-        state_bytes = params * (2.0 + 12.0)  # bf16 weights + fp32 optim
-        llm_plan = plan.plans["llm"]
-        per_gpu = (
-            plan.mllm.llm.param_count()
-            / (llm_plan.tp * llm_plan.pp)
-            * (2.0 + 12.0 / llm_plan.dp)
-        )
-        return AsyncCheckpointer(
-            config=self.checkpoint,
-            state_bytes=state_bytes,
-            per_gpu_state_bytes=per_gpu,
-        )
+        return build_checkpointer(self.simulator.plan, self.checkpoint)

@@ -1,0 +1,43 @@
+"""Dynamic-cluster scenario engine.
+
+Long multimodal training runs are dominated by dynamic effects the
+steady-state iteration simulator never sees: GPU/node failures,
+straggler ranks, and the elastic rescheduling a production scheduler
+performs around them. This package simulates those runs end-to-end —
+thousands of iterations stay fast because every iteration's pipeline is
+priced through the vectorized kernel's batched sweep, and only distinct
+(cluster size, sample batch, straggler profile) combinations are ever
+evaluated.
+
+Layout:
+
+* :mod:`repro.scenarios.events` — declarative cluster events
+  (failures, stragglers, resizes) and the JSON trace schema;
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec`, the sweepable
+  scenario configuration with a canonical content hash;
+* :mod:`repro.scenarios.engine` — :class:`ScenarioEngine` and
+  :class:`ScenarioResult` (goodput, lost work, recovery time, MFU
+  trajectory).
+"""
+
+from repro.scenarios.engine import ScenarioEngine, ScenarioResult, run_scenario
+from repro.scenarios.events import (
+    ClusterEvent,
+    EventTrace,
+    FailureEvent,
+    ResizeEvent,
+    StragglerEvent,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "ClusterEvent",
+    "EventTrace",
+    "FailureEvent",
+    "ResizeEvent",
+    "ScenarioEngine",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "StragglerEvent",
+    "run_scenario",
+]

@@ -1,0 +1,204 @@
+"""Declarative cluster events and event traces.
+
+A scenario is driven either by events sampled on the fly (from a
+:class:`~repro.runtime.failure.FailureModel` and a straggler rate) or by
+replaying an explicit :class:`EventTrace`. Traces serialize to a small
+JSON schema so canonical scenarios can be checked into fixtures, diffed,
+and re-played bit-identically::
+
+    {
+     "events": [
+      {"kind": "failure", "time_s": 1234.5, "gpus_lost": 8},
+      {"kind": "straggler", "iteration": 120, "duration_iterations": 20,
+       "rank": 3, "slowdown": 1.8},
+      {"kind": "resize", "iteration": 400, "num_gpus": 88}
+     ]
+    }
+
+Failures are timestamped in simulated wall-clock seconds (hardware dies
+at a point in time); stragglers and resizes are pinned to iteration
+indices (they are scheduler-visible conditions on the training loop).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A hardware failure at ``time_s`` killing ``gpus_lost`` GPUs.
+
+    Under elastic scheduling the job sheds the failed node(s) and
+    re-orchestrates on the survivors; otherwise the failed hardware is
+    assumed replaced and the job restarts at full size. Either way the
+    run rolls back to the latest durable checkpoint.
+    """
+
+    time_s: float
+    gpus_lost: int = 8
+
+    kind = "failure"
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("failure time must be non-negative")
+        if self.gpus_lost < 1:
+            raise ValueError("a failure must lose at least one GPU")
+
+
+@dataclass(frozen=True)
+class StragglerEvent:
+    """One DP rank runs slow for a window of iterations.
+
+    ``rank`` indexes the simulated DP ranks (wrapped modulo the rank
+    count, so traces stay valid across elastic resizes); ``slowdown``
+    multiplies the rank's compute durations (communication is
+    unaffected).
+    """
+
+    iteration: int
+    duration_iterations: int
+    rank: int
+    slowdown: float
+
+    kind = "straggler"
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError("straggler start iteration must be >= 0")
+        if self.duration_iterations < 1:
+            raise ValueError("straggler duration must be >= 1 iteration")
+        if self.rank < 0:
+            raise ValueError("straggler rank must be >= 0")
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1.0")
+
+    @property
+    def end_iteration(self) -> int:
+        """First iteration no longer affected."""
+        return self.iteration + self.duration_iterations
+
+
+@dataclass(frozen=True)
+class ResizeEvent:
+    """A scheduler-driven elastic resize before ``iteration`` runs.
+
+    Unlike a failure, a planned resize is graceful: no work is lost, the
+    job only pays the re-orchestration pause.
+    """
+
+    iteration: int
+    num_gpus: int
+
+    kind = "resize"
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError("resize iteration must be >= 0")
+        if self.num_gpus < 1:
+            raise ValueError("resize must keep at least one GPU")
+
+
+ClusterEvent = Union[FailureEvent, StragglerEvent, ResizeEvent]
+
+_EVENT_KINDS = {
+    "failure": FailureEvent,
+    "straggler": StragglerEvent,
+    "resize": ResizeEvent,
+}
+
+
+@dataclass(frozen=True)
+class EventTrace:
+    """An ordered, replayable set of cluster events."""
+
+    events: tuple
+
+    def __init__(self, events: Iterable[ClusterEvent] = ()) -> None:
+        object.__setattr__(self, "events", tuple(events))
+        for event in self.events:
+            if not isinstance(event, tuple(_EVENT_KINDS.values())):
+                raise TypeError(f"not a cluster event: {event!r}")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    # ------------------------------------------------------------------ #
+    # Selection
+    # ------------------------------------------------------------------ #
+    @property
+    def failures(self) -> List[FailureEvent]:
+        """Failures ordered by time."""
+        return sorted(
+            (e for e in self.events if isinstance(e, FailureEvent)),
+            key=lambda e: e.time_s,
+        )
+
+    @property
+    def stragglers(self) -> List[StragglerEvent]:
+        """Straggler windows ordered by start iteration."""
+        return sorted(
+            (e for e in self.events if isinstance(e, StragglerEvent)),
+            key=lambda e: (e.iteration, e.rank),
+        )
+
+    @property
+    def resizes(self) -> List[ResizeEvent]:
+        """Planned resizes ordered by iteration."""
+        return sorted(
+            (e for e in self.events if isinstance(e, ResizeEvent)),
+            key=lambda e: e.iteration,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-safe event records (the trace schema)."""
+        records = []
+        for event in self.events:
+            record = {"kind": event.kind}
+            record.update(asdict(event))
+            records.append(record)
+        return records
+
+    @classmethod
+    def from_dicts(cls, records: Iterable[Dict[str, Any]]) -> "EventTrace":
+        events: List[ClusterEvent] = []
+        for record in records:
+            payload = dict(record)
+            kind = payload.pop("kind", None)
+            if kind not in _EVENT_KINDS:
+                raise ValueError(
+                    f"unknown event kind {kind!r}; "
+                    f"expected one of {sorted(_EVENT_KINDS)}"
+                )
+            events.append(_EVENT_KINDS[kind](**payload))
+        return cls(events)
+
+    def to_json(self, path: Union[str, Path, None] = None) -> str:
+        text = json.dumps({"events": self.to_dicts()}, indent=1)
+        if path is not None:
+            Path(path).write_text(text + "\n", encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]) -> "EventTrace":
+        """Parse a trace from a JSON string or file path."""
+        text = str(source)
+        if not text.lstrip().startswith("{"):
+            text = Path(source).read_text(encoding="utf-8")
+        payload = json.loads(text)
+        if isinstance(payload, dict):
+            payload = payload.get("events", [])
+        return cls.from_dicts(payload)

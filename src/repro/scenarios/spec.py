@@ -1,0 +1,171 @@
+"""Sweepable scenario configuration.
+
+A :class:`ScenarioSpec` describes the *dynamics* of a long run — how
+many iterations, the failure statistics, straggler behaviour, checkpoint
+policy, and whether the scheduler resizes elastically — independently of
+the training task itself (model, cluster, batch: a
+:class:`~repro.core.config.DistTrainConfig`). The split keeps task
+config hashes stable while letting campaigns sweep scenario knobs like
+any other axis: the experiment layer combines both into one cache key,
+so changing any scenario field re-executes exactly the affected trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional
+
+from repro.runtime.failure import FailureModel
+from repro.scenarios.events import EventTrace
+
+#: Sweep-level parameter names (used by ``repro sweep`` / SweepSpec axes)
+#: mapped to :class:`ScenarioSpec` field names.
+PARAM_FIELDS = {
+    "scenario_iterations": "num_iterations",
+    "mtbf": "mtbf_gpu_hours",
+    "straggler_rate": "straggler_rate",
+    "straggler_slowdown": "straggler_slowdown",
+    "straggler_iterations": "straggler_iterations",
+    "elastic": "elastic",
+    "checkpoint_interval": "checkpoint_interval",
+    "failure_seed": "seed",
+    "events": "events",
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Dynamics of one long training run.
+
+    Attributes:
+        num_iterations: Target iterations to retain (the run replays lost
+            work until this many survive).
+        checkpoint_interval: Iterations between asynchronous checkpoints.
+        mtbf_gpu_hours: Per-GPU mean time between failures; None disables
+            sampled failures (explicit ``events`` still apply).
+        restart_seconds / checkpoint_load_seconds: Per-failure downtime.
+        gpus_lost_per_failure: GPUs shed by each sampled failure.
+        straggler_rate: Per-iteration probability that a new straggler
+            episode starts.
+        straggler_slowdown: Compute slowdown of a straggling rank.
+        straggler_iterations: Length of a straggler episode.
+        elastic: Re-orchestrate on the surviving cluster after a failure
+            (vs. restarting at full size on replacement hardware).
+        repair_seconds: Simulated time until failed capacity returns and
+            an elastic job re-grows to full size.
+        replan_seconds: Modeled pause for one elastic re-orchestration
+            (solve + re-shard + process-group rebuild). A modeled
+            constant — not measured wall-clock — so scenario metrics
+            stay deterministic.
+        sample_iterations: Distinct global batches prepared per cluster
+            size; iteration ``i`` reuses sample ``i % sample_iterations``.
+            Raising it to ``num_iterations`` reproduces the full
+            :class:`~repro.runtime.trainer.TrainingRun` stream exactly.
+        seed: Seed for sampled failures and straggler episodes.
+        events: Explicit event trace replayed instead of sampling.
+    """
+
+    num_iterations: int = 1000
+    checkpoint_interval: int = 50
+    mtbf_gpu_hours: Optional[float] = None
+    restart_seconds: float = 300.0
+    checkpoint_load_seconds: float = 120.0
+    gpus_lost_per_failure: int = 8
+    straggler_rate: float = 0.0
+    straggler_slowdown: float = 1.5
+    straggler_iterations: int = 20
+    elastic: bool = False
+    repair_seconds: float = 3600.0
+    replan_seconds: float = 30.0
+    sample_iterations: int = 4
+    seed: int = 0
+    events: Optional[EventTrace] = None
+
+    def __post_init__(self) -> None:
+        if self.num_iterations < 1:
+            raise ValueError("num_iterations must be >= 1")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.mtbf_gpu_hours is not None and self.mtbf_gpu_hours <= 0:
+            raise ValueError("mtbf_gpu_hours must be positive")
+        if not 0.0 <= self.straggler_rate <= 1.0:
+            raise ValueError("straggler_rate is a per-iteration probability")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1.0")
+        if self.straggler_iterations < 1:
+            raise ValueError("straggler_iterations must be >= 1")
+        if self.sample_iterations < 1:
+            raise ValueError("sample_iterations must be >= 1")
+        if self.gpus_lost_per_failure < 1:
+            raise ValueError("gpus_lost_per_failure must be >= 1")
+        if self.repair_seconds < 0 or self.replan_seconds < 0:
+            raise ValueError("recovery times must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Derived pieces
+    # ------------------------------------------------------------------ #
+    @property
+    def downtime_seconds(self) -> float:
+        """Fixed per-failure downtime (restart + checkpoint reload)."""
+        return self.restart_seconds + self.checkpoint_load_seconds
+
+    def failure_model(self) -> Optional[FailureModel]:
+        """The sampled-failure statistics, or None when disabled."""
+        if self.mtbf_gpu_hours is None:
+            return None
+        return FailureModel(
+            mtbf_gpu_hours=self.mtbf_gpu_hours,
+            restart_seconds=self.restart_seconds,
+            checkpoint_load_seconds=self.checkpoint_load_seconds,
+        )
+
+    def with_(self, **kwargs: Any) -> "ScenarioSpec":
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Sweep integration
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_params(cls, params: Dict[str, Any]) -> "ScenarioSpec":
+        """Build a spec from sweep-level scenario parameters.
+
+        ``params`` uses the short names campaigns sweep (see
+        :data:`PARAM_FIELDS`); ``events`` may be an in-line list of event
+        dicts (the JSON trace schema).
+        """
+        kwargs: Dict[str, Any] = {}
+        for name, value in params.items():
+            if name not in PARAM_FIELDS:
+                raise ValueError(
+                    f"unknown scenario parameter {name!r}; "
+                    f"known: {sorted(PARAM_FIELDS)}"
+                )
+            field_name = PARAM_FIELDS[name]
+            if field_name == "events" and value is not None:
+                if not isinstance(value, EventTrace):
+                    value = EventTrace.from_dicts(value)
+            kwargs[field_name] = value
+        return cls(**kwargs)
+
+    def canonical(self) -> Dict[str, Any]:
+        """JSON-safe canonical form (feeds the campaign cache key)."""
+        payload: Dict[str, Any] = {
+            "num_iterations": self.num_iterations,
+            "checkpoint_interval": self.checkpoint_interval,
+            "mtbf_gpu_hours": self.mtbf_gpu_hours,
+            "restart_seconds": self.restart_seconds,
+            "checkpoint_load_seconds": self.checkpoint_load_seconds,
+            "gpus_lost_per_failure": self.gpus_lost_per_failure,
+            "straggler_rate": self.straggler_rate,
+            "straggler_slowdown": self.straggler_slowdown,
+            "straggler_iterations": self.straggler_iterations,
+            "elastic": self.elastic,
+            "repair_seconds": self.repair_seconds,
+            "replan_seconds": self.replan_seconds,
+            "sample_iterations": self.sample_iterations,
+            "seed": self.seed,
+            "events": (
+                self.events.to_dicts() if self.events is not None else None
+            ),
+        }
+        return payload

@@ -49,3 +49,60 @@ class TestCheckpointer:
     def test_invalid_interval(self):
         with pytest.raises(ValueError):
             CheckpointConfig(interval_iterations=0)
+
+
+class TestRestartBookkeeping:
+    """Error/recovery paths: where a failed job resumes from."""
+
+    def test_fresh_checkpointer_restarts_from_zero(self):
+        cp = checkpointer(interval=10)
+        assert cp.durable_resume_iteration(now=123.0) == 0
+        assert cp.restart_from_latest(now=123.0) == 0
+        assert cp.restarts == 1
+
+    def test_uploaded_checkpoint_is_durable(self):
+        # The snapshot taken after iteration 10 covers iterations 0..10:
+        # once uploaded, a restart resumes at iteration 11.
+        cp = checkpointer(interval=10, state=100e9, upload_bandwidth=40e9)
+        cp.on_iteration(10, 100.0)  # upload takes 2.5 s
+        assert cp.durable_resume_iteration(now=200.0) == 11
+
+    def test_failure_during_upload_rolls_back_further(self):
+        # Snapshot after iteration 20 is mid-upload when the failure
+        # hits: the job must reload the *previous* durable checkpoint
+        # and re-execute from iteration 11.
+        cp = checkpointer(interval=10, state=400e9, upload_bandwidth=40e9)
+        cp.on_iteration(10, 100.0)
+        cp.on_iteration(20, 200.0)  # upload in flight until ~210 s
+        assert cp.durable_resume_iteration(now=201.0) == 11
+        assert cp.restart_from_latest(now=201.0) == 11
+        # After the restart no upload is pending: the reloaded
+        # checkpoint is durable and a second immediate failure does not
+        # roll back any further.
+        assert cp.durable_resume_iteration(now=201.0) == 11
+        assert cp.restart_from_latest(now=201.0) == 11
+        assert cp.restarts == 2
+
+    def test_waiting_for_upload_makes_it_durable(self):
+        # Back-to-back checkpoints: the stall waits for the previous
+        # upload, which therefore becomes durable.
+        cp = checkpointer(interval=1, state=400e9, upload_bandwidth=40e9)
+        cp.on_iteration(1, 1.0)
+        cp.on_iteration(2, 2.0)  # stalls until iteration 1's upload ends
+        assert cp.durable_resume_iteration(now=2.0) >= 2
+
+    def test_resume_from_seeds_bookkeeping(self):
+        cp = checkpointer(interval=10)
+        cp.resume_from(40)
+        assert cp.durable_resume_iteration(now=0.0) == 40
+        assert cp.restart_from_latest(now=0.0) == 40
+
+    def test_resume_from_rejects_negative(self):
+        with pytest.raises(ValueError):
+            checkpointer().resume_from(-1)
+
+    def test_restart_counts_accumulate(self):
+        cp = checkpointer(interval=5)
+        for _ in range(3):
+            cp.restart_from_latest(now=10.0)
+        assert cp.restarts == 3

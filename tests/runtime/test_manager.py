@@ -71,3 +71,57 @@ class TestRuntimePhase:
         )
         result = manager.run(num_iterations=2)
         assert result.checkpoint_stall > 0
+
+
+class TestErrorPaths:
+    """Lifecycle misuse and infeasible tasks fail loudly, not weirdly."""
+
+    def test_run_before_initialize_self_initializes(self):
+        # run() without an explicit initialize() must drive the full
+        # manager -> initializer -> runtime flow itself.
+        config = DistTrainConfig.preset("mllm-9b", 48, 32, num_iterations=1)
+        manager = DistTrainManager(config)
+        assert manager._initialization is None
+        result = manager.run(num_iterations=1)
+        assert manager._initialization is not None
+        assert len(result.iterations) == 1
+        # The self-initialized report is the cached one: a later
+        # explicit initialize() returns the same object.
+        assert manager.initialize() is manager._initialization
+
+    def test_infeasible_cluster_raises_from_orchestrate(self):
+        # 8 GPUs cannot host the 72B model: the adaptive search finds no
+        # feasible candidate and every lifecycle phase surfaces that.
+        config = DistTrainConfig.preset("mllm-72b", 8, 8)
+        manager = DistTrainManager(config)
+        with pytest.raises(RuntimeError, match="no feasible orchestration"):
+            manager.orchestrate()
+        with pytest.raises(RuntimeError, match="no feasible orchestration"):
+            manager.run(num_iterations=1)
+
+    def test_invalid_iteration_count_raises(self, manager):
+        with pytest.raises(ValueError, match="num_iterations"):
+            manager.run(num_iterations=0)
+
+    def test_run_scenario_runs_lifecycle_first(self):
+        from repro.scenarios import ScenarioSpec
+
+        config = DistTrainConfig.preset("mllm-9b", 48, 16)
+        manager = DistTrainManager(config)
+        result = manager.run_scenario(ScenarioSpec(num_iterations=4))
+        assert manager._initialization is not None
+        assert result.num_iterations == 4
+
+    def test_run_scenario_honors_manager_checkpoint_policy(self):
+        # The manager's checkpoint config overrides the scenario's
+        # default interval, exactly as it does for run().
+        from repro.scenarios import ScenarioSpec
+
+        config = DistTrainConfig.preset("mllm-9b", 48, 16)
+        spec = ScenarioSpec(num_iterations=6, checkpoint_interval=50)
+        without = DistTrainManager(config).run_scenario(spec)
+        assert without.checkpoint_stall_seconds == 0.0  # interval 50 > 6
+        with_policy = DistTrainManager(
+            config, checkpoint=CheckpointConfig(interval_iterations=2)
+        ).run_scenario(spec)
+        assert with_policy.checkpoint_stall_seconds > 0.0

@@ -1,0 +1,19 @@
+"""Shared scenario-test fixtures.
+
+The engine tests all run the same small task (9B model, 48 GPUs, GBS
+16): small enough that planning + a few hundred simulated iterations
+take tens of milliseconds, big enough to have real DP ranks for
+straggler injection and enough nodes to shed one elastically.
+"""
+
+import pytest
+
+from repro.core.config import DistTrainConfig
+
+#: Downtime-light failure settings so aggressive-MTBF tests converge.
+FAST_RECOVERY = dict(restart_seconds=60.0, checkpoint_load_seconds=30.0)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> DistTrainConfig:
+    return DistTrainConfig.preset("mllm-9b", 48, 16)

@@ -1,0 +1,142 @@
+"""Regenerate the golden scenario fixtures.
+
+Run after an *intentional* semantics change to the failure/goodput model
+or the scenario engine::
+
+    PYTHONPATH=src python -m tests.scenarios.golden.regen
+
+Two fixture families, mirroring ``tests/pipeline/golden``:
+
+* ``run_with_failures_*.json`` — the legacy goodput model on fixed
+  canonical inputs;
+* ``scenario_canonical.json`` — one failure + straggler + elastic
+  scenario through the full engine.
+
+All floats serialize as C99 hex strings so the comparison is bit-exact:
+any change that perturbs a single ULP of any metric fails the snapshot
+suite and must be re-blessed here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.config import DistTrainConfig
+from repro.runtime.failure import FailureModel, run_with_failures
+from repro.scenarios import ScenarioSpec, run_scenario
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+
+def goodput_cases():
+    """(name, run_with_failures kwargs) canonical cases."""
+    return [
+        (
+            "run_with_failures_flaky",
+            dict(
+                iteration_seconds=1.5,
+                num_iterations=200,
+                num_gpus=1000,
+                failures=FailureModel(
+                    mtbf_gpu_hours=50.0, restart_seconds=60.0
+                ),
+                checkpoint_interval=50,
+                checkpoint_stall=2.0,
+                seed=3,
+            ),
+        ),
+        (
+            "run_with_failures_calm",
+            dict(
+                iteration_seconds=0.8,
+                num_iterations=120,
+                num_gpus=64,
+                failures=FailureModel(mtbf_gpu_hours=5000.0),
+                checkpoint_interval=25,
+                seed=11,
+            ),
+        ),
+    ]
+
+
+def scenario_case():
+    """The canonical failure + straggler + elastic scenario."""
+    config = DistTrainConfig.preset("mllm-9b", 48, 16)
+    spec = ScenarioSpec(
+        num_iterations=400,
+        checkpoint_interval=20,
+        mtbf_gpu_hours=3.0,
+        restart_seconds=60.0,
+        checkpoint_load_seconds=30.0,
+        straggler_rate=0.03,
+        straggler_slowdown=1.8,
+        elastic=True,
+        repair_seconds=400.0,
+        seed=5,
+    )
+    return config, spec
+
+
+def goodput_fixture(name, kwargs):
+    report = run_with_failures(**kwargs)
+    failures = kwargs["failures"]
+    return {
+        "name": name,
+        "inputs": {
+            "iteration_seconds": kwargs["iteration_seconds"],
+            "num_iterations": kwargs["num_iterations"],
+            "num_gpus": kwargs["num_gpus"],
+            "mtbf_gpu_hours": failures.mtbf_gpu_hours,
+            "restart_seconds": failures.restart_seconds,
+            "checkpoint_load_seconds": failures.checkpoint_load_seconds,
+            "checkpoint_interval": kwargs.get("checkpoint_interval", 50),
+            "checkpoint_stall": kwargs.get("checkpoint_stall", 2.0),
+            "seed": kwargs.get("seed", 0),
+        },
+        "total_seconds": report.total_seconds.hex(),
+        "useful_seconds": report.useful_seconds.hex(),
+        "goodput": report.goodput.hex(),
+        "num_failures": report.num_failures,
+        "replayed_iterations": report.replayed_iterations,
+    }
+
+
+def scenario_fixture():
+    config, spec = scenario_case()
+    result = run_scenario(config, spec)
+    metrics = {
+        key: (value.hex() if isinstance(value, float) else value)
+        for key, value in result.metrics().items()
+    }
+    return {
+        "name": "scenario_canonical",
+        "metrics": metrics,
+        "goodput": result.goodput.hex(),
+        "num_failures": result.num_failures,
+        "replayed_iterations": result.replayed_iterations,
+        "num_replans": result.num_replans,
+        "min_gpus": result.min_gpus,
+        "final_gpus": result.final_gpus,
+        "iteration_times": [
+            float(t).hex() for t in result.iteration_times
+        ],
+        "mfu_trajectory": [float(m).hex() for m in result.mfu_trajectory],
+        "events": result.events.to_dicts(),
+    }
+
+
+def main() -> None:
+    for name, kwargs in goodput_cases():
+        fixture = goodput_fixture(name, kwargs)
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(fixture, indent=1) + "\n")
+        print(f"wrote {path}")
+    fixture = scenario_fixture()
+    path = GOLDEN_DIR / "scenario_canonical.json"
+    path.write_text(json.dumps(fixture, indent=1) + "\n")
+    print(f"wrote {path} ({len(fixture['events'])} events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Event model and trace-schema tests."""
+
+import pytest
+
+from repro.scenarios.events import (
+    EventTrace,
+    FailureEvent,
+    ResizeEvent,
+    StragglerEvent,
+)
+
+
+class TestEventValidation:
+    def test_failure_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            FailureEvent(time_s=-1.0)
+
+    def test_failure_rejects_zero_gpus(self):
+        with pytest.raises(ValueError):
+            FailureEvent(time_s=0.0, gpus_lost=0)
+
+    def test_straggler_rejects_speedup(self):
+        with pytest.raises(ValueError):
+            StragglerEvent(
+                iteration=0, duration_iterations=5, rank=0, slowdown=0.9
+            )
+
+    def test_straggler_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            StragglerEvent(
+                iteration=0, duration_iterations=0, rank=0, slowdown=1.5
+            )
+
+    def test_straggler_end_iteration(self):
+        episode = StragglerEvent(
+            iteration=10, duration_iterations=5, rank=2, slowdown=2.0
+        )
+        assert episode.end_iteration == 15
+
+    def test_resize_rejects_zero_gpus(self):
+        with pytest.raises(ValueError):
+            ResizeEvent(iteration=1, num_gpus=0)
+
+
+class TestEventTrace:
+    def trace(self) -> EventTrace:
+        return EventTrace([
+            StragglerEvent(
+                iteration=3, duration_iterations=4, rank=1, slowdown=1.8
+            ),
+            FailureEvent(time_s=120.0, gpus_lost=8),
+            ResizeEvent(iteration=50, num_gpus=40),
+            FailureEvent(time_s=60.0),
+        ])
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            EventTrace(["failure at noon"])
+
+    def test_selectors_sorted_by_kind(self):
+        trace = self.trace()
+        assert [f.time_s for f in trace.failures] == [60.0, 120.0]
+        assert [s.iteration for s in trace.stragglers] == [3]
+        assert [r.num_gpus for r in trace.resizes] == [40]
+
+    def test_json_round_trip(self, tmp_path):
+        trace = self.trace()
+        path = tmp_path / "trace.json"
+        trace.to_json(path)
+        loaded = EventTrace.from_json(path)
+        assert loaded.events == trace.events
+
+    def test_from_json_accepts_inline_text(self):
+        text = self.trace().to_json()
+        assert EventTrace.from_json(text).events == self.trace().events
+
+    def test_from_dicts_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            EventTrace.from_dicts([{"kind": "meteor", "time_s": 1.0}])
+
+    def test_dicts_carry_kind_tag(self):
+        kinds = {record["kind"] for record in self.trace().to_dicts()}
+        assert kinds == {"failure", "straggler", "resize"}
+
+    def test_empty_trace_is_falsy(self):
+        assert not EventTrace()
+        assert len(EventTrace()) == 0

@@ -1,0 +1,66 @@
+"""Golden snapshots: the failure model and one canonical scenario.
+
+Fixtures live in ``tests/scenarios/golden`` with every float serialized
+as a C99 hex string — the comparison refuses a single ULP of drift. Any
+intentional semantics change must re-bless them via::
+
+    PYTHONPATH=src python -m tests.scenarios.golden.regen
+"""
+
+import json
+
+import pytest
+
+from tests.scenarios.golden.regen import (
+    GOLDEN_DIR,
+    goodput_cases,
+    goodput_fixture,
+    scenario_fixture,
+)
+
+
+def load_fixture(name: str) -> dict:
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"missing golden fixture {path}; run "
+        f"PYTHONPATH=src python -m tests.scenarios.golden.regen"
+    )
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize(
+    "name,kwargs", goodput_cases(), ids=[c[0] for c in goodput_cases()]
+)
+def test_run_with_failures_matches_golden(name, kwargs):
+    expected = load_fixture(name)
+    actual = goodput_fixture(name, kwargs)
+    assert actual == expected
+
+
+def test_goodput_fixtures_exercise_failures():
+    # The flaky canonical case must actually fail (otherwise the
+    # snapshot would not pin the rollback arithmetic).
+    flaky = load_fixture("run_with_failures_flaky")
+    assert flaky["num_failures"] > 0
+    assert flaky["replayed_iterations"] > 0
+
+
+def test_canonical_scenario_matches_golden():
+    expected = load_fixture("scenario_canonical")
+    actual = scenario_fixture()
+    assert actual["metrics"] == expected["metrics"]
+    assert actual["iteration_times"] == expected["iteration_times"]
+    assert actual["mfu_trajectory"] == expected["mfu_trajectory"]
+    assert actual["events"] == expected["events"]
+    assert actual == expected
+
+
+def test_canonical_scenario_exercises_dynamics():
+    # The canonical fixture must cover a failure, an elastic shrink AND
+    # the repair re-growth, and straggler episodes.
+    fixture = load_fixture("scenario_canonical")
+    assert fixture["num_failures"] >= 1
+    assert fixture["num_replans"] >= 2
+    assert fixture["min_gpus"] < fixture["final_gpus"]
+    kinds = {event["kind"] for event in fixture["events"]}
+    assert kinds == {"failure", "straggler"}

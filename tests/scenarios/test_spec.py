@@ -1,0 +1,109 @@
+"""ScenarioSpec validation, sweep-parameter mapping, canonical form."""
+
+import pytest
+
+from repro.runtime.failure import FailureModel
+from repro.scenarios.events import EventTrace, StragglerEvent
+from repro.scenarios.spec import PARAM_FIELDS, ScenarioSpec
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"num_iterations": 0},
+        {"checkpoint_interval": 0},
+        {"mtbf_gpu_hours": 0.0},
+        {"straggler_rate": 1.5},
+        {"straggler_rate": -0.1},
+        {"straggler_slowdown": 0.5},
+        {"straggler_iterations": 0},
+        {"sample_iterations": 0},
+        {"gpus_lost_per_failure": 0},
+        {"repair_seconds": -1.0},
+        {"replan_seconds": -1.0},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioSpec(**kwargs)
+
+    def test_defaults_are_valid(self):
+        spec = ScenarioSpec()
+        assert spec.num_iterations == 1000
+        assert spec.failure_model() is None
+
+    def test_failure_model_carries_downtime(self):
+        spec = ScenarioSpec(
+            mtbf_gpu_hours=100.0,
+            restart_seconds=10.0,
+            checkpoint_load_seconds=5.0,
+        )
+        model = spec.failure_model()
+        assert isinstance(model, FailureModel)
+        assert model.mtbf_gpu_hours == 100.0
+        assert model.downtime_seconds == 15.0
+
+
+class TestSweepParams:
+    def test_from_params_maps_short_names(self):
+        spec = ScenarioSpec.from_params({
+            "scenario_iterations": 300,
+            "mtbf": 42.0,
+            "elastic": True,
+            "checkpoint_interval": 25,
+            "failure_seed": 9,
+        })
+        assert spec.num_iterations == 300
+        assert spec.mtbf_gpu_hours == 42.0
+        assert spec.elastic is True
+        assert spec.checkpoint_interval == 25
+        assert spec.seed == 9
+
+    def test_from_params_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown scenario parameter"):
+            ScenarioSpec.from_params({"mtbf_hours": 10.0})
+
+    def test_from_params_parses_inline_events(self):
+        spec = ScenarioSpec.from_params({
+            "events": [
+                {"kind": "straggler", "iteration": 4,
+                 "duration_iterations": 2, "rank": 0, "slowdown": 2.0},
+            ],
+        })
+        assert isinstance(spec.events, EventTrace)
+        assert spec.events.stragglers[0].slowdown == 2.0
+
+    def test_param_fields_cover_every_sweepable_knob(self):
+        # Every mapped field must exist on the spec.
+        spec = ScenarioSpec()
+        for field_name in PARAM_FIELDS.values():
+            assert hasattr(spec, field_name)
+
+
+class TestCanonical:
+    def test_canonical_is_json_safe_and_complete(self):
+        import json
+
+        spec = ScenarioSpec(
+            mtbf_gpu_hours=10.0,
+            events=EventTrace([
+                StragglerEvent(
+                    iteration=1, duration_iterations=2, rank=0, slowdown=1.5
+                )
+            ]),
+        )
+        payload = spec.canonical()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["events"][0]["kind"] == "straggler"
+
+    def test_canonical_distinguishes_every_field(self):
+        base = ScenarioSpec().canonical()
+        for change, value in [
+            ("num_iterations", 7), ("checkpoint_interval", 7),
+            ("mtbf_gpu_hours", 7.0), ("restart_seconds", 7.0),
+            ("checkpoint_load_seconds", 7.0), ("gpus_lost_per_failure", 7),
+            ("straggler_rate", 0.7), ("straggler_slowdown", 7.0),
+            ("straggler_iterations", 7), ("elastic", True),
+            ("repair_seconds", 7.0), ("replan_seconds", 7.0),
+            ("sample_iterations", 7), ("seed", 7),
+        ]:
+            changed = ScenarioSpec(**{change: value}).canonical()
+            assert changed != base, f"{change} not in canonical form"

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "moe_expert_parallelism",
     "audio_modality",
     "campaign_sweep",
+    "scenario_dynamics",
 ]
 
 
