@@ -38,15 +38,34 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
 DEFAULT_THRESHOLD = 1.2
 
 #: Benchmarks guarded against regression (substring match on the
-#: pytest-benchmark name): the three tracked figure benchmarks of the
-#: vectorized-kernel work plus the scenario engine's thousand-iteration
-#: dynamics hot path.
+#: pytest-benchmark name): the tracked figure benchmarks of the
+#: vectorized-kernel work, the scenario engine's thousand-iteration
+#: dynamics hot path, and the orchestration search (the convex ablation
+#: plus every Table-3 scale of the batched analytic engine).
 TRACKED = (
     "test_figure16_reordering_ablation",
     "test_figure5_distributions",
     "test_convex_matches_enumeration",
     "test_scenario_1000_iterations",
+    "test_table3_overhead[1296-1920]",
+    "test_table3_overhead[648-960]",
+    "test_table3_overhead[320-480]",
+    "test_table3_overhead[112-240]",
 )
+
+
+def k_expression() -> str:
+    """The ``pytest -k`` expression selecting every tracked benchmark.
+
+    Parametrized names carry ``[...]`` suffixes that ``-k`` cannot
+    parse, so the expression is built from the deduplicated base names.
+    """
+    bases = []
+    for name in TRACKED:
+        base = name.split("[", 1)[0]
+        if base not in bases:
+            bases.append(base)
+    return " or ".join(bases)
 
 
 def calibration_score(repeats: int = 5) -> float:
@@ -114,7 +133,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.print_k:
-        print(" or ".join(TRACKED))
+        print(k_expression())
         return 0
     if not args.reports:
         parser.error("a report is required (or use --print-k)")
@@ -148,6 +167,15 @@ def main(argv=None) -> int:
     scale = calibration / base_calibration
     print(f"calibration: baseline {base_calibration * 1e3:.2f} ms, "
           f"here {calibration * 1e3:.2f} ms (machine scale {scale:.2f}x)")
+
+    # A tracked benchmark absent from the committed baseline means the
+    # guard was widened (or a test renamed) without re-blessing — fail
+    # loudly instead of silently dropping it from the check.
+    stale = sorted(set(TRACKED) - set(baseline.get("means_seconds", {})))
+    if stale:
+        print(f"error: baseline {args.baseline} lacks tracked benchmarks: "
+              f"{stale}; re-bless it with --update", file=sys.stderr)
+        return 2
 
     failed = False
     for name in TRACKED:

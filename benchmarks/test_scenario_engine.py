@@ -16,7 +16,7 @@ from repro.core.config import DistTrainConfig
 from repro.core.reports import format_table
 from repro.experiments import Axis, CampaignRunner, SweepSpec
 from repro.scenarios import ScenarioSpec, run_scenario
-from repro.scenarios.engine import _ORCHESTRATION_CACHE
+from repro.orchestration.plancache import PLAN_CACHE
 
 #: Heavyweight scenario evaluations; deselected from the default tier-1
 #: run (see pyproject addopts) and exercised by CI's full benchmark job.
@@ -38,7 +38,7 @@ DYNAMIC_SPEC = ScenarioSpec(
 def run_dynamic_scenario():
     # Cold start: include the orchestration solves (full cluster plus
     # every elastic re-solve) in the measured time.
-    _ORCHESTRATION_CACHE.clear()
+    PLAN_CACHE.clear()
     return run_scenario(CONFIG, DYNAMIC_SPEC)
 
 

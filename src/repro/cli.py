@@ -100,9 +100,15 @@ def cmd_plan(args: argparse.Namespace) -> int:
 
         save_plan(result.plan, args.output)
         print(f"launch configuration written to {args.output}")
+    rate = (
+        result.candidates_evaluated / result.solve_seconds
+        if result.solve_seconds > 0
+        else float("inf")
+    )
     print(
         f"solve: {result.solve_seconds * 1e3:.0f} ms, "
-        f"{result.candidates_evaluated} candidates, "
+        f"{result.candidates_evaluated} candidates "
+        f"({rate:,.0f}/s), "
         f"{result.convex_solutions} convex subproblems"
     )
     breakdown = result.breakdown
@@ -439,6 +445,8 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
             ["lost work", f"{result.lost_seconds:.1f} s"],
             ["recovery time", f"{result.recovery_seconds:.1f} s"],
             ["re-orchestrations", result.num_replans],
+            ["plan cache (hit/miss)",
+             f"{result.plan_cache_hits}/{result.plan_cache_misses}"],
             ["checkpoint stalls", f"{result.checkpoint_stall_seconds:.1f} s"],
             ["GPUs", gpus],
             ["mean MFU", f"{result.mean_mfu * 100:.1f} %"],

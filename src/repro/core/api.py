@@ -14,6 +14,7 @@ from repro.orchestration.adaptive import (
     replan_for_cluster,
 )
 from repro.orchestration.baselines import DistMMOrchestrator, MegatronOrchestrator
+from repro.orchestration.plancache import PLAN_CACHE, planning_signature
 from repro.orchestration.problem import OrchestrationProblem, SampleProfile
 from repro.runtime.iteration import IterationResult, TrainingIterationSimulator
 from repro.runtime.trainer import TrainingRun, TrainingRunResult
@@ -81,7 +82,21 @@ def replan(config: DistTrainConfig, num_gpus: int) -> OrchestrationResult:
     DistTrain tasks go through the adaptive re-solve entry point
     (:func:`repro.orchestration.adaptive.replan_for_cluster`); baseline
     systems re-run their own orchestrators on the resized cluster.
+
+    Results are memoized process-wide in
+    :data:`repro.orchestration.plancache.PLAN_CACHE`: planning is a pure
+    function of ``(config, num_gpus)``, and elastic scenarios oscillate
+    between the same few sizes, so each distinct size is solved once.
     """
+    return PLAN_CACHE.get_or_compute(
+        planning_signature(config, num_gpus),
+        lambda: _replan_uncached(config, num_gpus),
+    )
+
+
+def _replan_uncached(
+    config: DistTrainConfig, num_gpus: int
+) -> OrchestrationResult:
     from repro.cluster.cluster import resized_cluster
 
     if config.system == "disttrain":

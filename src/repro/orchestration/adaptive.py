@@ -4,29 +4,44 @@ The search decomposes into:
 
 1. **enumerate** the finite candidate set — LLM TP confined to powers of
    two up to the node size, LLM DP over divisors of ``BS/M``, and the
-   cheapest feasible encoder/generator TP;
-2. **solve** the convex resource-split subproblem for each candidate
-   (:mod:`repro.orchestration.convex`);
-3. **round** the continuous split to a feasible integer configuration
-   (pipeline depths dividing the layer count, memory floors respected);
+   cheapest feasible encoder/generator TP — up front, as arrays;
+2. **solve** the convex resource-split subproblem for the whole batch in
+   one vectorized analytic pass
+   (:func:`repro.orchestration.convex.solve_resource_split_batch`; the
+   per-candidate SLSQP oracle is retained behind ``solver="slsqp"``);
+3. **round** the continuous splits to feasible integer configurations
+   (pipeline depths dividing the layer count) and screen memory
+   feasibility through the vectorized
+   :meth:`~repro.orchestration.memory.MemoryModel.fits_batch`;
 4. **evaluate** the exact objective (plus the DP gradient-sync cost the
-   steady-state formulation abstracts away), shortlist the best few, and
+   steady-state formulation abstracts away) for every rounded plan at
+   once, shortlist the best few, and
 5. **refine** the shortlist with a fast uniform-workload pipeline
-   simulation that captures what Eqs. 1-2 abstract away — cool-down,
-   inter-stage communication, and schedule effects — then keep the best.
+   simulation — batched through the vectorized kernel, grouped by
+   schedule shape — that captures what Eqs. 1-2 abstract away
+   (cool-down, inter-stage communication, schedule effects), then keep
+   the best.
 
 The whole procedure runs in well under a second even at thousand-GPU
-scale (Table 3 of the paper reports 133-922 ms).
+scale (Table 3 of the paper reports 133-922 ms; the batched engine
+solves the same searches in single-digit milliseconds).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.cluster.cluster import resized_cluster
 from repro.models.base import ModuleWorkload
-from repro.orchestration.convex import ConvexSolution, solve_resource_split
+from repro.orchestration.convex import (
+    solve_resource_split,
+    solve_resource_split_batch,
+)
 from repro.orchestration.formulation import (
     CandidateConfig,
     ObjectiveBreakdown,
@@ -49,8 +64,8 @@ DP_SYNC_EXPOSED_FRACTION = 0.3
 REFINE_TOP_K = 12
 
 
-def divisors(n: int) -> List[int]:
-    """All positive divisors of ``n``, ascending."""
+@lru_cache(maxsize=4096)
+def _divisors(n: int) -> Tuple[int, ...]:
     if n < 1:
         raise ValueError("n must be positive")
     small, large = [], []
@@ -61,7 +76,12 @@ def divisors(n: int) -> List[int]:
             if d != n // d:
                 large.append(n // d)
         d += 1
-    return small + large[::-1]
+    return tuple(small + large[::-1])
+
+
+def divisors(n: int) -> List[int]:
+    """All positive divisors of ``n``, ascending (memoized)."""
+    return list(_divisors(n))
 
 
 @dataclass
@@ -97,11 +117,17 @@ def simulated_pipeline_seconds(
     extrapolated linearly from two smaller simulations (the steady phase
     is exactly linear once ``n > p``).
     """
+    return simulated_pipeline_seconds_batch(problem, collectives, [plans])[0]
+
+
+def _stage_times(
+    problem: OrchestrationProblem, plans: Dict[str, ParallelismPlan]
+) -> Tuple[List[float], List[float]]:
+    """Per-stage fwd/bwd durations for one plan (see
+    :func:`simulated_pipeline_seconds`)."""
     profiler = problem.profiler()
     M = problem.microbatch_size
     dp_lm = plans["llm"].dp
-    num_microbatches = problem.global_batch_size // (dp_lm * M)
-
     stage_fwd: List[float] = []
     stage_bwd: List[float] = []
     for name in ("encoder", "llm", "generator"):
@@ -120,24 +146,81 @@ def simulated_pipeline_seconds(
             per_stage_bwd = bwd * share / plan.pp
         stage_fwd.extend([per_stage_fwd] * plan.pp)
         stage_bwd.extend([per_stage_bwd] * plan.pp)
+    return stage_fwd, stage_bwd
 
-    p = len(stage_fwd)
+
+def simulated_pipeline_seconds_batch(
+    problem: OrchestrationProblem,
+    collectives: CollectiveModel,
+    plans_list: Sequence[Dict[str, ParallelismPlan]],
+) -> List[float]:
+    """Uniform-workload pipeline makespans for a plan portfolio.
+
+    Semantically identical to calling :func:`simulated_pipeline_seconds`
+    per plan, but all kernel evaluations sharing one schedule shape
+    ``(stages, microbatches)`` run as a single batched sweep — the
+    shortlist refinement prices every finalist in a handful of
+    :meth:`~repro.pipeline.kernel.SimulatorKernel.evaluate_batch` calls
+    instead of a per-plan simulation loop.
+    """
+    M = problem.microbatch_size
     llm = problem.mllm.llm
     comm = collectives.pp_send(llm.boundary_activation_bytes(M))
-
-    def makespan(n: int) -> float:
+    # (plan index, n) kernel evaluations, grouped by schedule shape.
+    prepared = []
+    tasks: Dict[Tuple[int, int], List[int]] = {}
+    for i, plans in enumerate(plans_list):
+        stage_fwd, stage_bwd = _stage_times(problem, plans)
+        p = len(stage_fwd)
+        num_microbatches = problem.global_batch_size // (
+            plans["llm"].dp * M
+        )
+        n_small = min(num_microbatches, max(2 * p, 4))
+        n_smaller = max(p, n_small // 2)
+        prepared.append(
+            (stage_fwd, stage_bwd, p, num_microbatches, n_small, n_smaller)
+        )
+        tasks.setdefault((p, n_small), []).append(i)
+        if n_small != num_microbatches:
+            tasks.setdefault((p, n_smaller), []).append(i)
+    makespans: Dict[Tuple[int, int, int], float] = {}
+    for (p, n), members in tasks.items():
         kernel = get_kernel(ScheduleKind.ONE_F_ONE_B, p, n, 1)
-        durations = kernel.durations_from_stage_times(stage_fwd, stage_bwd)
-        _, end = kernel.evaluate(durations, comm)
-        return kernel.makespan(end)
-
-    n_small = min(num_microbatches, max(2 * p, 4))
-    if n_small == num_microbatches:
-        return makespan(num_microbatches)
-    n_smaller = max(p, n_small // 2)
-    m_small, m_smaller = makespan(n_small), makespan(n_smaller)
-    slope = (m_small - m_smaller) / max(1, n_small - n_smaller)
-    return m_small + slope * (num_microbatches - n_small)
+        if len(members) == 1:
+            # The 1-D sweep is cheaper than a one-row batch (and
+            # bit-identical to it — the kernel equivalence suite pins
+            # both against the reference evaluator).
+            i = members[0]
+            durations = kernel.durations_from_stage_times(
+                prepared[i][0], prepared[i][1]
+            )
+            makespans[(p, n, i)] = kernel.makespan_from_durations(
+                durations, comm
+            )
+            continue
+        durations = np.stack(
+            [
+                kernel.durations_from_stage_times(
+                    prepared[i][0], prepared[i][1]
+                )
+                for i in members
+            ]
+        )
+        spans = kernel.makespans_from_durations(durations, comm)
+        for i, span in zip(members, spans):
+            makespans[(p, n, i)] = float(span)
+    results = []
+    for i, (_, _, p, num_microbatches, n_small, n_smaller) in enumerate(
+        prepared
+    ):
+        m_small = makespans[(p, n_small, i)]
+        if n_small == num_microbatches:
+            results.append(m_small)
+            continue
+        m_smaller = makespans[(p, n_smaller, i)]
+        slope = (m_small - m_smaller) / max(1, n_small - n_smaller)
+        results.append(m_small + slope * (num_microbatches - n_small))
+    return results
 
 
 def replan_for_cluster(
@@ -150,12 +233,10 @@ def replan_for_cluster(
     The adaptive search re-runs from scratch on the new cluster — the
     paper's algorithm is fast enough (hundreds of ms at thousand-GPU
     scale) that re-solving at every membership change is cheap relative
-    to restart and checkpoint-reload time.
+    to restart and checkpoint-reload time. Callers that re-plan the same
+    cluster sizes repeatedly should go through
+    :mod:`repro.orchestration.plancache`.
     """
-    from dataclasses import replace
-
-    from repro.cluster.cluster import resized_cluster
-
     shrunk = replace(
         problem, cluster=resized_cluster(problem.cluster, num_gpus)
     )
@@ -163,18 +244,37 @@ def replan_for_cluster(
 
 
 class AdaptiveOrchestrator:
-    """DistTrain's disaggregated model orchestration."""
+    """DistTrain's disaggregated model orchestration.
+
+    Args:
+        problem: The task to orchestrate.
+        solver: ``"analytic"`` (default) batch-solves every candidate's
+            convex subproblem in one vectorized closed-form pass;
+            ``"slsqp"`` runs the retained per-candidate SLSQP oracle
+            instead (slow — used by the equivalence suite to cross-check
+            the analytic engine).
+    """
 
     label = "disttrain"
 
-    def __init__(self, problem: OrchestrationProblem):
+    def __init__(self, problem: OrchestrationProblem,
+                 solver: str = "analytic"):
+        if solver not in ("analytic", "slsqp"):
+            raise ValueError(f"unknown solver {solver!r}")
         self.problem = problem
+        self.solver = solver
         gpu = problem.cluster.gpu
         self.memory = MemoryModel(gpu_memory_bytes=gpu.memory_bytes)
         node = problem.cluster.node
         self.collectives = CollectiveModel(
             intra_link=node.intra_link, inter_link=node.inter_link
         )
+        # Per-search memo tables: the rounding sweep re-queries the same
+        # handful of (module, share) activation footprints and
+        # (module, dp) sync terms for hundreds of combos.
+        self._feasible_pps: Optional[List[int]] = None
+        self._activation_memo: Dict[Tuple[str, float], float] = {}
+        self._dp_sync_memo: Dict[Tuple[str, int, int, int], float] = {}
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -183,61 +283,65 @@ class AdaptiveOrchestrator:
         """Run the adaptive search and return the best configuration."""
         problem = self.problem
         started = time.perf_counter()
-        shortlist: List[Tuple[float, CandidateConfig, ObjectiveBreakdown,
-                              Dict[str, ParallelismPlan]]] = []
-        candidates_evaluated = 0
-        convex_solutions = 0
 
         tp_me = self._best_small_module_tp("encoder")
         tp_mg = self._best_small_module_tp("generator")
 
-        for tp_lm in self._llm_tp_candidates():
-            for dp_lm in self._llm_dp_candidates(tp_lm):
-                candidate = CandidateConfig(
-                    tp_lm=tp_lm, dp_lm=dp_lm, tp_me=tp_me, tp_mg=tp_mg,
-                    ep_lm=problem.llm_ep,
-                )
-                prepared = self._prepare_candidate(candidate)
-                if prepared is None:
-                    continue
-                solution = prepared
-                convex_solutions += 1
-                for plans in self._round_candidates(candidate, solution):
-                    candidates_evaluated += 1
-                    cost, breakdown = self._evaluate(candidate, plans)
-                    shortlist.append((cost, candidate, breakdown, plans))
-
-        if not shortlist:
+        search = self._search_arrays(tp_me, tp_mg)
+        if search is None:
             raise RuntimeError(
                 "no feasible orchestration found; cluster too small for "
                 f"{problem.mllm.name}"
             )
-        shortlist.sort(key=lambda item: item[0])
-        # Deduplicate by LLM pipeline structure so the refinement stage
-        # compares genuinely different configurations rather than ±1
-        # encoder/generator replica variations of the same one.
+        (cost, cand_idx, tp_lm, dp_lm, pp_lm, dp_me, dp_mg,
+         convex_solutions) = search
+        candidates_evaluated = len(cost)
+
+        # Shortlist, deduplicated by LLM pipeline structure so the
+        # refinement stage compares genuinely different configurations
+        # rather than ±1 encoder/generator replica variations.
+        order = np.argsort(cost, kind="stable")
         seen_structures = set()
-        diverse = []
-        for item in shortlist:
-            plan = item[3]["llm"]
-            key = (plan.tp, plan.pp, plan.dp)
+        diverse: List[int] = []
+        for row in order:
+            key = (int(tp_lm[row]), int(pp_lm[row]), int(dp_lm[row]))
             if key in seen_structures:
                 continue
             seen_structures.add(key)
-            diverse.append(item)
-        best: Optional[Tuple[float, CandidateConfig, ObjectiveBreakdown,
-                             Dict[str, ParallelismPlan]]] = None
-        for cost, cand, bd, plans in diverse[:REFINE_TOP_K]:
-            refined = self._simulated_cost(cand, plans) + self._dp_sync_cost(
-                plans
+            diverse.append(int(row))
+            if len(diverse) >= REFINE_TOP_K:
+                break
+
+        finalists = [
+            (
+                self._candidate(int(tp_lm[row]), int(dp_lm[row]),
+                                tp_me, tp_mg),
+                self._plans(int(tp_lm[row]), int(dp_lm[row]),
+                            int(pp_lm[row]), int(dp_me[row]),
+                            int(dp_mg[row]), tp_me, tp_mg),
             )
+            for row in diverse
+        ]
+        simulated = simulated_pipeline_seconds_batch(
+            problem, self.collectives, [plans for _, plans in finalists]
+        )
+        best: Optional[Tuple[float, CandidateConfig,
+                             Dict[str, ParallelismPlan], float]] = None
+        for (cand, plans), sim in zip(finalists, simulated):
+            refined = sim + self._dp_sync_cost(plans)
             if best is None or refined < best[0]:
-                best = (refined, cand, bd, plans)
+                best = (refined, cand, plans, sim)
         assert best is not None
-        _, candidate, breakdown, plans = best
-        plans = self._trim_small_units(candidate, plans)
-        _, breakdown = self._evaluate(candidate, plans)
-        simulated_seconds = self._simulated_cost(candidate, plans)
+        _, candidate, plans, winner_sim = best
+        trimmed = self._trim_small_units(candidate, plans)
+        _, breakdown = self._evaluate(candidate, trimmed)
+        if trimmed == plans:
+            # Trim was a no-op: the refinement stage already priced
+            # exactly this plan dictionary.
+            simulated_seconds = winner_sim
+        else:
+            simulated_seconds = self._simulated_cost(candidate, trimmed)
+        plans = trimmed
         plan = ModelOrchestrationPlan(
             mllm=problem.mllm,
             cluster=problem.cluster,
@@ -256,6 +360,328 @@ class AdaptiveOrchestrator:
             convex_solutions=convex_solutions,
             simulated_pipeline_seconds=simulated_seconds,
         )
+
+    # ------------------------------------------------------------------ #
+    # Batched search
+    # ------------------------------------------------------------------ #
+    def _candidate(self, tp_lm: int, dp_lm: int, tp_me: int,
+                   tp_mg: int) -> CandidateConfig:
+        return CandidateConfig(
+            tp_lm=tp_lm, dp_lm=dp_lm, tp_me=tp_me, tp_mg=tp_mg,
+            ep_lm=self.problem.llm_ep,
+        )
+
+    def _plans(
+        self, tp_lm: int, dp_lm: int, pp_lm: int, dp_me: int, dp_mg: int,
+        tp_me: int, tp_mg: int,
+    ) -> Dict[str, ParallelismPlan]:
+        problem = self.problem
+        M = problem.microbatch_size
+        return {
+            "encoder": ParallelismPlan(
+                tp=tp_me, pp=1, dp=dp_me, microbatch_size=M
+            ),
+            "llm": ParallelismPlan(
+                tp=tp_lm, pp=pp_lm, dp=dp_lm, vpp=problem.vpp,
+                ep=problem.llm_ep, microbatch_size=M,
+            ),
+            "generator": ParallelismPlan(
+                tp=tp_mg, pp=1, dp=dp_mg, microbatch_size=M
+            ),
+        }
+
+    def _search_arrays(self, tp_me: int, tp_mg: int):
+        """Enumerate, batch-solve, round, screen, and cost every
+        candidate; returns the surviving rounded-plan arrays."""
+        problem = self.problem
+        M = problem.microbatch_size
+        budget = problem.num_gpus
+        ep = problem.llm_ep
+
+        # --- candidate enumeration, all up front ---------------------- #
+        tp_list: List[int] = []
+        dp_list: List[int] = []
+        for tp in self._llm_tp_candidates():
+            for dp in self._llm_dp_candidates(tp):
+                tp_list.append(tp)
+                dp_list.append(dp)
+        if not tp_list:
+            return None
+        tp_lm = np.asarray(tp_list, dtype=np.int64)
+        dp_lm = np.asarray(dp_list, dtype=np.int64)
+        width = tp_lm * ep
+
+        c_lm_by_tp = {
+            tp: module_sample_time(problem, "llm", tp)
+            for tp in sorted(set(tp_list))
+        }
+        c_lm = np.asarray([c_lm_by_tp[tp] for tp in tp_list])
+        c_me = module_sample_time(problem, "encoder", tp_me)
+        c_mg = module_sample_time(problem, "generator", tp_mg)
+
+        # --- memory floors (vectorized min-PP + feasible-depth snap) -- #
+        llm = problem.mllm.llm
+        param_count = llm.param_count()
+        act_llm = llm.activation_bytes(ModuleWorkload(samples=M))
+        trainable_llm = problem.frozen.trains("llm")
+        pp_floor = self.memory.min_pp_for_llm_batch(
+            param_count, act_llm, width, dp_lm, trainable_llm,
+            max_pp=llm.num_layers,
+        )
+        feasible_pps = np.asarray(self._feasible_llm_pps(), dtype=np.int64)
+        snap = np.searchsorted(feasible_pps, np.maximum(pp_floor, 1))
+        has_pp = (pp_floor > 0) & (snap < len(feasible_pps))
+        pp_min = np.where(
+            has_pp, feasible_pps[np.minimum(snap, len(feasible_pps) - 1)], 0
+        )
+        x_min = float(tp_me)  # pp_me == 1
+        z_min = float(tp_mg)  # pp_mg == 1
+        y_min = (width * dp_lm * pp_min).astype(float)
+        ok = has_pp & (y_min <= budget - 2) & (
+            x_min + y_min + z_min <= budget
+        )
+        sel = np.flatnonzero(ok)
+        if not len(sel):
+            return None
+        convex_solutions = int(len(sel))
+
+        # --- the convex subproblem, solved for the whole batch -------- #
+        n_mb = problem.global_batch_size // (dp_lm * M)
+        warm_x = (dp_lm * M * tp_me) * c_me
+        warm_z = (dp_lm * M * tp_mg) * c_mg
+        steady_x = (dp_lm * tp_me * M) * c_me
+        steady_y = (dp_lm * width * M) * c_lm
+        steady_z = (dp_lm * tp_mg * M) * c_mg
+        if self.solver == "slsqp":
+            oracle = [
+                solve_resource_split(
+                    warm_x=float(warm_x[i]),
+                    warm_z=float(warm_z[i]),
+                    steady_x=float(steady_x[i]),
+                    steady_y=float(steady_y[i]),
+                    steady_z=float(steady_z[i]),
+                    num_microbatches=int(n_mb[i]),
+                    budget=float(budget),
+                    x_min=x_min,
+                    y_min=float(y_min[i]),
+                    z_min=z_min,
+                )
+                for i in sel
+            ]
+            sol_x = np.asarray([s.x for s in oracle])
+            sol_y = np.asarray([s.y for s in oracle])
+            sol_z = np.asarray([s.z for s in oracle])
+        else:
+            solution = solve_resource_split_batch(
+                warm_x=warm_x[sel],
+                warm_z=warm_z[sel],
+                steady_x=steady_x[sel],
+                steady_y=steady_y[sel],
+                steady_z=steady_z[sel],
+                num_microbatches=n_mb[sel],
+                budget=float(budget),
+                x_min=x_min,
+                y_min=y_min[sel],
+                z_min=z_min,
+            )
+            sol_x, sol_y, sol_z = solution.x, solution.y, solution.z
+
+        # --- batch rounding: 2 pipeline depths x 2 dp each side ------- #
+        per_pipeline = (width[sel] * dp_lm[sel]).astype(float)
+        pp_target = sol_y / per_pipeline
+        fp = feasible_pps.astype(float)
+        dist = np.abs(fp[None, :] - pp_target[:, None])
+        dist = np.where(
+            fp[None, :] <= (pp_target * 2 + 1)[:, None], dist, np.inf
+        )
+        pp_order = np.argsort(dist, axis=1, kind="stable")[:, :2]
+        pp_opts = feasible_pps[pp_order]
+        pp_valid = np.take_along_axis(
+            np.isfinite(dist), pp_order, axis=1
+        )
+        if pp_opts.shape[1] < 2:
+            pad = np.zeros((len(sel), 2 - pp_opts.shape[1]), dtype=np.int64)
+            pp_opts = np.concatenate([pp_opts, pad], axis=1)
+            pp_valid = np.concatenate([pp_valid, pad.astype(bool)], axis=1)
+
+        dp_me_lo = np.maximum(1, (sol_x / tp_me).astype(np.int64))
+        dp_mg_lo = np.maximum(1, (sol_z / tp_mg).astype(np.int64))
+
+        # Combo grid in the scalar search's nested-loop order:
+        # pipeline depth (by distance) x dp_me {lo, lo+1} x dp_mg
+        # {lo, lo+1} — the stable cost sort then ties out identically.
+        pp_c = np.repeat(pp_opts, 4, axis=1).reshape(-1)
+        valid = np.repeat(pp_valid, 4, axis=1).reshape(-1)
+        dp_me_c = np.tile(
+            np.repeat(np.stack([dp_me_lo, dp_me_lo + 1], axis=1), 2,
+                      axis=1),
+            (1, 2),
+        ).reshape(-1)
+        dp_mg_c = np.tile(
+            np.stack([dp_mg_lo, dp_mg_lo + 1], axis=1), (1, 4)
+        ).reshape(-1)
+        rows = np.repeat(np.arange(len(sel)), 8)
+
+        width_rows = width[sel][rows]
+        dp_lm_rows = dp_lm[sel][rows]
+        x = dp_me_c * tp_me
+        y = width_rows * dp_lm_rows * pp_c
+        z = dp_mg_c * tp_mg
+        valid &= (x + y + z) <= budget
+        valid &= self._memory_ok_batch(
+            width_rows, dp_lm_rows, pp_c, dp_me_c, dp_mg_c, tp_me, tp_mg,
+            param_count, act_llm, trainable_llm,
+        )
+        keep = np.flatnonzero(valid)
+        if not len(keep):
+            return None
+        rows = rows[keep]
+        cand_idx = sel[rows]
+        pp_c, dp_me_c, dp_mg_c = pp_c[keep], dp_me_c[keep], dp_mg_c[keep]
+        x, y, z = (
+            x[keep].astype(float),
+            y[keep].astype(float),
+            z[keep].astype(float),
+        )
+
+        # --- exact objective + DP sync, vectorized -------------------- #
+        dp = dp_lm[cand_idx]
+        w = width[cand_idx]
+        cl = c_lm[cand_idx]
+        n = n_mb[cand_idx]
+        t_lm = (dp * w * M) * cl / y
+        t_me = (dp * tp_me * M) * c_me / x
+        t_mg = (dp * tp_mg * M) * c_mg / z
+        warmup = (
+            M * cl / problem.vpp
+            + (dp * M * tp_me) * c_me / x
+            + (dp * M * tp_mg) * c_mg / z
+        )
+        steady = (
+            np.maximum(t_lm, np.maximum(t_me, t_mg))
+            * np.maximum(0, n - 1)
+        )
+        total = warmup + steady
+        cost = total + self._dp_sync_batch(
+            tp_me, tp_mg, tp_lm[cand_idx], pp_c, dp_lm[cand_idx],
+            dp_me_c, dp_mg_c,
+        )
+        return (
+            cost, cand_idx, tp_lm[cand_idx], dp_lm[cand_idx], pp_c,
+            dp_me_c, dp_mg_c, convex_solutions,
+        )
+
+    def _memory_ok_batch(
+        self,
+        width: np.ndarray,
+        dp_lm: np.ndarray,
+        pp_lm: np.ndarray,
+        dp_me: np.ndarray,
+        dp_mg: np.ndarray,
+        tp_me: int,
+        tp_mg: int,
+        param_count: float,
+        act_llm: float,
+        trainable_llm: bool,
+    ) -> np.ndarray:
+        """Vectorized :meth:`_memory_ok` over the rounded-combo arrays."""
+        problem = self.problem
+        frozen = problem.frozen
+        M = problem.microbatch_size
+        pipeline_depth = 1 + pp_lm + 1  # pp_me == pp_mg == 1
+
+        ok = self.memory.fits_batch(
+            param_count,
+            act_llm,
+            tp=width,
+            pp=pp_lm,
+            dp=dp_lm,
+            trainable=trainable_llm,
+            in_flight_microbatches=np.minimum(pipeline_depth, pp_lm + 2),
+        )
+        for name, tp, dp in (
+            ("encoder", tp_me, dp_me),
+            ("generator", tp_mg, dp_mg),
+        ):
+            share = np.maximum(1.0, dp_lm * M / dp)
+            act = self._module_activation_batch(name, share)
+            ok &= self.memory.fits_batch(
+                problem.mllm.module(name).param_count(),
+                act,
+                tp=np.full(len(dp), tp, dtype=np.int64),
+                pp=np.ones(len(dp), dtype=np.int64),
+                dp=dp,
+                trainable=frozen.trains(name),
+                in_flight_microbatches=pipeline_depth,
+            )
+        return ok
+
+    def _module_activation_batch(
+        self, name: str, shares: np.ndarray
+    ) -> np.ndarray:
+        """Per-combo activation footprints, memoized per distinct
+        workload share (the expensive model walk happens once)."""
+        problem = self.problem
+        module = problem.mllm.module(name)
+        per_sample = problem.per_sample_workload(name)
+        memo = self._activation_memo
+        uniq, inverse = np.unique(shares, return_inverse=True)
+        values = np.empty(len(uniq))
+        for j, share in enumerate(uniq):
+            key = (name, float(share))
+            cached = memo.get(key)
+            if cached is None:
+                cached = module.activation_bytes(
+                    per_sample.scaled(float(share))
+                )
+                memo[key] = cached
+            values[j] = cached
+        return values[inverse]
+
+    def _dp_sync_term(self, name: str, tp: int, pp: int, dp: int) -> float:
+        """One module's exposed DP sync cost, memoized (see
+        :meth:`_dp_sync_cost`)."""
+        key = (name, tp, pp, dp)
+        cached = self._dp_sync_memo.get(key)
+        if cached is None:
+            module = self.problem.mllm.module(name)
+            shard = module.param_count() / (tp * pp) * 2.0
+            rs = self.collectives.dp_reduce_scatter(shard, dp)
+            ag = self.collectives.dp_allgather(shard, dp)
+            cached = (rs + ag) * DP_SYNC_EXPOSED_FRACTION
+            self._dp_sync_memo[key] = cached
+        return cached
+
+    def _dp_sync_batch(
+        self,
+        tp_me: int,
+        tp_mg: int,
+        tp_lm: np.ndarray,
+        pp_lm: np.ndarray,
+        dp_lm: np.ndarray,
+        dp_me: np.ndarray,
+        dp_mg: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`_dp_sync_cost`, accumulated in the scalar
+        path's module order (encoder, llm, generator)."""
+        frozen = self.problem.frozen
+        total = np.zeros(len(pp_lm))
+        if frozen.trains("encoder"):
+            total = total + np.asarray([
+                self._dp_sync_term("encoder", tp_me, 1, int(dp))
+                for dp in dp_me
+            ])
+        if frozen.trains("llm"):
+            total = total + np.asarray([
+                self._dp_sync_term("llm", int(tp), int(pp), int(dp))
+                for tp, pp, dp in zip(tp_lm, pp_lm, dp_lm)
+            ])
+        if frozen.trains("generator"):
+            total = total + np.asarray([
+                self._dp_sync_term("generator", tp_mg, 1, int(dp))
+                for dp in dp_mg
+            ])
+        return total
 
     # ------------------------------------------------------------------ #
     # Candidate enumeration
@@ -303,136 +729,19 @@ class AdaptiveOrchestrator:
             in_flight_microbatches=4,
         )
 
-    # ------------------------------------------------------------------ #
-    # Convex subproblem
-    # ------------------------------------------------------------------ #
-    def _prepare_candidate(
-        self, candidate: CandidateConfig
-    ) -> Optional[ConvexSolution]:
-        problem = self.problem
-        M = problem.microbatch_size
-        budget = problem.num_gpus
-
-        c_lm = module_sample_time(problem, "llm", candidate.tp_lm)
-        c_me = module_sample_time(problem, "encoder", candidate.tp_me)
-        c_mg = module_sample_time(problem, "generator", candidate.tp_mg)
-
-        y_min = self._llm_min_gpus(candidate)
-        if y_min is None or y_min > budget - 2:
-            return None
-        x_min = float(candidate.tp_me * candidate.pp_me)
-        z_min = float(candidate.tp_mg * candidate.pp_mg)
-        if x_min + y_min + z_min > budget:
-            return None
-
-        dp_lm = candidate.dp_lm
-        num_microbatches = problem.global_batch_size // (dp_lm * M)
-        return solve_resource_split(
-            warm_x=dp_lm * M * candidate.tp_me * candidate.pp_me * c_me,
-            warm_z=dp_lm * M * candidate.tp_mg * candidate.pp_mg * c_mg,
-            steady_x=dp_lm * candidate.tp_me * M * c_me,
-            steady_y=dp_lm * candidate.width_lm * M * c_lm,
-            steady_z=dp_lm * candidate.tp_mg * M * c_mg,
-            num_microbatches=num_microbatches,
-            budget=float(budget),
-            x_min=x_min,
-            y_min=float(y_min),
-            z_min=z_min,
-        )
-
-    def _llm_min_gpus(self, candidate: CandidateConfig) -> Optional[float]:
-        problem = self.problem
-        llm = problem.mllm.llm
-        workload = ModuleWorkload(samples=problem.microbatch_size)
-        try:
-            pp_min = self.memory.min_pp_for_llm(
-                llm,
-                workload,
-                tp=candidate.width_lm,
-                dp=candidate.dp_lm,
-                trainable=problem.frozen.trains("llm"),
-                max_pp=llm.num_layers,
-            )
-        except ValueError:
-            return None
-        pp_min = self._next_feasible_pp(pp_min)
-        if pp_min is None:
-            return None
-        return float(candidate.width_lm * candidate.dp_lm * pp_min)
-
     def _feasible_llm_pps(self) -> List[int]:
-        """Pipeline depths that split the LLM into equal stages."""
-        layers = self.problem.mllm.llm.num_layers
-        chunk = self.problem.vpp
-        return [
-            pp
-            for pp in divisors(layers)
-            if layers % (pp * chunk) == 0 or chunk == 1
-        ]
-
-    def _next_feasible_pp(self, pp_min: int) -> Optional[int]:
-        feasible = [pp for pp in self._feasible_llm_pps() if pp >= pp_min]
-        return min(feasible) if feasible else None
-
-    # ------------------------------------------------------------------ #
-    # Rounding
-    # ------------------------------------------------------------------ #
-    def _round_candidates(
-        self, candidate: CandidateConfig, solution: ConvexSolution
-    ) -> Iterable[Dict[str, ParallelismPlan]]:
-        problem = self.problem
-        budget = problem.num_gpus
-        M = problem.microbatch_size
-
-        per_pipeline = candidate.width_lm * candidate.dp_lm
-        pp_target = solution.y / per_pipeline
-        feasible_pps = self._feasible_llm_pps()
-        pp_options = sorted(
-            {
+        """Pipeline depths that split the LLM into equal stages
+        (computed once per search — the rounding sweep reads it for
+        every candidate)."""
+        if self._feasible_pps is None:
+            layers = self.problem.mllm.llm.num_layers
+            chunk = self.problem.vpp
+            self._feasible_pps = [
                 pp
-                for pp in feasible_pps
-                if pp <= pp_target * 2 + 1
-            },
-            key=lambda pp: abs(pp - pp_target),
-        )[:2]
-
-        def dp_options(target: float) -> List[int]:
-            lo = max(1, int(target))
-            options = {lo, lo + 1}
-            return sorted(options)
-
-        for pp_lm in pp_options:
-            y = per_pipeline * pp_lm
-            for dp_me in dp_options(solution.x / candidate.tp_me):
-                x = dp_me * candidate.tp_me * candidate.pp_me
-                for dp_mg in dp_options(solution.z / candidate.tp_mg):
-                    z = dp_mg * candidate.tp_mg * candidate.pp_mg
-                    if x + y + z > budget:
-                        continue
-                    if not self._memory_ok(candidate, pp_lm, dp_me, dp_mg):
-                        continue
-                    yield {
-                        "encoder": ParallelismPlan(
-                            tp=candidate.tp_me,
-                            pp=candidate.pp_me,
-                            dp=dp_me,
-                            microbatch_size=M,
-                        ),
-                        "llm": ParallelismPlan(
-                            tp=candidate.tp_lm,
-                            pp=pp_lm,
-                            dp=candidate.dp_lm,
-                            vpp=problem.vpp,
-                            ep=candidate.ep_lm,
-                            microbatch_size=M,
-                        ),
-                        "generator": ParallelismPlan(
-                            tp=candidate.tp_mg,
-                            pp=candidate.pp_mg,
-                            dp=dp_mg,
-                            microbatch_size=M,
-                        ),
-                    }
+                for pp in divisors(layers)
+                if layers % (pp * chunk) == 0 or chunk == 1
+            ]
+        return self._feasible_pps
 
     def _memory_ok(
         self,

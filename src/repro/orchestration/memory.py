@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.models.base import ModuleSpec, ModuleWorkload
 
 
@@ -97,6 +99,98 @@ class MemoryModel:
             module, microbatch_workload, tp, in_flight_microbatches
         ) / pp
         return total <= self.capacity
+
+    def fits_batch(
+        self,
+        param_count: float,
+        activation_bytes: np.ndarray,
+        tp: np.ndarray,
+        pp: np.ndarray,
+        dp: np.ndarray,
+        trainable: bool,
+        in_flight_microbatches: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`fits` over arrays of parallelism degrees.
+
+        Takes the module's scalar accounting (``param_count`` and the
+        per-microbatch ``activation_bytes``, possibly an array when the
+        workload varies across the batch) instead of the spec object, so
+        the expensive model walks happen once per search rather than per
+        candidate. Floating-point operations replicate the scalar path's
+        association order exactly — the batched screen is bit-identical
+        to calling :meth:`fits` in a loop.
+        """
+        tp = np.asarray(tp, dtype=float)
+        pp = np.asarray(pp, dtype=float)
+        dp = np.asarray(dp, dtype=float)
+        in_flight = np.asarray(in_flight_microbatches, dtype=float)
+        per_model_parallel = param_count / (tp * pp)
+        static = per_model_parallel * self.param_bytes
+        if trainable:
+            static = static + per_model_parallel * self.grad_bytes
+            static = static + param_count * self.optimizer_bytes / (
+                tp * pp * dp
+            )
+        per_microbatch = np.asarray(activation_bytes, dtype=float) / tp
+        total = static + (per_microbatch * in_flight) / pp
+        return total <= self.capacity
+
+    def min_pp_for_llm_batch(
+        self,
+        param_count: float,
+        activation_bytes: float,
+        tp: np.ndarray,
+        dp: np.ndarray,
+        trainable: bool,
+        max_pp: int,
+    ) -> np.ndarray:
+        """Vectorized :meth:`min_pp_for_llm` over (tp, dp) arrays.
+
+        With ``in_flight = pp`` the activation term is constant in
+        ``pp``, so the smallest feasible depth has the closed form
+        ``ceil(static_numerator / (capacity - activations))``. The
+        analytic guess is then nudged by one exact vectorized
+        feasibility check in each direction, so boundary rounding can
+        never disagree with the scalar loop. Rows that do not fit even
+        at ``max_pp`` (where the scalar path raises) return ``0``.
+        """
+        tp = np.asarray(tp, dtype=float)
+        dp = np.asarray(dp, dtype=float)
+
+        def fits_at(pp: np.ndarray) -> np.ndarray:
+            ok = self.fits_batch(
+                param_count,
+                activation_bytes,
+                tp,
+                np.maximum(pp, 1.0),
+                dp,
+                trainable,
+                in_flight_microbatches=np.maximum(pp, 1.0),
+            )
+            return ok & (pp >= 1.0)
+
+        numer = param_count / tp * self.param_bytes
+        if trainable:
+            numer = numer + param_count / tp * self.grad_bytes
+            numer = numer + param_count * self.optimizer_bytes / (tp * dp)
+        headroom = self.capacity - activation_bytes / tp
+        with np.errstate(divide="ignore", invalid="ignore"):
+            guess = np.where(
+                headroom > 0, np.ceil(numer / headroom), float(max_pp) + 1
+            )
+        guess = np.clip(guess, 1.0, float(max_pp) + 1)
+        # Exact correction: the closed form can disagree with the scalar
+        # predicate only at float boundaries (by one either way); nudge
+        # with the bit-identical feasibility check until settled.
+        for _ in range(3):
+            guess = np.where(fits_at(guess - 1.0), guess - 1.0, guess)
+        for _ in range(3):
+            guess = np.where(fits_at(guess) | (guess > max_pp), guess,
+                             guess + 1.0)
+        result = np.where(
+            (guess <= max_pp) & fits_at(guess), guess, 0.0
+        )
+        return result.astype(np.int64)
 
     def min_pp_for_llm(
         self,

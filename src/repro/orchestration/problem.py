@@ -24,6 +24,12 @@ from repro.timing.profiler import PerformanceProfiler
 from repro.timing.roofline import DEFAULT_EFFICIENCY, EfficiencyModel
 
 
+#: Noise-free profilers shared across problems (see
+#: :meth:`OrchestrationProblem.profiler`).
+_PROFILER_CACHE: Dict[tuple, PerformanceProfiler] = {}
+_PROFILER_CACHE_SIZE = 32
+
+
 @dataclass(frozen=True)
 class SampleProfile:
     """Average per-sample data profile from the manager's data sampling.
@@ -133,8 +139,21 @@ class OrchestrationProblem:
         }
 
     def profiler(self) -> PerformanceProfiler:
-        """Build (once) and return the profiled time functions."""
+        """Build (once) and return the profiled time functions.
+
+        Noise-free profilers are additionally shared process-wide: the
+        trial grid is a pure function of the model, node hardware, and
+        data profile, and elastic re-planning builds hundreds of
+        otherwise-identical problems that differ only in cluster *size*
+        (which the profiler never reads).
+        """
         if self._profiler is None:
+            key = self._profiler_key()
+            if key is not None:
+                cached = _PROFILER_CACHE.get(key)
+                if cached is not None:
+                    self._profiler = cached
+                    return cached
             profiler = PerformanceProfiler(
                 cost_models=self.cost_models(),
                 tp_candidates=tuple(self.tp_candidates),
@@ -151,7 +170,34 @@ class OrchestrationProblem:
                 images_hint=max(1, round(self.profile.images)),
             )
             self._profiler = profiler
+            if key is not None:
+                while len(_PROFILER_CACHE) >= _PROFILER_CACHE_SIZE:
+                    _PROFILER_CACHE.pop(next(iter(_PROFILER_CACHE)))
+                _PROFILER_CACHE[key] = profiler
         return self._profiler
+
+    def _profiler_key(self):
+        """Process-wide profiler cache key, or None when unshareable
+        (noisy trials draw from a per-problem RNG stream; exotic specs
+        may be unhashable)."""
+        if self.profiler_noise_std != 0.0:
+            return None
+        try:
+            # Specs are frozen dataclasses; their reprs are contentful
+            # and deterministic, and stay hashable even when a nested
+            # field (e.g. an efficiency table dict) is not.
+            return (
+                repr(self.mllm),
+                repr(self.cluster.node),
+                tuple(self.tp_candidates),
+                repr(self.efficiency),
+                self.tp_overlap_fraction,
+                self.llm_ep,
+                self.microbatch_size,
+                repr(self.profile),
+            )
+        except Exception:
+            return None
 
     @property
     def num_gpus(self) -> int:

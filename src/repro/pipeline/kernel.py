@@ -54,17 +54,22 @@ ArrayLike = Union[Sequence[Sequence[float]], np.ndarray]
 
 
 @dataclass(frozen=True)
-class _LevelStep:
-    """Precomputed gather indices for one topological level."""
+class _CompiledLevels:
+    """Level-major fused evaluation structure.
 
-    idx: np.ndarray          # ops in this level
-    data_rows: np.ndarray    # rows of ``idx`` that have a data pred
-    data_pred: np.ndarray    # their predecessor op indices
-    data_ops: np.ndarray     # their op indices (``idx[data_rows]``)
-    fwd_rows: np.ndarray
-    fwd_pred: np.ndarray
-    stage_rows: np.ndarray
-    stage_pred: np.ndarray
+    Ops are permuted into level order once; each level is then a
+    contiguous slice, and readiness is one ``(k, 3)`` gather plus a
+    row-max. Column 0 is the data edge, 1 the forward pred, 2 the stage
+    pred; missing predecessors point at the reserved always-zero slot
+    ``num_ops``. ``pred3`` holds *positions in level order*; ``edge_op3``
+    holds original op ids (for per-op delay gathers).
+    """
+
+    order: np.ndarray        # (n,) op ids in level-sorted order
+    bounds: Tuple[int, ...]  # L+1 prefix offsets into ``order``
+    pred3: np.ndarray        # (n, 3) predecessor positions, dummy = n
+    edge_mask3: np.ndarray   # (n, 3) 1.0 exactly at live data edges
+    edge_op3: np.ndarray     # (n, 3) op id at data edges, dummy = n
 
 
 def _schedule_arrays(
@@ -146,7 +151,7 @@ class SimulatorKernel:
     fwd_pred: np.ndarray
     stage_first: np.ndarray   # index of each stage's first op in ``ops``
     stage_count: np.ndarray   # ops per stage
-    levels: Tuple[_LevelStep, ...] = field(repr=False)
+    levels: Optional[_CompiledLevels] = field(repr=False)
 
     @property
     def ops(self) -> Tuple[PipelineOp, ...]:
@@ -231,14 +236,46 @@ class SimulatorKernel:
             fwd_pred=fwd_pred,
             stage_first=stage_first,
             stage_count=stage_count,
-            levels=(),
+            levels=None,
         )
-        levels = cls._levelize(
-            n, stage_prev, data_pred, fwd_pred,
-            lambda i: str(kernel.ops[i]),
-        )
+        levels = None
+        if kind == ScheduleKind.ONE_F_ONE_B and vpp == 1:
+            # 1F1B admits a closed-form valid leveling: forwards run at
+            # logical step ``s + 2m``, backwards at ``2p - s - 1 + 2m``.
+            # Any grouping where every predecessor lands in a strictly
+            # earlier group evaluates bit-identically (op end times are
+            # a pure function of the predecessor arrays), so the
+            # worklist topological sort is unnecessary on the hot shape.
+            level = np.where(
+                op_is_fwd,
+                op_stage + 2 * op_mb,
+                2 * p - op_stage - 1 + 2 * op_mb,
+            ).astype(np.int64)
+            if cls._valid_leveling(level, stage_prev, data_pred, fwd_pred):
+                levels = cls._group_levels(
+                    level, stage_prev, data_pred, fwd_pred
+                )
+        if levels is None:
+            levels = cls._levelize(
+                n, stage_prev, data_pred, fwd_pred,
+                lambda i: str(kernel.ops[i]),
+            )
         object.__setattr__(kernel, "levels", levels)
         return kernel
+
+    @staticmethod
+    def _valid_leveling(
+        level: np.ndarray,
+        stage_prev: np.ndarray,
+        data_pred: np.ndarray,
+        fwd_pred: np.ndarray,
+    ) -> bool:
+        """Every predecessor sits in a strictly earlier level."""
+        for pred in (stage_prev, data_pred, fwd_pred):
+            has = pred >= 0
+            if np.any(level[pred[has]] >= level[has]):
+                return False
+        return True
 
     @staticmethod
     def _levelize(
@@ -247,7 +284,7 @@ class SimulatorKernel:
         data_pred: np.ndarray,
         fwd_pred: np.ndarray,
         describe_op,
-    ) -> Tuple[_LevelStep, ...]:
+    ) -> _CompiledLevels:
         """Levelization: ops grouped so every predecessor is in a
         strictly earlier group. A cycle means the schedule/dependency
         combination is infeasible — same failure the reference worklist
@@ -297,46 +334,68 @@ class SimulatorKernel:
                 )
 
         level_of = [0] * n
-        max_level = 0
         for i in topo:
             lv = -1
             for pred in (sp[i], dp[i], fp[i]):
                 if pred >= 0 and level_of[pred] > lv:
                     lv = level_of[pred]
-            lv += 1
-            level_of[i] = lv
-            if lv > max_level:
-                max_level = lv
+            level_of[i] = lv + 1
         level = np.asarray(level_of, dtype=np.int64)
-
-        # Group ops by level with one stable argsort instead of a
-        # level-equality scan per level.
-        by_level = np.argsort(level, kind="stable")
-        bounds = np.searchsorted(
-            level[by_level], np.arange(max_level + 2) if n else [0]
+        return SimulatorKernel._group_levels(
+            level, stage_prev, data_pred, fwd_pred
         )
-        has_data = data_pred >= 0
-        has_fwd = fwd_pred >= 0
-        has_stage = stage_prev >= 0
-        steps: List[_LevelStep] = []
-        for value in range(max_level + 1 if n else 0):
-            idx = by_level[bounds[value]:bounds[value + 1]]
-            data_rows = np.flatnonzero(has_data[idx])
-            fwd_rows = np.flatnonzero(has_fwd[idx])
-            stage_rows = np.flatnonzero(has_stage[idx])
-            steps.append(
-                _LevelStep(
-                    idx=idx,
-                    data_rows=data_rows,
-                    data_pred=data_pred[idx[data_rows]],
-                    data_ops=idx[data_rows],
-                    fwd_rows=fwd_rows,
-                    fwd_pred=fwd_pred[idx[fwd_rows]],
-                    stage_rows=stage_rows,
-                    stage_pred=stage_prev[idx[stage_rows]],
-                )
+
+    @staticmethod
+    def _group_levels(
+        level: np.ndarray,
+        stage_prev: np.ndarray,
+        data_pred: np.ndarray,
+        fwd_pred: np.ndarray,
+    ) -> _CompiledLevels:
+        """Compile ops into the level-major fused structure.
+
+        One stable argsort permutes the ops into level order; the fused
+        predecessor tables are built with a handful of whole-array
+        passes, and each level is addressed by a contiguous
+        ``bounds[v]:bounds[v+1]`` slice at evaluation time.
+        """
+        n = len(level)
+        if n == 0:
+            return _CompiledLevels(
+                order=np.zeros(0, dtype=np.int64),
+                bounds=(0,),
+                pred3=np.zeros((0, 3), dtype=np.int64),
+                edge_mask3=np.zeros((0, 3)),
+                edge_op3=np.zeros((0, 3), dtype=np.int64),
             )
-        return tuple(steps)
+        order = np.argsort(level, kind="stable")
+        lvl_sorted = level[order]
+        num_levels = int(lvl_sorted[-1]) + 1
+        bounds = tuple(
+            np.searchsorted(lvl_sorted, np.arange(num_levels + 1)).tolist()
+        )
+
+        # Positions in level order (dummy op n maps to dummy slot n).
+        position = np.empty(n + 1, dtype=np.int64)
+        position[order] = np.arange(n, dtype=np.int64)
+        position[n] = n
+
+        pred = np.stack(
+            [data_pred[order], fwd_pred[order], stage_prev[order]], axis=1
+        )
+        has_edge = pred[:, 0] >= 0
+        edge_mask = np.zeros((n, 3))
+        edge_mask[:, 0] = has_edge
+        edge_op = np.full((n, 3), n, dtype=np.int64)
+        edge_op[:, 0] = np.where(has_edge, order, n)
+        pred3 = position[np.where(pred >= 0, pred, n)]
+        return _CompiledLevels(
+            order=order,
+            bounds=bounds,
+            pred3=pred3,
+            edge_mask3=edge_mask,
+            edge_op3=edge_op,
+        )
 
     # ------------------------------------------------------------------ #
     # Duration / delay vectors
@@ -422,24 +481,35 @@ class SimulatorKernel:
         vector aligned with ``ops``.
         """
         n = self.num_ops
+        levels = self.levels
         uniform = np.ndim(delays) == 0
-        start = np.zeros(n)
-        end = np.zeros(n)
-        for step in self.levels:
-            ready = np.zeros(len(step.idx))
-            if len(step.data_rows):
-                edge = delays if uniform else delays[step.data_ops]
-                ready[step.data_rows] = end[step.data_pred] + edge
-            if len(step.fwd_rows):
-                ready[step.fwd_rows] = np.maximum(
-                    ready[step.fwd_rows], end[step.fwd_pred]
-                )
-            if len(step.stage_rows):
-                ready[step.stage_rows] = np.maximum(
-                    ready[step.stage_rows], end[step.stage_pred]
-                )
-            start[step.idx] = ready
-            end[step.idx] = ready + durations[step.idx]
+        # Ops are evaluated in level order (each level one contiguous
+        # slice); one reserved trailing slot stays 0.0 so missing
+        # predecessors gather a zero readiness. Results are scattered
+        # back to op order once at the end.
+        durations_l = np.asarray(durations, dtype=float)[levels.order]
+        start_l = np.zeros(n)
+        end_l = np.zeros(n + 1)
+        pred3 = levels.pred3
+        if uniform:
+            edge3 = levels.edge_mask3 * delays
+        else:
+            delays_ext = np.concatenate(
+                [np.asarray(delays, dtype=float), [0.0]]
+            )
+            edge3 = delays_ext[levels.edge_op3]
+        bounds = levels.bounds
+        reduce_max = np.maximum.reduce
+        for lo, hi in zip(bounds, bounds[1:]):
+            gathered = end_l.take(pred3[lo:hi])
+            gathered += edge3[lo:hi]
+            ready = reduce_max(gathered, 1)
+            start_l[lo:hi] = ready
+            end_l[lo:hi] = ready + durations_l[lo:hi]
+        start = np.empty(n)
+        end = np.empty(n)
+        start[levels.order] = start_l
+        end[levels.order] = end_l[:n]
         return start, end
 
     def evaluate_batch(
@@ -459,25 +529,90 @@ class SimulatorKernel:
                 f"got {durations.shape}"
             )
         batch = durations.shape[0]
+        n = self.num_ops
+        levels = self.levels
         if np.ndim(delays) == 1:
-            delays = np.asarray(delays, dtype=float)[:, None]
-        start = np.zeros((batch, self.num_ops))
-        end = np.zeros((batch, self.num_ops))
-        for step in self.levels:
-            ready = np.zeros((batch, len(step.idx)))
-            if len(step.data_rows):
-                ready[:, step.data_rows] = end[:, step.data_pred] + delays
-            if len(step.fwd_rows):
-                ready[:, step.fwd_rows] = np.maximum(
-                    ready[:, step.fwd_rows], end[:, step.fwd_pred]
-                )
-            if len(step.stage_rows):
-                ready[:, step.stage_rows] = np.maximum(
-                    ready[:, step.stage_rows], end[:, step.stage_pred]
-                )
-            start[:, step.idx] = ready
-            end[:, step.idx] = ready + durations[:, step.idx]
+            delays = np.asarray(delays, dtype=float)[:, None, None]
+        durations_l = durations[:, levels.order]
+        start_l = np.zeros((batch, n))
+        end_l = np.zeros((batch, n + 1))
+        pred3 = levels.pred3
+        edge3 = levels.edge_mask3 * delays
+        bounds = levels.bounds
+        reduce_max = np.maximum.reduce
+        for lo, hi in zip(bounds, bounds[1:]):
+            gathered = end_l[:, pred3[lo:hi]]
+            gathered += edge3[..., lo:hi, :]
+            ready = reduce_max(gathered, 2)
+            start_l[:, lo:hi] = ready
+            end_l[:, lo:hi] = ready + durations_l[:, lo:hi]
+        start = np.empty((batch, n))
+        end = np.empty((batch, n))
+        start[:, levels.order] = start_l
+        end[:, levels.order] = end_l[:, :n]
         return start, end
+
+    def makespan_from_durations(
+        self,
+        durations: np.ndarray,
+        delays: Union[float, np.ndarray] = 0.0,
+    ) -> float:
+        """Makespan of one duration vector, skipping start-time
+        bookkeeping and the op-order scatter (the max is permutation-
+        invariant) — the orchestration refinement's fast path.
+        Bit-identical to ``makespan(evaluate(...)[1])``.
+        """
+        n = self.num_ops
+        levels = self.levels
+        uniform = np.ndim(delays) == 0
+        durations_l = np.asarray(durations, dtype=float)[levels.order]
+        end_l = np.zeros(n + 1)
+        pred3 = levels.pred3
+        if uniform:
+            edge3 = levels.edge_mask3 * delays
+        else:
+            delays_ext = np.concatenate(
+                [np.asarray(delays, dtype=float), [0.0]]
+            )
+            edge3 = delays_ext[levels.edge_op3]
+        bounds = levels.bounds
+        reduce_max = np.maximum.reduce
+        for lo, hi in zip(bounds, bounds[1:]):
+            gathered = end_l.take(pred3[lo:hi])
+            gathered += edge3[lo:hi]
+            end_l[lo:hi] = reduce_max(gathered, 1) + durations_l[lo:hi]
+        return float(end_l[:n].max()) if n else 0.0
+
+    def makespans_from_durations(
+        self,
+        durations: np.ndarray,
+        delays: Union[float, np.ndarray] = 0.0,
+    ) -> np.ndarray:
+        """Batched :meth:`makespan_from_durations` over ``(B, n)``
+        durations (bit-identical to ``makespans(evaluate_batch(...)[1])``).
+        """
+        durations = np.asarray(durations, dtype=float)
+        if durations.ndim != 2 or durations.shape[1] != self.num_ops:
+            raise ValueError(
+                f"expected (B, {self.num_ops}) durations, "
+                f"got {durations.shape}"
+            )
+        batch = durations.shape[0]
+        n = self.num_ops
+        levels = self.levels
+        if np.ndim(delays) == 1:
+            delays = np.asarray(delays, dtype=float)[:, None, None]
+        durations_l = durations[:, levels.order]
+        end_l = np.zeros((batch, n + 1))
+        pred3 = levels.pred3
+        edge3 = levels.edge_mask3 * delays
+        bounds = levels.bounds
+        reduce_max = np.maximum.reduce
+        for lo, hi in zip(bounds, bounds[1:]):
+            gathered = end_l[:, pred3[lo:hi]]
+            gathered += edge3[..., lo:hi, :]
+            end_l[:, lo:hi] = reduce_max(gathered, 2) + durations_l[:, lo:hi]
+        return end_l[:, :n].max(axis=1)
 
     # ------------------------------------------------------------------ #
     # Derived quantities (trace-free fast paths)

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.config import DistTrainConfig
 from repro.data.synthetic import SyntheticMultimodalDataset
+from repro.orchestration.plancache import PLAN_CACHE, planning_signature
 from repro.runtime.checkpoint import AsyncCheckpointer, CheckpointConfig
 from repro.runtime.iteration import IterationResult, PreparedIteration
 from repro.runtime.trainer import build_checkpointer
@@ -45,30 +46,31 @@ MAX_FAILURES = 10_000
 _FAILURE_STREAM = 0
 _STRAGGLER_STREAM = 1
 
-#: Orchestrations solved once per (task, cluster size) process-wide:
-#: scenario sweeps re-plan the same shrunk clusters constantly, and the
-#: solve is the only expensive step the engine repeats across runs.
-_ORCHESTRATION_CACHE: Dict[Tuple[str, int], Any] = {}
-_ORCHESTRATION_CACHE_SIZE = 64
+def _cached_orchestration(
+    config: DistTrainConfig, num_gpus: int, use_cache: bool = True
+):
+    """Plan (or elastically re-plan) through the process-wide
+    :data:`~repro.orchestration.plancache.PLAN_CACHE`.
 
+    Returns ``(orchestration, was_cache_hit)``. Both the full-size
+    ``plan`` and the elastic re-plan land on the same keyed store
+    ``core.api.replan`` uses, so every distinct (task, cluster size) is
+    solved once per process; ``use_cache=False`` scopes the bypass to
+    this call without disturbing concurrent cache users.
+    """
+    from repro.core.api import _replan_uncached, plan
 
-def _cached_orchestration(config: DistTrainConfig, num_gpus: int):
-    """Plan (or elastically re-plan) with process-wide memoization."""
-    from repro.core.api import plan, replan
-    from repro.experiments.spec import config_hash
-
-    key = (config_hash(config), num_gpus)
-    hit = _ORCHESTRATION_CACHE.get(key)
-    if hit is not None:
-        return hit
-    if num_gpus == config.cluster.num_gpus:
-        result = plan(config)
+    if num_gpus != config.cluster.num_gpus:
+        def compute():
+            return _replan_uncached(config, num_gpus)
     else:
-        result = replan(config, num_gpus)
-    while len(_ORCHESTRATION_CACHE) >= _ORCHESTRATION_CACHE_SIZE:
-        _ORCHESTRATION_CACHE.pop(next(iter(_ORCHESTRATION_CACHE)))
-    _ORCHESTRATION_CACHE[key] = result
-    return result
+        def compute():
+            return plan(config)
+    return PLAN_CACHE.fetch(
+        planning_signature(config, num_gpus),
+        compute,
+        bypass=not use_cache,
+    )
 
 
 @dataclass
@@ -109,6 +111,14 @@ class ScenarioResult:
     mfu_trajectory: np.ndarray
     iteration_times: np.ndarray
     events: EventTrace
+    #: Plan-lookup accounting for this run: a hit is an orchestration
+    #: that was needed (initial plan, elastic shrink, repair re-growth)
+    #: and found already solved — in this engine's per-size state table
+    #: or the process-wide plan cache; a miss ran the full search.
+    #: Process-state dependent, so deliberately NOT part of
+    #: :meth:`metrics` (which must stay a pure function of the task).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     @property
     def goodput(self) -> float:
@@ -162,6 +172,10 @@ class ScenarioEngine:
             built from ``scenario.checkpoint_interval`` — e.g. the
             policy a :class:`~repro.runtime.manager.DistTrainManager`
             was constructed with.
+        use_plan_cache: When False, bypass the process-wide plan cache
+            and re-run every orchestration search from scratch (the
+            replan-cache correctness suite compares both modes
+            byte-for-byte).
     """
 
     def __init__(
@@ -169,14 +183,18 @@ class ScenarioEngine:
         config: DistTrainConfig,
         scenario: ScenarioSpec,
         checkpoint: Optional[CheckpointConfig] = None,
+        use_plan_cache: bool = True,
     ):
         self.config = config
         self.scenario = scenario
         self.checkpoint = checkpoint or CheckpointConfig(
             interval_iterations=scenario.checkpoint_interval
         )
+        self.use_plan_cache = use_plan_cache
         self._states: Dict[int, _ClusterState] = {}
         self._batches: Optional[List[List[Any]]] = None
+        self._plan_hits = 0
+        self._plan_misses = 0
 
     # ------------------------------------------------------------------ #
     # Cluster-state memoization
@@ -206,10 +224,19 @@ class ScenarioEngine:
     def _state(self, num_gpus: int) -> _ClusterState:
         state = self._states.get(num_gpus)
         if state is not None:
+            # Already built this run — the plan (and prepared batches)
+            # are reused without touching the orchestrator.
+            self._plan_hits += 1
             return state
         from repro.core.api import build_simulator
 
-        orchestration = _cached_orchestration(self.config, num_gpus)
+        orchestration, was_hit = _cached_orchestration(
+            self.config, num_gpus, use_cache=self.use_plan_cache
+        )
+        if was_hit:
+            self._plan_hits += 1
+        else:
+            self._plan_misses += 1
         if num_gpus == self.config.cluster.num_gpus:
             sim_config = self.config
         else:
@@ -322,6 +349,8 @@ class ScenarioEngine:
         failure_model = None if replaying else spec.failure_model()
         failure_rng = np.random.default_rng([spec.seed, _FAILURE_STREAM])
 
+        plan_hits_at_start = self._plan_hits
+        plan_misses_at_start = self._plan_misses
         state = self._state(full_gpus)
         ckpt_config = self.checkpoint
         checkpointer = build_checkpointer(
@@ -493,6 +522,8 @@ class ScenarioEngine:
             mfu_trajectory=mfu_traj,
             iteration_times=times,
             events=EventTrace(sampled_events),
+            plan_cache_hits=self._plan_hits - plan_hits_at_start,
+            plan_cache_misses=self._plan_misses - plan_misses_at_start,
         )
 
     # ------------------------------------------------------------------ #

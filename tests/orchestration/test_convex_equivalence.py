@@ -1,0 +1,266 @@
+"""Equivalence suite: the batched analytic solver vs the SLSQP oracle.
+
+The analytic engine (:func:`solve_resource_split_batch`) enumerates KKT
+active-set patterns in closed form; SLSQP
+(:func:`solve_resource_split`) is the retained oracle, mirroring the
+kernel's ``run_reference`` pattern. Three layers of evidence:
+
+* **hypothesis sweep** — randomized coefficients, budgets, microbatch
+  counts, and floors: the analytic optimum respects every constraint,
+  never does worse than the oracle, and cannot be improved by local
+  feasible perturbations (a KKT probe that needs no oracle at all);
+* **active-set corner cases** — each closed-form pattern pinned by a
+  directed example (budget-exhausting floors, warm-up-only ``n = 1``,
+  steady-dominated, floor-pinned sides);
+* **plan identity** — the full adaptive search run with
+  ``solver="analytic"`` and ``solver="slsqp"`` picks identical plans
+  (or objective-equal within 1e-9) on the existing cluster/model
+  matrix.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orchestration.adaptive import AdaptiveOrchestrator
+from repro.orchestration.convex import (
+    solve_resource_split,
+    solve_resource_split_batch,
+)
+
+positive = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+floors = st.floats(
+    min_value=0.5, max_value=8.0, allow_nan=False, allow_infinity=False
+)
+
+
+def true_objective(Wx, Wz, B, A, C, n_mb, x, y, z):
+    n = max(0, n_mb - 1)
+    return Wx / x + Wz / z + n * max(B / x, A / y, C / z)
+
+
+class TestAnalyticVsOracle:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        Wx=positive, Wz=positive, B=positive, A=positive, C=positive,
+        n_mb=st.integers(min_value=1, max_value=96),
+        xm=floors, ym=floors, zm=floors,
+        slack=st.floats(min_value=1.0, max_value=40.0),
+    )
+    def test_never_worse_than_slsqp(
+        self, Wx, Wz, B, A, C, n_mb, xm, ym, zm, slack
+    ):
+        budget = (xm + ym + zm) * slack
+        batch = solve_resource_split_batch(
+            Wx, Wz, B, A, C, n_mb, budget, xm, ym, zm
+        )
+        x, y, z = float(batch.x[0]), float(batch.y[0]), float(batch.z[0])
+        obj = float(batch.objective[0])
+
+        # Feasibility: floors and budget respected (same tolerance the
+        # oracle's own tests use).
+        assert x >= xm - 1e-6 and y >= ym - 1e-6 and z >= zm - 1e-6
+        assert x + y + z <= budget + 1e-6
+        # The reported objective is the true objective at the point.
+        assert obj == pytest.approx(
+            true_objective(Wx, Wz, B, A, C, n_mb, x, y, z), rel=1e-9
+        )
+
+        oracle = solve_resource_split(
+            Wx, Wz, B, A, C, n_mb, budget, xm, ym, zm
+        )
+        # The closed-form optimum never does worse than the oracle —
+        # when the oracle produced a meaningful answer. SLSQP overruns
+        # constraints within its own tolerance (~1e-7 of budget), which
+        # at steep gradients buys it real objective (credited below with
+        # a first-order sensitivity bound); and on degenerate problems
+        # (e.g. a single-point feasible set) it can fail outright with a
+        # wildly infeasible iterate, where no comparison is meaningful.
+        ox, oy, oz = oracle.x, oracle.y, oracle.z
+        violation = (
+            max(0.0, ox + oy + oz - budget)
+            + max(0.0, xm - ox)
+            + max(0.0, ym - oy)
+            + max(0.0, zm - oz)
+        )
+        if oracle.converged and violation <= 1e-5 * budget:
+            n = max(0, n_mb - 1)
+            sensitivity = violation * (
+                Wx / ox**2 + Wz / oz**2
+                + n * (A / oy**2 + B / ox**2 + C / oz**2)
+            )
+            scale = max(abs(oracle.objective), 1.0)
+            assert obj <= oracle.objective + sensitivity + 1e-7 * scale
+        # No reverse assertion: a "converged" SLSQP is not necessarily
+        # optimal — with n_mb = 1 (or a slack epigraph) the problem is
+        # flat in y and SLSQP legitimately stops at wasteful points the
+        # analytic solver improves on. Analytic optimality is pinned by
+        # the never-worse direction plus the KKT perturbation probe.
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        Wx=positive, Wz=positive, B=positive, A=positive, C=positive,
+        n_mb=st.integers(min_value=1, max_value=96),
+        xm=floors, ym=floors, zm=floors,
+        slack=st.floats(min_value=1.0, max_value=40.0),
+    )
+    def test_local_optimality_probe(
+        self, Wx, Wz, B, A, C, n_mb, xm, ym, zm, slack
+    ):
+        """KKT check without the oracle: no small feasible reallocation
+        between any pair of variables improves the objective."""
+        budget = (xm + ym + zm) * slack
+        batch = solve_resource_split_batch(
+            Wx, Wz, B, A, C, n_mb, budget, xm, ym, zm
+        )
+        x, y, z = float(batch.x[0]), float(batch.y[0]), float(batch.z[0])
+        base = true_objective(Wx, Wz, B, A, C, n_mb, x, y, z)
+        eps = 1e-4 * budget
+        moves = [
+            (dx, dy, dz)
+            for dx, dy, dz in (
+                (eps, -eps, 0), (-eps, eps, 0), (eps, 0, -eps),
+                (-eps, 0, eps), (0, eps, -eps), (0, -eps, eps),
+            )
+        ]
+        for dx, dy, dz in moves:
+            nx, ny, nz = x + dx, y + dy, z + dz
+            if nx < xm or ny < ym or nz < zm:
+                continue
+            perturbed = true_objective(Wx, Wz, B, A, C, n_mb, nx, ny, nz)
+            # First-order optimality: improvements, if any, vanish
+            # faster than the step (tolerance ~ eps^2 curvature).
+            assert perturbed >= base - 1e-6 * max(base, 1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                positive, positive, positive, positive, positive,
+                st.integers(min_value=1, max_value=64),
+                floors, floors, floors,
+                st.floats(min_value=1.0, max_value=30.0),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_batch_matches_elementwise(self, data):
+        """Solving B rows at once equals solving each row alone."""
+        Wx, Wz, B, A, C, n_mb, xm, ym, zm, slack = map(
+            np.asarray, zip(*data)
+        )
+        budget = (xm + ym + zm) * slack
+        batched = solve_resource_split_batch(
+            Wx, Wz, B, A, C, n_mb, budget, xm, ym, zm
+        )
+        for i in range(len(data)):
+            single = solve_resource_split_batch(
+                Wx[i], Wz[i], B[i], A[i], C[i], int(n_mb[i]),
+                float(budget[i]), xm[i], ym[i], zm[i],
+            )
+            assert batched.x[i] == single.x[0]
+            assert batched.y[i] == single.y[0]
+            assert batched.z[i] == single.z[0]
+            assert batched.objective[i] == single.objective[0]
+
+
+class TestActiveSetCorners:
+    def solve_pair(self, **kw):
+        defaults = dict(
+            warm_x=1.0, warm_z=1.0, steady_x=5.0, steady_y=50.0,
+            steady_z=5.0, num_microbatches=20, budget=100.0,
+            x_min=1.0, y_min=1.0, z_min=1.0,
+        )
+        defaults.update(kw)
+        batch = solve_resource_split_batch(**defaults)
+        oracle = solve_resource_split(**defaults)
+        return batch, oracle
+
+    def test_floors_exhaust_budget(self):
+        batch, _ = self.solve_pair(
+            budget=30.0, x_min=10.0, y_min=10.0, z_min=10.0
+        )
+        assert batch.x[0] == pytest.approx(10.0)
+        assert batch.y[0] == pytest.approx(10.0)
+        assert batch.z[0] == pytest.approx(10.0)
+
+    def test_warmup_only_single_microbatch(self):
+        """n = 1: the steady term vanishes; y drops to its floor and the
+        remainder splits between x and z by the square-root rule."""
+        batch, oracle = self.solve_pair(
+            num_microbatches=1, warm_x=4.0, warm_z=1.0, y_min=2.0
+        )
+        assert batch.y[0] == pytest.approx(2.0)
+        # sqrt-rule: x/z = sqrt(4)/sqrt(1) = 2.
+        assert batch.x[0] / batch.z[0] == pytest.approx(2.0, rel=1e-6)
+        assert batch.objective[0] <= oracle.objective + 1e-9
+
+    def test_steady_dominated_waterfills(self):
+        """Huge n: warm-up is negligible and the split approaches the
+        three-way waterfilling ratio."""
+        batch, _ = self.solve_pair(
+            num_microbatches=10_000, warm_x=1e-6, warm_z=1e-6,
+            steady_x=10.0, steady_y=80.0, steady_z=10.0,
+        )
+        assert batch.x[0] == pytest.approx(10.0, rel=1e-3)
+        assert batch.y[0] == pytest.approx(80.0, rel=1e-3)
+        assert batch.z[0] == pytest.approx(10.0, rel=1e-3)
+
+    def test_floor_pinned_side(self):
+        batch, oracle = self.solve_pair(x_min=30.0)
+        assert batch.x[0] >= 30.0 - 1e-9
+        assert batch.objective[0] <= oracle.objective + 1e-9
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(ValueError):
+            solve_resource_split_batch(
+                1.0, 1.0, 5.0, 50.0, 5.0, 20, budget=2.0,
+                x_min=1.0, y_min=1.0, z_min=1.0,
+            )
+
+    def test_mixed_feasible_infeasible_batch_raises(self):
+        with pytest.raises(ValueError):
+            solve_resource_split_batch(
+                np.array([1.0, 1.0]),
+                np.array([1.0, 1.0]),
+                np.array([5.0, 5.0]),
+                np.array([50.0, 50.0]),
+                np.array([5.0, 5.0]),
+                np.array([20, 20]),
+                budget=np.array([100.0, 2.0]),
+            )
+
+
+class TestPlanIdentity:
+    """The full search picks the same plan under both solvers."""
+
+    @pytest.fixture(scope="class")
+    def problems(self, problem_9b, problem_72b):
+        return {"9b@48": problem_9b, "72b@96": problem_72b}
+
+    @pytest.mark.parametrize("key", ["9b@48", "72b@96"])
+    def test_analytic_matches_slsqp_plan(self, problems, key):
+        problem = problems[key]
+        analytic = AdaptiveOrchestrator(problem, solver="analytic").plan()
+        oracle = AdaptiveOrchestrator(problem, solver="slsqp").plan()
+        same_plan = (
+            analytic.plan.plans["encoder"] == oracle.plan.plans["encoder"]
+            and analytic.plan.plans["llm"] == oracle.plan.plans["llm"]
+            and analytic.plan.plans["generator"]
+            == oracle.plan.plans["generator"]
+        )
+        objective_equal = analytic.breakdown.total == pytest.approx(
+            oracle.breakdown.total, abs=1e-9
+        )
+        assert same_plan or objective_equal
+        # Same candidate enumeration either way.
+        assert analytic.convex_solutions == oracle.convex_solutions
+        assert analytic.candidates_evaluated == oracle.candidates_evaluated
+
+    def test_unknown_solver_rejected(self, problem_9b):
+        with pytest.raises(ValueError):
+            AdaptiveOrchestrator(problem_9b, solver="cvxpy")

@@ -1,5 +1,7 @@
 """GPU memory feasibility tests."""
 
+import numpy as np
+
 import pytest
 
 from repro.cluster.gpu import AMPERE_A100_80G
@@ -90,3 +92,65 @@ class TestMinPP:
         with pytest.raises(ValueError):
             tiny.min_pp_for_llm(LLAMA3_70B, W, tp=1, dp=1, trainable=True,
                                 max_pp=4)
+
+
+class TestBatchEquivalence:
+    """The vectorized screens are bit-identical to the scalar loops."""
+
+    @pytest.mark.parametrize("module", [LLAMA3_7B, LLAMA3_70B])
+    @pytest.mark.parametrize("trainable", [True, False])
+    def test_fits_batch_matches_scalar(self, module, trainable):
+        params = module.param_count()
+        act = module.activation_bytes(W)
+        tps, pps, dps, flights = [], [], [], []
+        expected = []
+        for tp in (1, 2, 4, 8):
+            for pp in (1, 2, 5, 10, 40):
+                for dp in (1, 3, 16):
+                    in_flight = min(pp + 2, 12)
+                    tps.append(tp)
+                    pps.append(pp)
+                    dps.append(dp)
+                    flights.append(in_flight)
+                    expected.append(MEMORY.fits(
+                        module, W, tp=tp, pp=pp, dp=dp,
+                        trainable=trainable,
+                        in_flight_microbatches=in_flight,
+                    ))
+        got = MEMORY.fits_batch(
+            params, act, np.array(tps), np.array(pps), np.array(dps),
+            trainable, np.array(flights),
+        )
+        assert got.tolist() == expected
+
+    @pytest.mark.parametrize("trainable", [True, False])
+    def test_min_pp_batch_matches_scalar(self, trainable):
+        module = LLAMA3_70B
+        params = module.param_count()
+        act = module.activation_bytes(W)
+        tps, dps, expected = [], [], []
+        for tp in (1, 2, 4, 8, 16):
+            for dp in (1, 2, 4, 8, 30, 240):
+                tps.append(tp)
+                dps.append(dp)
+                try:
+                    expected.append(MEMORY.min_pp_for_llm(
+                        module, W, tp=tp, dp=dp, trainable=trainable,
+                        max_pp=module.num_layers,
+                    ))
+                except ValueError:
+                    expected.append(0)
+        got = MEMORY.min_pp_for_llm_batch(
+            params, act, np.array(tps), np.array(dps), trainable,
+            max_pp=module.num_layers,
+        )
+        assert got.tolist() == expected
+
+    def test_min_pp_batch_unfittable_returns_zero(self):
+        tiny = MemoryModel(gpu_memory_bytes=1024**3)
+        got = tiny.min_pp_for_llm_batch(
+            LLAMA3_70B.param_count(),
+            LLAMA3_70B.activation_bytes(W),
+            np.array([1]), np.array([1]), True, max_pp=4,
+        )
+        assert got.tolist() == [0]

@@ -151,3 +151,33 @@ def test_batched_shape_validation():
         kernel.evaluate_batch(np.zeros((2, kernel.num_ops + 1)))
     with pytest.raises(ValueError):
         sim.simulate_many([StageWork(duration=lambda op: 1.0)])
+
+
+@pytest.mark.parametrize(
+    "kind,p,n,vpp",
+    [
+        (ScheduleKind.ONE_F_ONE_B, 1, 1, 1),
+        (ScheduleKind.ONE_F_ONE_B, 4, 3, 1),
+        (ScheduleKind.ONE_F_ONE_B, 7, 14, 1),
+        (ScheduleKind.ONE_F_ONE_B, 12, 24, 1),
+        (ScheduleKind.GPIPE, 4, 6, 1),
+        (ScheduleKind.INTERLEAVED, 3, 6, 2),
+    ],
+)
+def test_makespan_only_paths_match_evaluate(kind, p, n, vpp):
+    """The makespan-only entry points (the orchestration refinement's
+    fast path) are bit-identical to ``makespan(evaluate(...)[1])`` for
+    every delay form they accept."""
+    kernel = get_kernel(kind, p, n, vpp)
+    rng = np.random.default_rng(p * 1000 + n)
+    durations = rng.uniform(0.0, 1.0, kernel.num_ops)
+    per_op = rng.uniform(0.0, 0.1, kernel.num_ops)
+    for delays in (0.0, 0.37, per_op):
+        expected = kernel.makespan(kernel.evaluate(durations, delays)[1])
+        assert kernel.makespan_from_durations(durations, delays) == expected
+
+    batch = rng.uniform(0.0, 1.0, (3, kernel.num_ops))
+    for delays in (0.0, 0.37, rng.uniform(0.0, 0.1, 3)):
+        expected = kernel.makespans(kernel.evaluate_batch(batch, delays)[1])
+        got = kernel.makespans_from_durations(batch, delays)
+        assert np.array_equal(got, expected)

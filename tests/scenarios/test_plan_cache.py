@@ -1,0 +1,168 @@
+"""Replan-cache correctness: caching never changes scenario physics.
+
+A failure/repair oscillation visits the same cluster sizes repeatedly;
+the process-wide plan cache must make that cheaper without perturbing a
+single metric byte, and the hit/miss counters on
+:class:`~repro.scenarios.engine.ScenarioResult` must account for every
+orchestration the timeline needed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.orchestration.plancache import (
+    PLAN_CACHE,
+    PlanCache,
+    planning_signature,
+)
+from repro.scenarios import EventTrace, ScenarioSpec
+from repro.scenarios.engine import ScenarioEngine
+from repro.scenarios.events import FailureEvent
+
+from tests.scenarios.conftest import FAST_RECOVERY
+
+
+def oscillation_spec() -> ScenarioSpec:
+    """fail -> shrink -> repair -> re-grow -> fail -> shrink again.
+
+    Two explicit failures with a repair window between them, elastic
+    scheduling on: the engine plans the full cluster, the shrunken
+    cluster, the full cluster again (repair), and the shrunken cluster
+    again — only two *distinct* sizes.
+    """
+    return ScenarioSpec(
+        num_iterations=40,
+        checkpoint_interval=10,
+        elastic=True,
+        repair_seconds=120.0,
+        replan_seconds=5.0,
+        events=EventTrace([
+            FailureEvent(time_s=30.0),
+            FailureEvent(time_s=160.0),
+        ]),
+        **FAST_RECOVERY,
+    )
+
+
+def snapshot(result):
+    """Everything that must not depend on caching."""
+    return (
+        result.metrics(),
+        result.iteration_times.tobytes(),
+        result.mfu_trajectory.tobytes(),
+        [repr(e) for e in result.events],
+    )
+
+
+class TestCacheTransparency:
+    def test_cache_on_off_byte_identical(self, small_config):
+        spec = oscillation_spec()
+        PLAN_CACHE.clear()
+        cached = ScenarioEngine(
+            small_config, spec, use_plan_cache=True
+        ).run()
+        uncached = ScenarioEngine(
+            small_config, spec, use_plan_cache=False
+        ).run()
+        assert snapshot(cached) == snapshot(uncached)
+
+    def test_oscillation_hit_counts(self, small_config):
+        spec = oscillation_spec()
+        PLAN_CACHE.clear()
+        first = ScenarioEngine(small_config, spec).run()
+        # shrink -> re-grow -> shrink again: three membership changes
+        # over just two distinct cluster sizes.
+        assert first.num_replans == 3
+        assert first.min_gpus == 40 and first.initial_gpus == 48
+        # Each distinct size is solved exactly once; every further plan
+        # need (the elastic feasibility probe, the repair re-growth, the
+        # second shrink) is a cache hit.
+        assert first.plan_cache_misses == 2
+        assert first.plan_cache_hits == 4
+
+        # A second engine (fresh per-size state, same process) finds
+        # every plan already cached.
+        second = ScenarioEngine(small_config, spec).run()
+        assert second.plan_cache_misses == 0
+        assert second.plan_cache_hits == 6
+        assert snapshot(first) == snapshot(second)
+
+    def test_cache_off_counts_every_solve_as_miss(self, small_config):
+        spec = oscillation_spec()
+        result = ScenarioEngine(
+            small_config, spec, use_plan_cache=False
+        ).run()
+        # Distinct sizes are still memoized per engine (state table),
+        # but nothing comes from (or goes into) the process cache.
+        assert result.plan_cache_misses == 2
+        hits, misses = PLAN_CACHE.stats()
+        before = (hits, misses)
+        ScenarioEngine(small_config, spec, use_plan_cache=False).run()
+        assert PLAN_CACHE.stats() == before
+
+
+class TestPlanCacheUnit:
+    def test_counts_and_eviction(self):
+        cache = PlanCache(maxsize=2)
+        calls = []
+
+        def compute(v):
+            return lambda: calls.append(v) or v
+
+        assert cache.get_or_compute("a", compute(1)) == 1
+        assert cache.get_or_compute("a", compute(99)) == 1
+        assert cache.stats() == (1, 1)
+        cache.get_or_compute("b", compute(2))
+        cache.get_or_compute("c", compute(3))  # evicts "a" (FIFO)
+        assert cache.lookup("a") is None
+        assert len(cache) == 2
+
+    def test_fetch_reports_hit_flag(self):
+        cache = PlanCache()
+        assert cache.fetch("k", lambda: 7) == (7, False)
+        assert cache.fetch("k", lambda: 99) == (7, True)
+        assert cache.stats() == (1, 1)
+
+    def test_fetch_per_call_bypass(self):
+        cache = PlanCache()
+        cache.fetch("k", lambda: 7)
+        # A bypassed call neither reads nor writes nor counts — and
+        # does not disturb other users of the same cache.
+        assert cache.fetch("k", lambda: 99, bypass=True) == (99, False)
+        assert cache.stats() == (0, 1)
+        assert cache.fetch("k", lambda: 5) == (7, True)
+
+    def test_failed_compute_not_cached(self):
+        cache = PlanCache()
+
+        def boom():
+            raise RuntimeError("infeasible")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", boom)
+        assert cache.lookup("k") is None
+        # The miss was never recorded for a failed solve.
+        assert cache.stats() == (0, 0)
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+
+    def test_planning_signature_tracks_config_and_size(self, small_config):
+        a = planning_signature(small_config, 48)
+        b = planning_signature(small_config, 40)
+        c = planning_signature(small_config.with_(global_batch_size=32), 48)
+        assert a != b and a != c
+        assert a == planning_signature(small_config, 48)
+
+
+class TestReplanCachedAtApiLevel:
+    def test_api_replan_hits_cache(self, small_config):
+        from repro.core import api
+
+        PLAN_CACHE.clear()
+        first = api.replan(small_config, 40)
+        hits0, misses0 = PLAN_CACHE.stats()
+        again = api.replan(small_config, 40)
+        assert again is first
+        assert PLAN_CACHE.stats() == (hits0 + 1, misses0)

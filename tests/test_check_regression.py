@@ -1,0 +1,131 @@
+"""Benchmark-guard behavior: a tracked name can never silently vanish.
+
+The guard script is plain (not a package); load it by file path. The
+expensive calibration workload is stubbed out — these tests pin the
+bookkeeping, not machine speed.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+GUARD_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_regression.py"
+)
+
+
+@pytest.fixture()
+def guard(monkeypatch):
+    spec = importlib.util.spec_from_file_location(
+        "check_regression_under_test", GUARD_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "calibration_score", lambda repeats=5: 1.0)
+    return module
+
+
+def write_report(path: Path, means: dict) -> Path:
+    path.write_text(json.dumps({
+        "benchmarks": [
+            {"name": f"benchmarks/x.py::{name}", "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }))
+    return path
+
+
+def full_means(guard, value: float = 0.01) -> dict:
+    return {name: value for name in guard.TRACKED}
+
+
+class TestKExpression:
+    def test_brackets_stripped_and_deduplicated(self, guard):
+        expr = guard.k_expression()
+        assert "[" not in expr and "]" not in expr
+        terms = expr.split(" or ")
+        assert len(terms) == len(set(terms))
+        # Every tracked name is selectable through its base term.
+        for name in guard.TRACKED:
+            assert name.split("[", 1)[0] in terms
+
+    def test_print_k_flag(self, guard, capsys):
+        assert guard.main(["--print-k"]) == 0
+        assert capsys.readouterr().out.strip() == guard.k_expression()
+
+
+class TestMissingNamesFailLoudly:
+    def test_report_missing_tracked_benchmark(self, guard, tmp_path):
+        means = full_means(guard)
+        means.pop(guard.TRACKED[0])
+        report = write_report(tmp_path / "r.json", means)
+        baseline = tmp_path / "b.json"
+        baseline.write_text(json.dumps({
+            "calibration_seconds": 1.0,
+            "means_seconds": full_means(guard),
+        }))
+        assert guard.main(
+            [str(report), "--baseline", str(baseline)]
+        ) == 2
+
+    def test_baseline_missing_tracked_benchmark(self, guard, tmp_path, capsys):
+        report = write_report(tmp_path / "r.json", full_means(guard))
+        stale = full_means(guard)
+        stale.pop(guard.TRACKED[-1])
+        baseline = tmp_path / "b.json"
+        baseline.write_text(json.dumps({
+            "calibration_seconds": 1.0,
+            "means_seconds": stale,
+        }))
+        assert guard.main(
+            [str(report), "--baseline", str(baseline)]
+        ) == 2
+        assert "re-bless" in capsys.readouterr().err
+
+    def test_update_rejects_partial_report(self, guard, tmp_path):
+        means = full_means(guard)
+        means.pop(guard.TRACKED[0])
+        report = write_report(tmp_path / "r.json", means)
+        assert guard.main(
+            [str(report), "--baseline", str(tmp_path / "b.json"),
+             "--update"]
+        ) == 2
+
+
+class TestCheckAndUpdate:
+    def test_roundtrip_within_budget(self, guard, tmp_path):
+        report = write_report(tmp_path / "r.json", full_means(guard))
+        baseline = tmp_path / "b.json"
+        assert guard.main(
+            [str(report), "--baseline", str(baseline), "--update"]
+        ) == 0
+        assert guard.main([str(report), "--baseline", str(baseline)]) == 0
+
+    def test_regression_detected(self, guard, tmp_path):
+        baseline = tmp_path / "b.json"
+        write_report(tmp_path / "base.json", full_means(guard, 0.01))
+        assert guard.main(
+            [str(tmp_path / "base.json"), "--baseline", str(baseline),
+             "--update"]
+        ) == 0
+        slow = write_report(
+            tmp_path / "slow.json", full_means(guard, 0.02)
+        )
+        assert guard.main([str(slow), "--baseline", str(baseline)]) == 1
+
+    def test_update_takes_worst_envelope(self, guard, tmp_path):
+        fast = write_report(tmp_path / "f.json", full_means(guard, 0.01))
+        slow = write_report(tmp_path / "s.json", full_means(guard, 0.03))
+        baseline = tmp_path / "b.json"
+        assert guard.main(
+            [str(fast), str(slow), "--baseline", str(baseline), "--update"]
+        ) == 0
+        blessed = json.loads(baseline.read_text())
+        assert all(
+            mean == 0.03 for mean in blessed["means_seconds"].values()
+        )
