@@ -26,6 +26,7 @@ from repro.experiments import (
     ZippedAxes,
 )
 from repro.scenarios import EventTrace, ScenarioSpec, run_scenario
+from repro.fleet import FleetJobSpec, FleetSpec, run_fleet
 
 __all__ = [
     "DistTrainConfig",
@@ -42,5 +43,8 @@ __all__ = [
     "EventTrace",
     "ScenarioSpec",
     "run_scenario",
+    "FleetJobSpec",
+    "FleetSpec",
+    "run_fleet",
     "__version__",
 ]

@@ -48,6 +48,13 @@ SCENARIO_REPORT_COLUMNS = (
     "goodput", "num_failures", "recovery_seconds", "mfu", "status",
 )
 
+#: Columns printed for shared-cluster (fleet) sweeps.
+FLEET_REPORT_COLUMNS = (
+    "model", "gpus", "fleet_policy", "fleet_jobs", "fleet_job_gpus",
+    "mtbf", "fleet_goodput", "utilization", "mean_jct_seconds",
+    "mean_queue_seconds", "preemptions", "status",
+)
+
 
 def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
@@ -335,6 +342,69 @@ def _scenario_sweep_params(args: argparse.Namespace, default_on: bool):
     return base, axes
 
 
+def _add_fleet_arguments(
+    parser: argparse.ArgumentParser, sweep: bool
+) -> None:
+    """Shared-cluster workload knobs for ``repro fleet run|sweep``."""
+    many = dict(nargs="+") if sweep else {}
+    parser.add_argument(
+        "--policy" if not sweep else "--policies",
+        dest="fleet_policies",
+        default=["fair-share"] if sweep else "fair-share",
+        choices=["fifo", "fair-share", "priority"],
+        help="scheduling policy"
+             + (" (several values add a sweep axis)" if sweep else ""),
+        **many,
+    )
+    parser.add_argument(
+        "--jobs" if not sweep else "--fleet-jobs",
+        dest="fleet_jobs",
+        type=int,
+        default=[4] if sweep else 4,
+        help="tenant jobs sharing the cluster"
+             + (" (several values add a sweep axis)" if sweep else ""),
+        **many,
+    )
+    parser.add_argument(
+        "--job-gpus", type=int, default=None,
+        help="per-job GPU demand (default: the whole cluster)",
+    )
+    parser.add_argument(
+        "--arrival-spacing", type=float, default=0.0,
+        help="seconds between consecutive job arrivals",
+    )
+    parser.add_argument(
+        "--priorities", nargs="+", type=int, default=[0],
+        help="priority cycle assigned to jobs in arrival order "
+             "(matters under the priority policy)",
+    )
+
+
+def _fleet_sweep_params(args: argparse.Namespace, fleet_on: bool):
+    """(base params, axes) for the fleet options, or (None, []) when the
+    sweep is not a fleet sweep."""
+    from repro.experiments import Axis
+
+    if not fleet_on:
+        return None, []
+    base = {
+        "fleet_arrival_spacing": args.arrival_spacing,
+        "fleet_priorities": tuple(args.priorities),
+    }
+    if args.job_gpus is not None:
+        base["fleet_job_gpus"] = args.job_gpus
+    axes = []
+    for name, values in (
+        ("fleet_policy", list(args.fleet_policies)),
+        ("fleet_jobs", list(args.fleet_jobs)),
+    ):
+        if len(values) == 1:
+            base[name] = values[0]
+        else:
+            axes.append(Axis(name, values))
+    return base, axes
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import (
         Axis,
@@ -373,6 +443,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if scenario_base is not None:
         spec.base = {**spec.base, **scenario_base}
         spec.axes = list(spec.axes) + scenario_axes
+    fleet_base, fleet_axes = _fleet_sweep_params(
+        args, fleet_on=getattr(args, "fleet_mode", False)
+    )
+    if fleet_base is not None:
+        spec.base = {**spec.base, **fleet_base}
+        spec.axes = list(spec.axes) + fleet_axes
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     runner = CampaignRunner(
         spec,
@@ -385,10 +461,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     frame = campaign.frame().sort_by("model", "system", "gpus")
     available = set(frame.columns)
-    columns = (
-        SCENARIO_REPORT_COLUMNS if scenario_base is not None
-        else REPORT_COLUMNS
-    )
+    if fleet_base is not None:
+        columns = FLEET_REPORT_COLUMNS
+    elif scenario_base is not None:
+        columns = SCENARIO_REPORT_COLUMNS
+    else:
+        columns = REPORT_COLUMNS
     header, rows = frame.table([c for c in columns if c in available])
     print(format_table(header, rows, title=f"campaign {spec.name!r}:"))
     print(campaign.summary())
@@ -471,6 +549,110 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
             json.dumps(result.metrics(), indent=1) + "\n", encoding="utf-8"
         )
         print(f"metrics written to {args.output}")
+    return 0
+
+
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet import FleetSpec, run_fleet
+    from repro.fleet.engine import FleetSchedulingError
+    from repro.scenarios import ScenarioSpec
+
+    config = _config(args)
+    try:
+        scenario = ScenarioSpec(
+            num_iterations=args.iterations,
+            checkpoint_interval=args.checkpoint_interval,
+            mtbf_gpu_hours=args.mtbf,
+            straggler_rate=args.straggler_rate,
+            straggler_slowdown=args.straggler_slowdown,
+            elastic=args.elastic,
+            sample_iterations=args.sample_iterations,
+            seed=args.failure_seed,
+        )
+        spec = FleetSpec.homogeneous(
+            config,
+            cluster_gpus=args.gpus,
+            num_jobs=args.fleet_jobs,
+            job_gpus=args.job_gpus,
+            arrival_spacing_s=args.arrival_spacing,
+            priorities=tuple(args.priorities),
+            policy=args.fleet_policies,
+            scenario=scenario,
+        )
+    except ValueError as exc:
+        print(f"repro fleet run: error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = run_fleet(spec)
+    except FleetSchedulingError as exc:
+        print(f"repro fleet run: error: {exc}", file=sys.stderr)
+        return 1
+
+    metrics = result.metrics()
+    payload = {
+        "policy": result.policy,
+        "cluster_gpus": result.total_gpus,
+        "metrics": metrics,
+        "plan_cache": {
+            "hits": result.plan_cache_hits,
+            "misses": result.plan_cache_misses,
+        },
+        "jobs": [record.row() for record in result.records],
+    }
+    if args.json:
+        # Machine-readable contract: one JSON document on stdout,
+        # nothing else.
+        print(json.dumps(payload, indent=1))
+    else:
+        print(format_table(
+            ["metric", "value"],
+            [
+                ["policy", result.policy],
+                ["jobs", len(result.records)],
+                ["makespan", f"{metrics['makespan_seconds']:.1f} s"],
+                ["fleet goodput", f"{metrics['fleet_goodput'] * 100:.1f} %"],
+                ["utilization", f"{metrics['utilization'] * 100:.1f} %"],
+                ["mean JCT", f"{metrics['mean_jct_seconds']:.1f} s"],
+                ["mean queue wait",
+                 f"{metrics['mean_queue_seconds']:.1f} s"],
+                ["failures", int(metrics["num_failures"])],
+                ["re-orchestrations", int(metrics["num_replans"])],
+                ["preemptions", int(metrics["preemptions"])],
+                ["plan cache (hit/miss)",
+                 f"{result.plan_cache_hits}/{result.plan_cache_misses}"],
+                ["fleet throughput",
+                 f"{metrics['fleet_tokens_per_s'] / 1e3:.0f} K tokens/s"],
+            ],
+            title=f"fleet: {len(result.records)} x {args.model} @ "
+                  f"{args.gpus} shared GPUs, policy {result.policy}:",
+        ))
+        rows = [
+            [
+                r["job"], r["priority"], f"{r['arrival_s']:.0f}",
+                f"{r['start_s']:.0f}", f"{r['jct_seconds']:.0f}",
+                f"{r['queue_seconds']:.0f}",
+                f"{r['goodput'] * 100:.1f}%", r["num_failures"],
+                r["num_replans"], r["preemptions"],
+                f"{r['plan_cache_hits']}/{r['plan_cache_misses']}",
+            ]
+            for r in payload["jobs"]
+        ]
+        print(format_table(
+            ["job", "prio", "arrive", "start", "jct", "queued",
+             "goodput", "fail", "replan", "preempt", "plan hit/miss"],
+            rows,
+            title="per-job outcomes:",
+        ))
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(payload, indent=1) + "\n", encoding="utf-8"
+        )
+        if not args.json:
+            print(f"fleet report written to {args.output}")
     return 0
 
 
@@ -658,6 +840,75 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_arguments(scenario_sweep)
     _add_scenario_sweep_arguments(scenario_sweep)
     scenario_sweep.set_defaults(fn=cmd_sweep, scenario_mode=True)
+
+    fleet_parser = subparsers.add_parser(
+        "fleet",
+        help="schedule many jobs on one shared cluster "
+             "(FIFO, fair-share, priority-preemptive)",
+    )
+    fleet_sub = fleet_parser.add_subparsers(
+        dest="fleet_command", required=True
+    )
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="run one shared-cluster fleet workload"
+    )
+    _add_task_arguments(fleet_run)
+    _add_fleet_arguments(fleet_run, sweep=False)
+    fleet_run.add_argument(
+        "--iterations", type=int, default=1000,
+        help="iterations each job retains (default: %(default)s)",
+    )
+    fleet_run.add_argument(
+        "--mtbf", type=float, default=None,
+        help="per-GPU mean time between failures, in hours "
+             "(default: no sampled failures)",
+    )
+    fleet_run.add_argument(
+        "--straggler-rate", type=float, default=0.0,
+        help="per-iteration probability a straggler episode starts",
+    )
+    fleet_run.add_argument(
+        "--straggler-slowdown", type=float, default=1.5,
+        help="compute slowdown of a straggling rank",
+    )
+    fleet_run.add_argument(
+        "--elastic", action="store_true",
+        help="jobs re-orchestrate on surviving GPUs after failures",
+    )
+    fleet_run.add_argument(
+        "--checkpoint-interval", type=int, default=50,
+        help="iterations between asynchronous checkpoints",
+    )
+    fleet_run.add_argument(
+        "--sample-iterations", type=int, default=4,
+        help="distinct global batches priced per cluster size",
+    )
+    fleet_run.add_argument(
+        "--failure-seed", type=int, default=0,
+        help="base seed for per-job failures (job i uses seed + i)",
+    )
+    fleet_run.add_argument(
+        "--json", action="store_true",
+        help="print one machine-readable JSON document (fleet metrics "
+             "plus per-job rows with plan-cache hit/miss counts)",
+    )
+    fleet_run.add_argument(
+        "--output", default=None,
+        help="also write the JSON report to this path",
+    )
+    fleet_run.set_defaults(fn=cmd_fleet_run)
+
+    fleet_sweep = fleet_sub.add_parser(
+        "sweep",
+        help="sweep policy x job mix x dynamics like any other "
+             "campaign (cached, parallel)",
+    )
+    _add_sweep_arguments(fleet_sweep)
+    _add_scenario_sweep_arguments(fleet_sweep)
+    _add_fleet_arguments(fleet_sweep, sweep=True)
+    fleet_sweep.set_defaults(fn=cmd_sweep, scenario_mode=False,
+                             fleet_mode=True)
 
     report_parser = subparsers.add_parser(
         "report", help="tabulate cached campaign results"

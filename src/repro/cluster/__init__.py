@@ -17,7 +17,8 @@ from repro.cluster.gpu import (
 )
 from repro.cluster.node import NodeSpec, AMPERE_NODE, L20_NODE, NODE_PRESETS
 from repro.cluster.interconnect import LinkSpec, NVLINK_300, ROCE_4X200, PCIE_GEN4
-from repro.cluster.cluster import ClusterSpec, NodePool, make_cluster
+from repro.cluster.cluster import ClusterSpec, NodePool, make_cluster, resized_cluster
+from repro.cluster.allocation import AllocationError, GPUAllocator
 from repro.cluster.topology import ClusterTopology, RankPlacement
 
 __all__ = [
@@ -36,6 +37,9 @@ __all__ = [
     "PCIE_GEN4",
     "ClusterSpec",
     "NodePool",
+    "resized_cluster",
+    "AllocationError",
+    "GPUAllocator",
     "make_cluster",
     "ClusterTopology",
     "RankPlacement",

@@ -1,0 +1,207 @@
+"""GPU allocation accounting for shared clusters.
+
+A :class:`GPUAllocator` tracks where every GPU of a
+:class:`~repro.cluster.cluster.ClusterSpec` is at any moment of a fleet
+timeline: **free** (schedulable), **held** by a job, or **down**
+(failed hardware pending repair, reserved for the job that lost it —
+production schedulers return a repaired node to the impacted job, so
+repairs are not redistribution events).
+
+Slices are carved node-granularly from the ordered pool — the
+orchestration layer only ever sees whole nodes, matching
+:func:`~repro.cluster.cluster.resized_cluster` — and every transition
+preserves the conservation invariant::
+
+    free + sum(held) + sum(down) == total
+
+checked after each mutation (:meth:`check`). Violations raise
+:class:`AllocationError` immediately rather than corrupting a running
+fleet simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.cluster.cluster import ClusterSpec
+
+
+class AllocationError(RuntimeError):
+    """An impossible capacity transition (over-carve, double release,
+    conservation violation)."""
+
+
+@dataclass
+class GPUAllocator:
+    """Free/held/down GPU bookkeeping for one shared cluster.
+
+    Attributes:
+        cluster: The physical cluster being shared.
+    """
+
+    cluster: ClusterSpec
+    _held: Dict[str, int] = field(default_factory=dict)
+    _down: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._free = self.cluster.num_gpus
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def total_gpus(self) -> int:
+        return self.cluster.num_gpus
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.cluster.gpus_per_node
+
+    @property
+    def free_gpus(self) -> int:
+        return self._free
+
+    @property
+    def held_gpus(self) -> int:
+        return sum(self._held.values())
+
+    @property
+    def down_gpus(self) -> int:
+        return sum(self._down.values())
+
+    def held_by(self, owner: str) -> int:
+        return self._held.get(owner, 0)
+
+    def down_for(self, owner: str) -> int:
+        return self._down.get(owner, 0)
+
+    def owners(self) -> List[str]:
+        """Jobs currently holding (or owed) capacity, in stable order."""
+        return sorted(set(self._held) | set(self._down))
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the cluster currently held by jobs."""
+        return self.held_gpus / self.total_gpus if self.total_gpus else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Transitions
+    # ------------------------------------------------------------------ #
+    def _require_nodes(self, gpus: int, what: str) -> None:
+        if gpus < 0:
+            raise AllocationError(f"{what}: negative GPU count {gpus}")
+        if gpus % self.gpus_per_node != 0:
+            raise AllocationError(
+                f"{what}: {gpus} GPUs is not whole nodes "
+                f"(gpus_per_node={self.gpus_per_node})"
+            )
+
+    def carve(self, owner: str, gpus: int) -> int:
+        """Grant ``gpus`` from the free pool to ``owner``; returns the
+        owner's new holding."""
+        self._require_nodes(gpus, f"carve for {owner!r}")
+        if gpus > self._free:
+            raise AllocationError(
+                f"carve for {owner!r}: {gpus} GPUs requested, "
+                f"{self._free} free"
+            )
+        self._free -= gpus
+        self._held[owner] = self._held.get(owner, 0) + gpus
+        return self.check()._held[owner]
+
+    def release(self, owner: str, gpus: int) -> None:
+        """Return ``gpus`` of ``owner``'s holding to the free pool."""
+        self._require_nodes(gpus, f"release from {owner!r}")
+        held = self._held.get(owner, 0)
+        if gpus > held:
+            raise AllocationError(
+                f"release from {owner!r}: {gpus} GPUs released, "
+                f"only {held} held"
+            )
+        self._held[owner] = held - gpus
+        self._free += gpus
+        if self._held[owner] == 0:
+            del self._held[owner]
+        self.check()
+
+    def release_all(self, owner: str) -> int:
+        """Job departure: everything it holds — and any capacity being
+        repaired on its behalf — returns to the free pool. Returns the
+        number of GPUs freed."""
+        freed = self._held.pop(owner, 0) + self._down.pop(owner, 0)
+        self._free += freed
+        self.check()
+        return freed
+
+    def mark_down(self, owner: str, gpus: int) -> None:
+        """Hardware failure: ``gpus`` of ``owner``'s holding die and
+        enter repair, reserved for the owner."""
+        self._require_nodes(gpus, f"mark_down for {owner!r}")
+        held = self._held.get(owner, 0)
+        if gpus > held:
+            raise AllocationError(
+                f"mark_down for {owner!r}: {gpus} GPUs failed, "
+                f"only {held} held"
+            )
+        self._held[owner] = held - gpus
+        if self._held[owner] == 0:
+            del self._held[owner]
+        self._down[owner] = self._down.get(owner, 0) + gpus
+        self.check()
+
+    def mark_repaired(self, owner: str, gpus: int) -> None:
+        """Repair completes: ``gpus`` reserved for ``owner`` rejoin its
+        holding (the job re-grew onto its repaired nodes)."""
+        self._require_nodes(gpus, f"mark_repaired for {owner!r}")
+        down = self._down.get(owner, 0)
+        if gpus > down:
+            raise AllocationError(
+                f"mark_repaired for {owner!r}: {gpus} GPUs repaired, "
+                f"only {down} down"
+            )
+        self._down[owner] = down - gpus
+        if self._down[owner] == 0:
+            del self._down[owner]
+        self._held[owner] = self._held.get(owner, 0) + gpus
+        self.check()
+
+    def abandon_repairs(self, owner: str) -> int:
+        """A preempted/departing job forfeits capacity pending repair:
+        it returns to the shared pool (modeled as repaired by the time
+        anyone can be granted it). Returns the GPUs forfeited."""
+        forfeited = self._down.pop(owner, 0)
+        self._free += forfeited
+        self.check()
+        return forfeited
+
+    # ------------------------------------------------------------------ #
+    # Invariant
+    # ------------------------------------------------------------------ #
+    def check(self) -> "GPUAllocator":
+        """Assert conservation; returns self for chaining."""
+        booked = self._free + self.held_gpus + self.down_gpus
+        if booked != self.total_gpus:
+            raise AllocationError(
+                f"allocation leak: free={self._free} "
+                f"held={dict(self._held)} down={dict(self._down)} "
+                f"books {booked} != total {self.total_gpus}"
+            )
+        if self._free < 0:
+            raise AllocationError(f"negative free pool: {self._free}")
+        for table, label in ((self._held, "held"), (self._down, "down")):
+            for owner, gpus in table.items():
+                if gpus < 0:
+                    raise AllocationError(
+                        f"negative {label} for {owner!r}: {gpus}"
+                    )
+        return self
+
+    def snapshot(self) -> Dict[str, Tuple[int, int]]:
+        """{owner: (held, down)} plus ``"<free>"`` — for reports."""
+        table = {
+            owner: (self._held.get(owner, 0), self._down.get(owner, 0))
+            for owner in self.owners()
+        }
+        table["<free>"] = (self._free, 0)
+        return table

@@ -16,6 +16,7 @@ from repro.core.api import (
     plan,
     simulate,
     simulate_run,
+    simulate_fleet,
     compare_systems,
     SystemComparison,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "plan",
     "simulate",
     "simulate_run",
+    "simulate_fleet",
     "compare_systems",
     "SystemComparison",
     "format_table",

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import DistTrainConfig
+from repro.core.keyedcache import KeyedCache
 from repro.data.synthetic import SyntheticMultimodalDataset
 from repro.orchestration.adaptive import (
     AdaptiveOrchestrator,
@@ -32,7 +32,13 @@ def _dataset(config: DistTrainConfig) -> SyntheticMultimodalDataset:
     )
 
 
-@lru_cache(maxsize=64)
+#: Process-wide data-distribution profiles, keyed by
+#: (seq_len, distribution config, seed) — the same
+#: :class:`~repro.core.keyedcache.KeyedCache` store the plan cache and
+#: the noise-free profiler cache use.
+PROFILE_CACHE = KeyedCache(maxsize=64)
+
+
 def _cached_profile(
     seq_len: int, data_config, data_seed: int
 ) -> SampleProfile:
@@ -42,10 +48,15 @@ def _cached_profile(
     function of this key; planning every system/config variant of the
     same task re-uses one profile instead of regenerating 256 samples.
     """
-    dataset = SyntheticMultimodalDataset(
-        seq_len=seq_len, config=data_config, seed=data_seed
+    def compute() -> SampleProfile:
+        dataset = SyntheticMultimodalDataset(
+            seq_len=seq_len, config=data_config, seed=data_seed
+        )
+        return SampleProfile.from_samples(dataset.take(PROFILE_SAMPLES))
+
+    return PROFILE_CACHE.get_or_compute(
+        (seq_len, data_config, data_seed), compute
     )
-    return SampleProfile.from_samples(dataset.take(PROFILE_SAMPLES))
 
 
 def _problem(config: DistTrainConfig) -> OrchestrationProblem:
@@ -98,12 +109,40 @@ def _replan_uncached(
     config: DistTrainConfig, num_gpus: int
 ) -> OrchestrationResult:
     from repro.cluster.cluster import resized_cluster
+    from repro.orchestration.errors import InfeasibleClusterError
 
     if config.system == "disttrain":
         return replan_for_cluster(_problem(config), num_gpus)
-    return plan(
-        config.with_(cluster=resized_cluster(config.cluster, num_gpus))
-    )
+    try:
+        return plan(
+            config.with_(cluster=resized_cluster(config.cluster, num_gpus))
+        )
+    except InfeasibleClusterError:
+        raise
+    except ValueError as exc:
+        # resized_cluster rejects sizes that whole nodes cannot form;
+        # for an elastic scheduler that is the same recoverable
+        # condition as a memory-infeasible slice.
+        raise InfeasibleClusterError(
+            f"cannot re-plan {config.mllm.name} ({config.system}) on "
+            f"{num_gpus} GPUs: {exc}",
+            num_gpus=num_gpus,
+        ) from exc
+
+
+def simulate_fleet(spec):
+    """Simulate a multi-tenant :class:`~repro.fleet.spec.FleetSpec` on
+    its shared cluster.
+
+    The fleet layer builds on the per-job scenario core: every tenant
+    is a :class:`~repro.fleet.job.JobSimulator` stepping on one shared
+    event clock, with the configured scheduling policy reshaping
+    allocations at arrivals, completions, and preemptions. Returns a
+    :class:`~repro.fleet.engine.FleetResult`.
+    """
+    from repro.fleet import run_fleet
+
+    return run_fleet(spec)
 
 
 def build_simulator(

@@ -1,0 +1,91 @@
+"""One keyed cache for every process-wide memo in the repo.
+
+Three subsystems memoize pure functions of hashable keys: the
+orchestration plan cache (``repro.orchestration.plancache``), the
+data-distribution profile cache (``repro.core.api``), and the noise-free
+profiler cache (``repro.orchestration.problem``). They used to carry
+three hand-rolled implementations (an ``lru_cache``, a bare dict with
+inline eviction, and an explicit class); this module is the single
+implementation they all share.
+
+Semantics, chosen for the plan cache and inherited by everyone:
+
+* **Explicit and thread-safe** — a lock guards the entry table; hit and
+  miss counters are part of the public surface (the scenario engine and
+  the fleet engine report them per run).
+* **FIFO eviction** — insertion order, not recency. The keyed working
+  sets here are tiny (a handful of cluster sizes, model/node pairs); a
+  FIFO bound only exists so unbounded sweeps cannot leak.
+* **Failures are not cached** — ``compute`` exceptions propagate
+  unrecorded, so a transiently infeasible key is re-checked next time.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+
+class KeyedCache:
+    """A keyed store with FIFO eviction and hit/miss accounting."""
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: Dict[Hashable, Any] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], Any]
+    ) -> Any:
+        """Return the cached value for ``key``, computing it on a miss."""
+        return self.fetch(key, compute)[0]
+
+    def fetch(
+        self,
+        key: Hashable,
+        compute: Callable[[], Any],
+        bypass: bool = False,
+    ) -> Tuple[Any, bool]:
+        """Like :meth:`get_or_compute`, but returns ``(value, was_hit)``.
+
+        Callers that report hit/miss accounting (the scenario and fleet
+        engines) read the flag directly — exact even when other threads
+        use the cache concurrently. ``bypass=True`` scopes cache
+        avoidance to this one call: ``compute`` runs directly and
+        neither counters nor entries change, leaving concurrent cache
+        users undisturbed.
+        """
+        if bypass:
+            return compute(), False
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                return self._entries[key], True
+        result = compute()
+        with self._lock:
+            self.misses += 1
+            while len(self._entries) >= self.maxsize:
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = result
+        return result, False
+
+    def lookup(self, key: Hashable) -> Optional[Any]:
+        """Peek without counting or computing."""
+        return self._entries.get(key)
+
+    def stats(self) -> Tuple[int, int]:
+        """(hits, misses) snapshot."""
+        return self.hits, self.misses
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

@@ -100,8 +100,16 @@ def execute_trial(payload: Tuple[int, Dict[str, Any], str]):
     try:
         trial = TrialSpec(params)
         config = trial.to_config()
+        fleet = trial.to_fleet()
         scenario = trial.to_scenario()
-        if scenario is not None:
+        if fleet is not None:
+            # Shared-cluster trial: N job simulators contend for the
+            # cluster under the trial's scheduling policy, all priced
+            # on the batched kernel path with a shared plan cache.
+            from repro.fleet import run_fleet
+
+            metrics = run_fleet(fleet).metrics()
+        elif scenario is not None:
             # Dynamic-cluster trial: the scenario engine walks the full
             # multi-iteration timeline (failures, stragglers, elastic
             # re-orchestration) on the batched kernel path.

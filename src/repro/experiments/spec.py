@@ -73,7 +73,20 @@ SCENARIO_PARAMS = (
     "events",
 )
 
-KNOWN_PARAMS = TASK_PARAMS + SCENARIO_PARAMS
+#: Shared-cluster fleet parameters (see :mod:`repro.fleet.spec`). A
+#: trial carrying any of these runs a multi-tenant
+#: :class:`~repro.fleet.engine.FleetEngine` workload — ``gpus`` becomes
+#: the *shared cluster* size, ``fleet_job_gpus`` each tenant's demand —
+#: and they join the task + scenario configs in the trial's cache key.
+FLEET_PARAMS = (
+    "fleet_policy",
+    "fleet_jobs",
+    "fleet_job_gpus",
+    "fleet_arrival_spacing",
+    "fleet_priorities",
+)
+
+KNOWN_PARAMS = TASK_PARAMS + SCENARIO_PARAMS + FLEET_PARAMS
 
 REQUIRED_PARAMS = ("model", "gpus", "gbs")
 
@@ -235,12 +248,52 @@ class TrialSpec:
 
         return ScenarioSpec.from_params(scenario)
 
+    def fleet_params(self) -> Dict[str, Any]:
+        """The trial's shared-cluster parameters (empty = not a fleet)."""
+        return {
+            key: value
+            for key, value in self.params.items()
+            if key in FLEET_PARAMS
+        }
+
+    def to_fleet(self):
+        """The trial's :class:`~repro.fleet.spec.FleetSpec`, or None
+        when no fleet parameter is set.
+
+        A fleet trial is the canonical homogeneous-contention workload:
+        ``fleet_jobs`` staggered copies of the task (each demanding
+        ``fleet_job_gpus``, defaulting to the whole cluster) sharing the
+        ``gpus``-sized cluster under ``fleet_policy``, with the trial's
+        scenario parameters as every job's dynamics.
+        """
+        fleet = self.fleet_params()
+        if not fleet:
+            return None
+        from repro.fleet.spec import FleetSpec
+        from repro.scenarios.spec import ScenarioSpec
+
+        scenario = self.to_scenario() or ScenarioSpec()
+        priorities = fleet.get("fleet_priorities", (0,))
+        if isinstance(priorities, int):
+            priorities = (priorities,)
+        config = self.to_config()
+        return FleetSpec.homogeneous(
+            config,
+            cluster_gpus=config.cluster.num_gpus,
+            num_jobs=int(fleet.get("fleet_jobs", 2)),
+            job_gpus=fleet.get("fleet_job_gpus"),
+            arrival_spacing_s=float(fleet.get("fleet_arrival_spacing", 0.0)),
+            priorities=tuple(priorities),
+            policy=fleet.get("fleet_policy", "fair-share"),
+            scenario=scenario,
+        )
+
     def to_config(self) -> DistTrainConfig:
         """Build the concrete training-task config for this trial."""
         params = {
             key: value
             for key, value in self.params.items()
-            if key not in SCENARIO_PARAMS
+            if key not in SCENARIO_PARAMS and key not in FLEET_PARAMS
         }
         kwargs: Dict[str, Any] = {}
         if "schedule" in params:
@@ -278,8 +331,21 @@ class TrialSpec:
         change). A scenario trial's key also covers the fully resolved
         :class:`~repro.scenarios.spec.ScenarioSpec` — every scenario
         field change (including defaulted fields gaining new values in
-        future versions) re-executes exactly the affected trials.
+        future versions) re-executes exactly the affected trials. A
+        fleet trial's key covers the fully resolved
+        :class:`~repro.fleet.spec.FleetSpec` (cluster, policy, every
+        job's config/scenario/arrival/priority) the same way.
         """
+        fleet = self.to_fleet()
+        if fleet is not None:
+            digest = hashlib.sha256(
+                json.dumps(
+                    {"fleet": fleet.canonical()},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                ).encode("utf-8")
+            )
+            return digest.hexdigest()[:HASH_LENGTH]
         scenario = self.to_scenario()
         if scenario is None:
             return self.config_hash
@@ -305,7 +371,11 @@ class TrialSpec:
         frozen = self.params.get("frozen")
         if frozen and frozen != "full":
             parts.append(str(frozen))
-        if self.scenario_params():
+        if self.fleet_params():
+            policy = self.params.get("fleet_policy", "fair-share")
+            jobs = self.params.get("fleet_jobs", 2)
+            parts.append(f"fleet({jobs}x,{policy})")
+        elif self.scenario_params():
             mtbf = self.params.get("mtbf")
             parts.append(f"dyn(mtbf={mtbf})" if mtbf else "dyn")
         return "/".join(parts)

@@ -1,0 +1,524 @@
+"""Shared-cluster fleet simulation: N jobs, one event clock.
+
+:class:`FleetEngine` drives one :class:`~repro.fleet.job.JobSimulator`
+per tenant in global clock order (always stepping the job whose clock
+lags the most), so job timelines interleave exactly as they would on a
+real shared cluster. Scheduling decision points — job arrivals, job
+completions, preemption resumes — invoke the configured
+:class:`~repro.fleet.policies.SchedulingPolicy` and apply its targets
+through the :class:`~repro.cluster.allocation.GPUAllocator`: shrinks
+and preemptions release capacity first, then grows and starts consume
+it, with every transition preserving the allocator's conservation
+invariant.
+
+Failure/repair capacity stays **job-local** (a repaired node returns to
+the job that lost it, as production schedulers do), so a single-job
+fleet reproduces the standalone
+:class:`~repro.scenarios.engine.ScenarioEngine` timeline byte for byte
+— the equivalence suite pins metrics, trajectories, and the realized
+event trace.
+
+Iterations are non-preemptible, and between steps every running job
+sits at an iteration boundary on its own clock, which lags the decision
+time by at most one unit of work. Reshapes of *running* jobs therefore
+land at the job's own boundary (no simulated time is lost or invented),
+while seats of queued/preempted jobs land at the decision time; the
+discrepancy is bounded by one iteration and keeps the allocator's books
+equal to every job's physical size at all times.
+
+All jobs share the process-wide orchestration
+:data:`~repro.orchestration.plancache.PLAN_CACHE`, so co-tenant replans
+of the same task at the same slice size are solved once per process;
+per-job hit/miss counters surface on each
+:class:`~repro.scenarios.result.ScenarioResult` and aggregate on the
+:class:`FleetResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.allocation import GPUAllocator
+from repro.fleet.job import JobSimulator
+from repro.fleet.policies import JobView, SchedulingPolicy, make_policy
+from repro.fleet.spec import FleetJobSpec, FleetSpec
+from repro.scenarios.result import ScenarioResult
+
+
+class FleetSchedulingError(RuntimeError):
+    """The fleet can make no further progress (e.g. a queued job can
+    never be granted a feasible slice)."""
+
+
+@dataclass
+class FleetJobRecord:
+    """One tenant's fate, for reports and ResultFrames."""
+
+    name: str
+    demand_gpus: int
+    priority: int
+    arrival_s: float
+    start_s: float
+    completion_s: float
+    queue_seconds: float
+    preemptions: int
+    result: ScenarioResult
+    #: Zero-event runtime of the job *alone at its full demand* — the
+    #: fleet-goodput numerator. The per-job ``result.ideal_seconds`` is
+    #: priced at the initially granted slice instead (matching the
+    #: standalone scenario semantics), which can understate the ideal
+    #: for a job admitted on a small share that later grows.
+    ideal_demand_seconds: float = 0.0
+
+    @property
+    def jct_seconds(self) -> float:
+        """Job completion time: arrival to retained final iteration."""
+        return self.completion_s - self.arrival_s
+
+    def row(self) -> Dict[str, Any]:
+        """Flat per-job report row."""
+        return {
+            "job": self.name,
+            "demand_gpus": self.demand_gpus,
+            "priority": self.priority,
+            "arrival_s": self.arrival_s,
+            "start_s": self.start_s,
+            "jct_seconds": self.jct_seconds,
+            "queue_seconds": self.queue_seconds,
+            "goodput": self.result.goodput,
+            "num_failures": self.result.num_failures,
+            "num_replans": self.result.num_replans,
+            "preemptions": self.preemptions,
+            "min_gpus": self.result.min_gpus,
+            "mean_mfu": self.result.mean_mfu,
+            "plan_cache_hits": self.result.plan_cache_hits,
+            "plan_cache_misses": self.result.plan_cache_misses,
+        }
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one shared-cluster fleet run."""
+
+    policy: str
+    total_gpus: int
+    records: List[FleetJobRecord]
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Fleet wall-clock from t=0 to the last job's completion."""
+        return max((r.completion_s for r in self.records), default=0.0)
+
+    @property
+    def fleet_goodput(self) -> float:
+        """Aggregate demand-size ideal work over aggregate job time: how
+        close the fleet came to giving every tenant its full-demand,
+        zero-dynamics, zero-queueing experience. 1.0 means nobody would
+        have done better on a private cluster."""
+        total_jct = sum(r.jct_seconds for r in self.records)
+        if total_jct <= 0:
+            return 1.0
+        ideal = sum(r.ideal_demand_seconds for r in self.records)
+        return ideal / total_jct
+
+    @property
+    def utilization(self) -> float:
+        """GPU-seconds spent computing over GPU-seconds the cluster
+        offered across the makespan."""
+        span = self.makespan_seconds
+        if span <= 0 or self.total_gpus <= 0:
+            return 0.0
+        busy = sum(r.result.gpu_seconds for r in self.records)
+        return busy / (self.total_gpus * span)
+
+    @property
+    def mean_jct_seconds(self) -> float:
+        return float(np.mean([r.jct_seconds for r in self.records]))
+
+    @property
+    def total_preemptions(self) -> int:
+        return sum(r.preemptions for r in self.records)
+
+    @property
+    def total_replans(self) -> int:
+        return sum(r.result.num_replans for r in self.records)
+
+    @property
+    def plan_cache_hits(self) -> int:
+        return sum(r.result.plan_cache_hits for r in self.records)
+
+    @property
+    def plan_cache_misses(self) -> int:
+        return sum(r.result.plan_cache_misses for r in self.records)
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat metric row for campaign records / ResultFrame."""
+        records = self.records
+        span = self.makespan_seconds
+        total_tokens = sum(
+            r.result.effective_tokens_per_s * r.result.total_seconds
+            for r in records
+        )
+        return {
+            "fleet_goodput": self.fleet_goodput,
+            "utilization": self.utilization,
+            "makespan_seconds": span,
+            "mean_jct_seconds": self.mean_jct_seconds,
+            "max_jct_seconds": max(
+                (r.jct_seconds for r in records), default=0.0
+            ),
+            "mean_queue_seconds": float(
+                np.mean([r.queue_seconds for r in records])
+            ),
+            "num_jobs": float(len(records)),
+            "num_failures": float(
+                sum(r.result.num_failures for r in records)
+            ),
+            "num_replans": float(self.total_replans),
+            "preemptions": float(self.total_preemptions),
+            "fleet_tokens_per_s": (
+                total_tokens / span if span > 0 else 0.0
+            ),
+            "mean_goodput": float(
+                np.mean([r.result.goodput for r in records])
+            ),
+            "mean_mfu": float(
+                np.mean([r.result.mean_mfu for r in records])
+            ),
+            "num_gpus": float(self.total_gpus),
+        }
+
+    def summary(self) -> Dict[str, float]:
+        return self.metrics()
+
+
+# --------------------------------------------------------------------- #
+# Engine internals
+# --------------------------------------------------------------------- #
+_PENDING = "pending"   # not yet arrived
+_QUEUED = "queued"     # arrived, never started
+_RUNNING = "running"
+_PAUSED = "paused"     # preempted, awaiting resume
+_DONE = "done"
+
+
+class _Tenant:
+    """Mutable per-job scheduling state."""
+
+    def __init__(self, spec: FleetJobSpec, order: int, use_plan_cache: bool):
+        self.spec = spec
+        self.order = order
+        self.sim = JobSimulator(
+            spec.config,
+            spec.scenario,
+            use_plan_cache=use_plan_cache,
+            name=spec.name,
+        )
+        self.state = _PENDING
+        self.start_s: Optional[float] = None
+        self.completion_s: Optional[float] = None
+        self.queue_since: float = spec.arrival_s
+        self.queue_seconds = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def view(self, held: int) -> JobView:
+        return JobView(
+            name=self.name,
+            demand_gpus=self.spec.demand_gpus,
+            min_gpus=self.spec.floor_gpus,
+            priority=self.spec.priority,
+            arrival_order=self.order,
+            allocated_gpus=held,
+            running=self.state == _RUNNING,
+        )
+
+
+class FleetEngine:
+    """Simulates a :class:`FleetSpec` workload on its shared cluster.
+
+    Args:
+        spec: Cluster, policy, and tenant jobs.
+        use_plan_cache: Forwarded to every job simulator (False re-runs
+            every orchestration search; the equivalence suite uses it).
+    """
+
+    def __init__(self, spec: FleetSpec, use_plan_cache: bool = True):
+        self.spec = spec
+        self.policy: SchedulingPolicy = make_policy(spec.policy)
+        self.allocator = GPUAllocator(spec.cluster)
+        self._tenants = [
+            _Tenant(job, order, use_plan_cache)
+            for order, job in enumerate(spec.jobs)
+        ]
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> FleetResult:
+        # Consumed front-first as arrivals are admitted.
+        pending = sorted(
+            self._tenants, key=lambda t: (t.spec.arrival_s, t.order)
+        )
+        last_decision = 0.0
+
+        while True:
+            running = [t for t in self._tenants if t.state == _RUNNING]
+            next_arrival = pending[0].spec.arrival_s if pending else None
+
+            if running:
+                lagging = min(running, key=lambda t: (t.sim.clock, t.order))
+                if next_arrival is not None and (
+                    next_arrival <= lagging.sim.clock
+                ):
+                    self._admit(pending, next_arrival)
+                    last_decision = next_arrival
+                    self._reschedule(next_arrival)
+                    continue
+                self._step(lagging)
+                continue
+
+            if next_arrival is not None:
+                self._admit(pending, next_arrival)
+                last_decision = next_arrival
+                self._reschedule(next_arrival)
+                continue
+
+            waiting = [
+                t for t in self._tenants if t.state in (_QUEUED, _PAUSED)
+            ]
+            if not waiting:
+                break
+            # Nothing runs, nothing arrives: either the policy can seat
+            # a waiter now, or the fleet is wedged.
+            self._reschedule(last_decision)
+            if not any(t.state == _RUNNING for t in self._tenants):
+                names = sorted(t.name for t in waiting)
+                raise FleetSchedulingError(
+                    f"fleet deadlock: jobs {names} cannot be granted a "
+                    f"feasible slice ({self.allocator.free_gpus} GPUs "
+                    f"free of {self.allocator.total_gpus})"
+                )
+
+        records = []
+        for t in sorted(self._tenants, key=lambda t: t.order):
+            assert t.completion_s is not None and t.start_s is not None
+            result = t.sim.finish()  # snapshots hit/miss counters first
+            demand = min(t.spec.demand_gpus, self.allocator.total_gpus)
+            if t.sim.feasible(demand):
+                ideal_demand = t.sim.ideal_seconds_at(demand)
+            else:
+                # A demand-capped size the orchestrator cannot plan:
+                # fall back to the ideal at the slice actually granted
+                # rather than discarding the finished simulation.
+                ideal_demand = result.ideal_seconds
+            records.append(
+                FleetJobRecord(
+                    name=t.name,
+                    demand_gpus=t.spec.demand_gpus,
+                    priority=t.spec.priority,
+                    arrival_s=t.spec.arrival_s,
+                    start_s=t.start_s,
+                    completion_s=t.completion_s,
+                    queue_seconds=t.queue_seconds,
+                    preemptions=result.preemptions,
+                    result=result,
+                    ideal_demand_seconds=ideal_demand,
+                )
+            )
+        return FleetResult(
+            policy=self.policy.name,
+            total_gpus=self.allocator.total_gpus,
+            records=records,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Stepping and event mirroring
+    # ------------------------------------------------------------------ #
+    def _step(self, tenant: _Tenant) -> None:
+        tenant.sim.step()
+        for event in tenant.sim.drain_fleet_events():
+            self._mirror(tenant, event)
+        if tenant.sim.done:
+            tenant.state = _DONE
+            tenant.completion_s = tenant.sim.clock
+            self.allocator.release_all(tenant.name)
+            self._reschedule(tenant.sim.clock)
+
+    def _mirror(self, tenant: _Tenant, event: Tuple[Any, ...]) -> None:
+        """Mirror a job-local capacity change into the allocator."""
+        kind = event[0]
+        if kind == "failure":
+            _, _, from_gpus, to_gpus, _ = event
+            if to_gpus < from_gpus:
+                # Elastic shrink: the dead nodes enter repair, reserved
+                # for this job. (from == to means the job restarted on
+                # replacement capacity at unchanged size — modeled as an
+                # in-place swap, no accounting change.)
+                self.allocator.mark_down(tenant.name, from_gpus - to_gpus)
+        elif kind in ("grow", "resize"):
+            _, from_gpus, to_gpus, _ = event
+            self._account_delta(tenant, to_gpus - from_gpus)
+
+    def _account_delta(self, tenant: _Tenant, delta: int) -> None:
+        """Book a size change: repaired capacity first, then free."""
+        if delta > 0:
+            repaired = min(delta, self.allocator.down_for(tenant.name))
+            if repaired:
+                self.allocator.mark_repaired(tenant.name, repaired)
+            if delta - repaired:
+                self.allocator.carve(tenant.name, delta - repaired)
+        elif delta < 0:
+            self.allocator.release(tenant.name, -delta)
+
+    # ------------------------------------------------------------------ #
+    # Decision points
+    # ------------------------------------------------------------------ #
+    def _admit(self, pending: List[_Tenant], now: float) -> None:
+        while pending and pending[0].spec.arrival_s <= now:
+            tenant = pending.pop(0)
+            tenant.state = _QUEUED
+            tenant.queue_since = tenant.spec.arrival_s
+
+    def _reschedule(self, now: float) -> None:
+        # A resize can return a tenant's under-repair capacity to the
+        # shared pool, which the targets already computed cannot see —
+        # iterate to a fixed point (bounded: each round either frees
+        # repair capacity, which can happen at most once per tenant, or
+        # terminates the loop).
+        for _ in range(len(self._tenants) + 1):
+            freed = self._reschedule_once(now)
+            if not freed:
+                return
+
+    def _reschedule_once(self, now: float) -> bool:
+        """One policy round; True if repair capacity was released."""
+        active = [
+            t for t in self._tenants
+            if t.state in (_QUEUED, _RUNNING, _PAUSED)
+        ]
+        if not active:
+            return False
+        self._freed_repairs = False
+        views = [t.view(self.allocator.held_by(t.name)) for t in active]
+        targets = self.policy.targets(now, views, self.allocator)
+
+        by_fifo = sorted(active, key=lambda t: (t.order, t.name))
+        # Pass 1 — shrink running jobs and preempt: frees capacity.
+        for tenant in by_fifo:
+            if tenant.state != _RUNNING:
+                continue
+            held = self.allocator.held_by(tenant.name)
+            target = targets.get(tenant.name, held)
+            if target >= held:
+                continue
+            if target == 0 and self.policy.preemptive:
+                self._preempt(tenant, now)
+            elif self.policy.elastic:
+                self._resize_running(tenant, held, target, now)
+        # Pass 2 — grow running jobs, then seat waiters, FIFO.
+        for tenant in by_fifo:
+            if tenant.state != _RUNNING:
+                continue
+            held = self.allocator.held_by(tenant.name)
+            target = targets.get(tenant.name, held)
+            if target > held and self.policy.elastic:
+                self._resize_running(tenant, held, target, now)
+        for tenant in by_fifo:
+            if tenant.state not in (_QUEUED, _PAUSED):
+                continue
+            target = targets.get(tenant.name, 0)
+            if target <= 0:
+                continue
+            self._seat(tenant, target, now)
+        return self._freed_repairs
+
+    def _feasible_size(
+        self, tenant: _Tenant, want: int, floor: int, cap: int
+    ) -> int:
+        """Largest orchestration-feasible node-granular size in
+        ``[floor, min(want, cap)]``, or 0.
+
+        A size equal to the job's demand is trusted without probing (the
+        demand config exists, so planning it is the job's own problem);
+        smaller slices are probed through the per-job plan memo so a
+        successful probe is never wasted work.
+        """
+        node = self.allocator.gpus_per_node
+        size = min(want, cap)
+        size -= size % node
+        while size >= floor:
+            if size >= tenant.spec.demand_gpus or tenant.sim.feasible(size):
+                return size
+            size -= node
+        return 0
+
+    def _resize_running(
+        self, tenant: _Tenant, held: int, target: int, now: float
+    ) -> None:
+        if target < held:
+            # Shrink: smallest feasible size at-or-above the target,
+            # never below the job's declared floor — min_gpus is the
+            # smallest slice the scheduler may grant, so a
+            # non-preemptive policy's target of 0 parks the job at its
+            # floor rather than squeezing it to one node.
+            size = max(target, tenant.spec.floor_gpus)
+            while size <= held and not (
+                size >= tenant.spec.demand_gpus or tenant.sim.feasible(size)
+            ):
+                size += self.allocator.gpus_per_node
+            if size >= held:
+                return
+        else:
+            cap = held + self.allocator.free_gpus
+            size = self._feasible_size(
+                tenant, target, tenant.spec.floor_gpus, cap
+            )
+            if size <= held:
+                return
+        # The job's own boundary, not the decision time: teleporting a
+        # lagging clock forward would invent idle time, and a job ahead
+        # of the decision cannot replan in its past.
+        tenant.sim.apply_resize(size, tenant.sim.clock)
+        self._account_delta(tenant, size - held)
+        # The resize supersedes the job's pending failure repair (the
+        # simulator cancels its internal re-growth), so capacity still
+        # under repair returns to the shared pool instead of idling
+        # reserved until the job completes.
+        if self.allocator.abandon_repairs(tenant.name):
+            self._freed_repairs = True
+
+    def _preempt(self, tenant: _Tenant, now: float) -> None:
+        # Killed at its own boundary (see _resize_running).
+        at = tenant.sim.clock
+        tenant.sim.preempt(at)
+        held = self.allocator.held_by(tenant.name)
+        if held:
+            self.allocator.release(tenant.name, held)
+        if self.allocator.abandon_repairs(tenant.name):
+            self._freed_repairs = True
+        tenant.state = _PAUSED
+        tenant.queue_since = at
+
+    def _seat(self, tenant: _Tenant, target: int, now: float) -> None:
+        grant = self._feasible_size(
+            tenant, target, tenant.spec.floor_gpus, self.allocator.free_gpus
+        )
+        if grant <= 0:
+            return
+        if tenant.state == _QUEUED:
+            tenant.sim.start(grant, start_time=now)
+            tenant.start_s = now
+        else:
+            tenant.sim.resume(grant, now)
+        tenant.queue_seconds += max(0.0, now - tenant.queue_since)
+        self.allocator.carve(tenant.name, grant)
+        tenant.state = _RUNNING
+
+
+def run_fleet(spec: FleetSpec) -> FleetResult:
+    """Convenience wrapper: simulate ``spec`` on its shared cluster."""
+    return FleetEngine(spec).run()

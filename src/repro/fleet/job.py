@@ -1,0 +1,746 @@
+"""The per-job iteration-walking state machine.
+
+:class:`JobSimulator` is the engine room extracted from the original
+single-job ``ScenarioEngine``: it walks one training job's timeline —
+pipeline pricing through the vectorized kernel's batched sweep,
+prepared-batch memoization per cluster size, asynchronous-checkpoint
+stalls, durable-checkpoint rollback on failures, straggler rank
+slowdowns, and elastic re-orchestration — against an **allocated GPU
+count** rather than an assumed whole cluster.
+
+Two drivers consume it:
+
+* :class:`repro.scenarios.engine.ScenarioEngine` — the thin single-job
+  wrapper: ``start()`` at the config's full cluster size, ``step()``
+  to completion, ``finish()``. Bit-identical to the pre-extraction
+  engine (the golden scenario snapshots and the zero-event
+  ``TrainingRun`` hex-identity suite pin this).
+* :class:`repro.fleet.engine.FleetEngine` — steps many jobs on one
+  shared event clock, reshaping their allocations at scheduling
+  decision points via :meth:`apply_resize` / :meth:`preempt` /
+  :meth:`resume`, and mirroring failure/repair capacity changes into
+  the fleet's :class:`~repro.cluster.allocation.GPUAllocator` from the
+  :meth:`drain_fleet_events` log.
+
+Thousand-iteration jobs stay fast because nothing is simulated per
+iteration: the simulator prepares ``sample_iterations`` distinct global
+batches per cluster size and memoizes every distinct
+``(cluster size, sample, straggler profile)`` evaluation, so the
+per-iteration cost is a dictionary lookup plus clock arithmetic. All
+orchestration solves go through the process-wide
+:data:`~repro.orchestration.plancache.PLAN_CACHE`, so co-tenant jobs
+running the same task amortize each other's replans (the search is by
+far the dominant cost). Batch preparation and base pricing are kept
+per-job on purpose: the per-job memo tables are what make the run-scoped
+plan hit/miss counters exact and the single-job timeline byte-identical
+to the standalone engine, and sharing their mutable state across
+tenants would trade those contracts for a secondary cost already well
+inside the fleet benchmark's budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import DistTrainConfig
+from repro.data.synthetic import SyntheticMultimodalDataset
+from repro.orchestration.plancache import PLAN_CACHE, planning_signature
+from repro.runtime.checkpoint import CheckpointConfig
+from repro.runtime.iteration import IterationResult, PreparedIteration
+from repro.runtime.trainer import build_checkpointer
+from repro.scenarios.events import (
+    EventTrace,
+    FailureEvent,
+    StragglerEvent,
+)
+from repro.scenarios.result import ScenarioResult
+from repro.scenarios.spec import ScenarioSpec
+
+#: Hard cap on handled failures — a scenario whose downtime exceeds its
+#: MTBF never finishes; fail loudly instead of spinning.
+MAX_FAILURES = 10_000
+
+#: Seed-stream tags (numpy seed sequences) keeping failure and straggler
+#: sampling independent of each other.
+_FAILURE_STREAM = 0
+_STRAGGLER_STREAM = 1
+
+
+def _cached_orchestration(
+    config: DistTrainConfig, num_gpus: int, use_cache: bool = True
+):
+    """Plan (or elastically re-plan) through the process-wide
+    :data:`~repro.orchestration.plancache.PLAN_CACHE`.
+
+    Returns ``(orchestration, was_cache_hit)``. Both the full-size
+    ``plan`` and the elastic re-plan land on the same keyed store
+    ``core.api.replan`` uses, so every distinct (task, cluster size) is
+    solved once per process — across every job of a fleet;
+    ``use_cache=False`` scopes the bypass to this call without
+    disturbing concurrent cache users.
+    """
+    from repro.core.api import _replan_uncached, plan
+
+    if num_gpus != config.cluster.num_gpus:
+        def compute():
+            return _replan_uncached(config, num_gpus)
+    else:
+        def compute():
+            return plan(config)
+    return PLAN_CACHE.fetch(
+        planning_signature(config, num_gpus),
+        compute,
+        bypass=not use_cache,
+    )
+
+
+@dataclass
+class _ClusterState:
+    """Everything memoized for one cluster size."""
+
+    num_gpus: int
+    orchestration: Any
+    simulator: Any
+    prepared: List[PreparedIteration]
+    base: List[IterationResult]
+    #: (sample index, straggler profile) -> IterationResult
+    evaluations: Dict[Tuple[int, Tuple[Tuple[int, float], ...]], IterationResult] = field(
+        default_factory=dict
+    )
+
+
+class JobSimulator:
+    """Simulates one training job under a :class:`ScenarioSpec` on an
+    allocated slice of a cluster.
+
+    Args:
+        config: The training task. The config's cluster is the job's
+            *demand* — the size it wants and the node type it runs on;
+            the slice actually granted is passed to :meth:`start`.
+        scenario: The cluster dynamics to inject.
+        checkpoint: Optional checkpoint policy overriding the default
+            built from ``scenario.checkpoint_interval``.
+        use_plan_cache: When False, bypass the process-wide plan cache
+            and re-run every orchestration search from scratch (the
+            replan-cache correctness suite compares both modes
+            byte-for-byte).
+        name: Job label for fleet bookkeeping and reports.
+    """
+
+    def __init__(
+        self,
+        config: DistTrainConfig,
+        scenario: ScenarioSpec,
+        checkpoint: Optional[CheckpointConfig] = None,
+        use_plan_cache: bool = True,
+        name: str = "job",
+    ):
+        self.config = config
+        self.scenario = scenario
+        self.checkpoint = checkpoint or CheckpointConfig(
+            interval_iterations=scenario.checkpoint_interval
+        )
+        self.use_plan_cache = use_plan_cache
+        self.name = name
+        self._states: Dict[int, _ClusterState] = {}
+        self._infeasible: set = set()
+        self._batches: Optional[List[List[Any]]] = None
+        self._plan_hits = 0
+        self._plan_misses = 0
+        self._started = False
+        self._paused = False
+        self._preemptions = 0
+        #: Capacity-change log the fleet engine drains to keep its
+        #: allocator bookkeeping in sync (unused outside a fleet).
+        self._fleet_log: List[Tuple[Any, ...]] = []
+
+    # ------------------------------------------------------------------ #
+    # Cluster-state memoization
+    # ------------------------------------------------------------------ #
+    def _sample_batches(self) -> List[List[Any]]:
+        """The K distinct global batches every cluster size re-prices.
+
+        Drawn from the same seeded stream :class:`TrainingRun` consumes,
+        so with ``sample_iterations >= num_iterations`` the scenario
+        replays the training run's exact batch sequence.
+        """
+        if self._batches is None:
+            dataset = SyntheticMultimodalDataset(
+                seq_len=self.config.mllm.seq_len,
+                config=self.config.data_config,
+                seed=self.config.data_seed,
+            )
+            count = min(
+                self.scenario.sample_iterations, self.scenario.num_iterations
+            )
+            self._batches = [
+                dataset.take(self.config.global_batch_size)
+                for _ in range(count)
+            ]
+        return self._batches
+
+    def _state(self, num_gpus: int) -> _ClusterState:
+        state = self._states.get(num_gpus)
+        if state is not None:
+            # Already built this run — the plan (and prepared batches)
+            # are reused without touching the orchestrator.
+            self._plan_hits += 1
+            return state
+        from repro.core.api import build_simulator
+
+        orchestration, was_hit = _cached_orchestration(
+            self.config, num_gpus, use_cache=self.use_plan_cache
+        )
+        if was_hit:
+            self._plan_hits += 1
+        else:
+            self._plan_misses += 1
+        if num_gpus == self.config.cluster.num_gpus:
+            sim_config = self.config
+        else:
+            from repro.cluster.cluster import resized_cluster
+
+            sim_config = self.config.with_(
+                cluster=resized_cluster(self.config.cluster, num_gpus)
+            )
+        simulator = build_simulator(sim_config, orchestration)
+        prepared = [
+            simulator.prepare(batch) for batch in self._sample_batches()
+        ]
+        base = [simulator.evaluate_prepared(prep) for prep in prepared]
+        state = _ClusterState(
+            num_gpus=num_gpus,
+            orchestration=orchestration,
+            simulator=simulator,
+            prepared=prepared,
+            base=base,
+        )
+        self._states[num_gpus] = state
+        return state
+
+    def _evaluate(
+        self,
+        state: _ClusterState,
+        sample: int,
+        profile: Tuple[Tuple[int, float], ...],
+    ) -> IterationResult:
+        """Memoized iteration evaluation for one straggler profile."""
+        if not profile:
+            return state.base[sample]
+        key = (sample, profile)
+        cached = state.evaluations.get(key)
+        if cached is not None:
+            return cached
+        n_ranks = len(state.prepared[sample].rank_work)
+        factors = np.ones(n_ranks)
+        for rank, slowdown in profile:
+            idx = rank % n_ranks
+            factors[idx] = max(factors[idx], slowdown)
+        result = state.simulator.evaluate_prepared(
+            state.prepared[sample], rank_slowdowns=factors
+        )
+        state.evaluations[key] = result
+        return result
+
+    def feasible(self, num_gpus: int) -> bool:
+        """Can the task be orchestrated on ``num_gpus`` GPUs?
+
+        A successful probe leaves the solved plan in the per-size state
+        table (and the process-wide plan cache), so probing is never
+        wasted work when the size is later granted. Infeasible sizes
+        are memoized per job — the task and node type are fixed for the
+        job's life, so a size that failed once fails forever and repeat
+        probes at scheduling decision points stay O(1).
+        """
+        if num_gpus in self._infeasible:
+            return False
+        try:
+            self._state(num_gpus)
+            return True
+        except Exception:
+            self._infeasible.add(num_gpus)
+            return False
+
+    # ------------------------------------------------------------------ #
+    # Event sampling
+    # ------------------------------------------------------------------ #
+    def _sampled_stragglers(self) -> List[StragglerEvent]:
+        """Pre-drawn straggler episodes (deterministic for a seed)."""
+        spec = self.scenario
+        if spec.straggler_rate <= 0.0:
+            return []
+        rng = np.random.default_rng([spec.seed, _STRAGGLER_STREAM])
+        coins = rng.uniform(size=spec.num_iterations)
+        ranks = rng.integers(0, 2**16, size=spec.num_iterations)
+        episodes = []
+        for i in np.flatnonzero(coins < spec.straggler_rate):
+            episodes.append(
+                StragglerEvent(
+                    iteration=int(i),
+                    duration_iterations=spec.straggler_iterations,
+                    rank=int(ranks[i]),
+                    slowdown=spec.straggler_slowdown,
+                )
+            )
+        return episodes
+
+    def _straggler_profiles(
+        self, stragglers: List[StragglerEvent]
+    ) -> Dict[int, Tuple[Tuple[int, float], ...]]:
+        """Iteration -> canonical active-straggler profile."""
+        profiles: Dict[int, List[Tuple[int, float]]] = {}
+        for episode in stragglers:
+            for i in range(episode.iteration, episode.end_iteration):
+                if i >= self.scenario.num_iterations:
+                    break
+                profiles.setdefault(i, []).append(
+                    (episode.rank, episode.slowdown)
+                )
+        return {
+            i: tuple(sorted(active)) for i, active in profiles.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(
+        self,
+        allocated_gpus: Optional[int] = None,
+        start_time: float = 0.0,
+    ) -> None:
+        """Initialize the run state on an allocated slice.
+
+        Args:
+            allocated_gpus: GPUs granted to the job (default: the
+                config's full cluster — the single-job case). This is
+                also the size failure-repair re-growth targets until a
+                fleet changes it via :meth:`apply_resize`.
+            start_time: Wall-clock at which the job begins (a fleet job
+                admitted mid-timeline starts at its grant time).
+        """
+        spec = self.scenario
+        config = self.config
+        if allocated_gpus is None:
+            allocated_gpus = config.cluster.num_gpus
+        self._allocated = allocated_gpus
+        self._initial_gpus = allocated_gpus
+        self._node_gpus = config.cluster.node.gpus_per_node
+
+        # An explicit event trace *replaces* sampling (the spec and CLI
+        # contract): replaying a recorded run with its original MTBF and
+        # straggler rate still reproduces it exactly.
+        replaying = spec.events is not None
+        trace = spec.events or EventTrace()
+        failures = trace.failures
+        if start_time:
+            # Trace times are job-relative (recorded from a run that
+            # started at 0); a fleet job admitted mid-timeline replays
+            # them offset to its own start, so a standalone recording
+            # reproduces identically whenever the job is seated.
+            failures = [
+                replace(event, time_s=event.time_s + start_time)
+                for event in failures
+            ]
+        self._replayed_failures = failures
+        self._resizes = {e.iteration: e for e in trace.resizes}
+        sampled_stragglers = (
+            [] if replaying else self._sampled_stragglers()
+        )
+        self._profiles = self._straggler_profiles(
+            trace.stragglers + sampled_stragglers
+        )
+
+        self._failure_model = None if replaying else spec.failure_model()
+        self._failure_rng = np.random.default_rng(
+            [spec.seed, _FAILURE_STREAM]
+        )
+
+        self._plan_hits_at_start = self._plan_hits
+        self._plan_misses_at_start = self._plan_misses
+        self._cur = self._state(allocated_gpus)
+        self._checkpointer = build_checkpointer(
+            self._cur.orchestration.plan, self.checkpoint
+        )
+        assert self._checkpointer is not None
+
+        # Ideal trajectory: the granted slice, no events, no stalls.
+        n = spec.num_iterations
+        self._n = n
+        K = len(self._sample_batches())
+        self._K = K
+        full_base = self._states[allocated_gpus].base
+        ideal_times = [full_base[i % K].iteration_time for i in range(n)]
+        # Sequential (not pairwise) accumulation, matching how the
+        # timeline clock advances — a zero-event scenario's goodput is
+        # exactly 1 up to its checkpoint stalls, never above.
+        ideal_seconds = 0.0
+        for t in ideal_times:
+            ideal_seconds += t
+        self._ideal_seconds = ideal_seconds
+
+        self._times = np.zeros(n)
+        self._mfu_traj = np.zeros(n)
+        #: The realized trace: explicit events plus everything sampled,
+        #: so any run can be replayed declaratively.
+        self._events_log: List[Any] = list(trace.events) + list(
+            sampled_stragglers
+        )
+
+        self._start_time = start_time
+        self._clock = start_time
+        self._i = 0
+        self._num_failures = 0
+        self._replayed = 0
+        self._num_replans = 0
+        self._lost_seconds = 0.0
+        self._recovery_seconds = 0.0
+        self._stall_carry = 0.0
+        self._min_gpus = allocated_gpus
+        self._repair_at: Optional[float] = None
+        self._failure_idx = 0  # replayed failures consumed
+        self._gpu_seconds = 0.0
+
+        # Lazy Poisson sampling: the next failure arrival in wall-clock.
+        self._next_sampled: Optional[float] = None
+        if self._failure_model is not None:
+            self._next_sampled = start_time + self._failure_rng.exponential(
+                self._failure_model.cluster_mtbf_seconds(self._cur.num_gpus)
+            )
+        self._started = True
+        self._paused = False
+        self._preemptions = 0
+        self._fleet_log = []
+
+    # ------------------------------------------------------------------ #
+    # Introspection the drivers need
+    # ------------------------------------------------------------------ #
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def done(self) -> bool:
+        """All target iterations retained."""
+        return self._started and self._i >= self._n
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @property
+    def clock(self) -> float:
+        """The job's current wall-clock position."""
+        return self._clock
+
+    @property
+    def num_gpus(self) -> int:
+        """GPUs the job currently computes on (0 before :meth:`start`)."""
+        return self._cur.num_gpus if self._started else 0
+
+    @property
+    def allocated_gpus(self) -> int:
+        """The slice the job re-grows to after repairs."""
+        return self._allocated if self._started else 0
+
+    @property
+    def iterations_retained(self) -> int:
+        return self._i if self._started else 0
+
+    def ideal_seconds_at(self, num_gpus: int) -> float:
+        """Zero-event, zero-stall runtime of the whole job at ``num_gpus``.
+
+        The fleet engine prices every tenant's *demand-size* ideal with
+        this (its goodput numerator); sequential accumulation matches
+        how the timeline clock advances. Counts against the plan memo,
+        so call it only after :meth:`finish` has snapshotted the
+        run-scoped hit/miss counters.
+        """
+        state = self._state(num_gpus)
+        K = len(self._sample_batches())
+        total = 0.0
+        for i in range(self.scenario.num_iterations):
+            total += state.base[i % K].iteration_time
+        return total
+
+    def drain_fleet_events(self) -> List[Tuple[Any, ...]]:
+        """Capacity changes since the last drain (fleet bookkeeping).
+
+        Entries are ``("failure", event, from_gpus, to_gpus, clock)``
+        when hardware died (``from == to`` means the job restarted on
+        replacement capacity at unchanged size), ``("grow", from_gpus,
+        to_gpus, clock)`` when repair re-growth fired, and ``("resize",
+        from_gpus, to_gpus, clock)`` for trace-scripted resizes.
+        """
+        log = self._fleet_log
+        self._fleet_log = []
+        return log
+
+    # ------------------------------------------------------------------ #
+    # The state machine
+    # ------------------------------------------------------------------ #
+    def _next_failure(self) -> Tuple[Optional[FailureEvent], bool]:
+        """(earliest pending failure, came-from-sampling flag)."""
+        replay: Optional[FailureEvent] = None
+        if self._failure_idx < len(self._replayed_failures):
+            replay = self._replayed_failures[self._failure_idx]
+        if self._next_sampled is not None and (
+            replay is None or self._next_sampled < replay.time_s
+        ):
+            return (
+                FailureEvent(
+                    time_s=self._next_sampled,
+                    gpus_lost=self.scenario.gpus_lost_per_failure,
+                ),
+                True,
+            )
+        return replay, False
+
+    def _switch_cluster(self, num_gpus: int, now: float) -> None:
+        """Replan on a resized slice and rebuild the checkpointer."""
+        self._cur = self._state(num_gpus)
+        self._stall_carry += self._checkpointer.total_stall
+        self._checkpointer = build_checkpointer(
+            self._cur.orchestration.plan, self.checkpoint
+        )
+        self._checkpointer.resume_from(self._i)
+        self._num_replans += 1
+        self._min_gpus = min(self._min_gpus, num_gpus)
+        if self._failure_model is not None:
+            # Memoryless arrivals: restart the exponential clock at
+            # the new slice's failure rate.
+            self._next_sampled = now + self._failure_rng.exponential(
+                self._failure_model.cluster_mtbf_seconds(num_gpus)
+            )
+
+    def step(self) -> None:
+        """Advance the timeline by one unit of work.
+
+        One call either retains one iteration (compute + checkpoint
+        stall) or handles one failure (rollback + downtime + optional
+        elastic shrink). Scheduled capacity changes (repair re-growth,
+        trace-scripted resizes) are applied at the iteration boundary
+        before the work.
+        """
+        spec = self.scenario
+        if self._num_failures > MAX_FAILURES:
+            raise RuntimeError(
+                f"scenario exceeded {MAX_FAILURES} failures; downtime "
+                "dominates MTBF and the run cannot finish"
+            )
+        # Scheduled capacity changes at the iteration boundary.
+        if self._repair_at is not None and self._clock >= self._repair_at:
+            self._repair_at = None
+            if self._cur.num_gpus != self._allocated:
+                grown_from = self._cur.num_gpus
+                self._switch_cluster(self._allocated, self._clock)
+                self._clock += spec.replan_seconds
+                self._recovery_seconds += spec.replan_seconds
+                self._fleet_log.append(
+                    ("grow", grown_from, self._cur.num_gpus, self._clock)
+                )
+        if self._i in self._resizes and (
+            self._cur.num_gpus != self._resizes[self._i].num_gpus
+        ):
+            resized_from = self._cur.num_gpus
+            self._switch_cluster(
+                self._resizes[self._i].num_gpus, self._clock
+            )
+            self._clock += spec.replan_seconds
+            self._recovery_seconds += spec.replan_seconds
+            self._fleet_log.append(
+                ("resize", resized_from, self._cur.num_gpus, self._clock)
+            )
+
+        result = self._evaluate(
+            self._cur, self._i % self._K, self._profiles.get(self._i, ())
+        )
+        end_compute = self._clock + result.iteration_time
+
+        failure, sampled = self._next_failure()
+        if failure is not None and failure.time_s <= end_compute:
+            # The iteration is killed mid-flight.
+            if sampled:
+                self._events_log.append(failure)
+                self._next_sampled = (
+                    failure.time_s + self._failure_rng.exponential(
+                        self._failure_model.cluster_mtbf_seconds(
+                            self._cur.num_gpus
+                        )
+                    )
+                )
+            else:
+                self._failure_idx += 1
+            self._num_failures += 1
+            at = max(self._clock, failure.time_s)
+            self._lost_seconds += at - self._clock  # the partial iteration
+            rollback_to = self._checkpointer.restart_from_latest(at)
+            self._replayed += self._i - rollback_to
+            self._lost_seconds += float(
+                self._times[rollback_to:self._i].sum()
+            )
+            self._i = rollback_to
+            self._clock = at + spec.downtime_seconds
+            self._recovery_seconds += spec.downtime_seconds
+            shrunk_from = self._cur.num_gpus
+            if spec.elastic:
+                lost_nodes = -(-failure.gpus_lost // self._node_gpus)
+                survivors = (
+                    self._cur.num_gpus - lost_nodes * self._node_gpus
+                )
+                if survivors >= self._node_gpus and self.feasible(survivors):
+                    self._switch_cluster(survivors, self._clock)
+                    self._clock += spec.replan_seconds
+                    self._recovery_seconds += spec.replan_seconds
+                    self._repair_at = (
+                        max(self._repair_at or 0.0, at + spec.repair_seconds)
+                    )
+                # Too few survivors: restart on replacement hardware
+                # at the current size instead of shrinking further.
+            self._fleet_log.append(
+                ("failure", failure, shrunk_from, self._cur.num_gpus,
+                 self._clock)
+            )
+            return
+
+        self._clock = end_compute
+        self._times[self._i] = result.iteration_time
+        self._mfu_traj[self._i] = result.mfu
+        self._gpu_seconds += self._cur.num_gpus * result.iteration_time
+        self._clock += self._checkpointer.on_iteration(self._i, self._clock)
+        self._i += 1
+
+    def advance_until(self, horizon: float) -> None:
+        """Step until the job's clock reaches ``horizon`` or it ends.
+
+        Iterations are non-preemptible, so the clock may overshoot the
+        horizon by up to one unit of work — allocation changes then
+        apply at the job's next boundary at-or-after the horizon.
+        """
+        while not self.done and not self._paused and self._clock < horizon:
+            self.step()
+
+    # ------------------------------------------------------------------ #
+    # Fleet controls
+    # ------------------------------------------------------------------ #
+    def apply_resize(self, num_gpus: int, now: float) -> None:
+        """Fleet-driven graceful resize at the job's next boundary.
+
+        Updates the repair re-growth target and — when the size actually
+        changes — pays one modeled re-orchestration pause, exactly like
+        a trace-scripted :class:`~repro.scenarios.events.ResizeEvent`.
+
+        A scheduler resize supersedes any pending failure repair: the
+        new size *is* the job's target now, so the internal re-growth is
+        cancelled (the fleet returns the under-repair capacity to the
+        shared pool — see ``FleetEngine._resize_running``).
+        """
+        at = max(self._clock, now)
+        self._clock = at
+        self._allocated = num_gpus
+        self._repair_at = None
+        if self._cur.num_gpus != num_gpus:
+            self._switch_cluster(num_gpus, self._clock)
+            self._clock += self.scenario.replan_seconds
+            self._recovery_seconds += self.scenario.replan_seconds
+
+    def preempt(self, now: float) -> None:
+        """Preempt the job: roll back to the latest durable checkpoint
+        and pause until :meth:`resume`.
+
+        Work since the last durable checkpoint is lost (checkpoint-then-
+        kill preemption would need a synchronous flush the runtime does
+        not model); the fleet reclaims the job's GPUs and any capacity
+        it had pending repair.
+        """
+        at = max(self._clock, now)
+        rollback_to = self._checkpointer.restart_from_latest(at)
+        self._replayed += self._i - rollback_to
+        self._lost_seconds += float(self._times[rollback_to:self._i].sum())
+        self._i = rollback_to
+        self._clock = at
+        self._repair_at = None
+        self._paused = True
+        self._preemptions += 1
+
+    def resume(self, num_gpus: int, now: float) -> None:
+        """Resume a preempted job on a (possibly different) slice.
+
+        Pays the checkpoint reload, then a re-orchestration pause if the
+        slice size changed.
+        """
+        if not self._paused:
+            raise RuntimeError(f"job {self.name!r} is not preempted")
+        at = max(self._clock, now)
+        self._clock = at + self.scenario.checkpoint_load_seconds
+        self._recovery_seconds += self.scenario.checkpoint_load_seconds
+        self._allocated = num_gpus
+        if self._cur.num_gpus != num_gpus:
+            self._switch_cluster(num_gpus, self._clock)
+            self._clock += self.scenario.replan_seconds
+            self._recovery_seconds += self.scenario.replan_seconds
+        elif self._failure_model is not None:
+            # Same slice: re-arm the failure clock so arrivals sampled
+            # before the pause cannot fire inside the paused window.
+            self._next_sampled = self._clock + self._failure_rng.exponential(
+                self._failure_model.cluster_mtbf_seconds(self._cur.num_gpus)
+            )
+        self._paused = False
+
+    # ------------------------------------------------------------------ #
+    # Result assembly
+    # ------------------------------------------------------------------ #
+    def finish(self) -> ScenarioResult:
+        """Build the job's :class:`ScenarioResult` after :attr:`done`."""
+        spec = self.scenario
+        config = self.config
+        n = self._n
+        total_stall = self._stall_carry + self._checkpointer.total_stall
+        useful_seconds = 0.0  # sequential, like the clock
+        for t in self._times:
+            useful_seconds += float(t)
+        total_seconds = self._clock - self._start_time
+        tokens = float(n) * config.global_batch_size * config.mllm.seq_len
+        return ScenarioResult(
+            num_iterations=n,
+            total_seconds=total_seconds,
+            ideal_seconds=self._ideal_seconds,
+            useful_seconds=useful_seconds,
+            lost_seconds=self._lost_seconds,
+            checkpoint_stall_seconds=total_stall,
+            recovery_seconds=self._recovery_seconds,
+            num_failures=self._num_failures,
+            replayed_iterations=self._replayed,
+            num_replans=self._num_replans,
+            initial_gpus=self._initial_gpus,
+            final_gpus=self._cur.num_gpus,
+            min_gpus=self._min_gpus,
+            mean_mfu=float(np.mean(self._mfu_traj)),
+            effective_tokens_per_s=(
+                tokens / total_seconds if total_seconds > 0 else 0.0
+            ),
+            ideal_tokens_per_s=(
+                tokens / self._ideal_seconds
+                if self._ideal_seconds > 0
+                else 0.0
+            ),
+            mfu_trajectory=self._mfu_traj,
+            iteration_times=self._times,
+            events=EventTrace(self._events_log),
+            plan_cache_hits=self._plan_hits - self._plan_hits_at_start,
+            plan_cache_misses=(
+                self._plan_misses - self._plan_misses_at_start
+            ),
+            gpu_seconds=self._gpu_seconds,
+            preemptions=self._preemptions,
+        )
+
+    def run(self) -> ScenarioResult:
+        """Single-job convenience: start at the full config cluster,
+        walk the whole timeline, and assemble the result."""
+        self.start()
+        while not self.done:
+            self.step()
+        return self.finish()

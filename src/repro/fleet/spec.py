@@ -1,0 +1,196 @@
+"""Declarative, sweepable description of a shared-cluster workload.
+
+A :class:`FleetSpec` is the fleet analogue of a
+:class:`~repro.scenarios.spec.ScenarioSpec`: the shared cluster, the
+scheduling policy, and one :class:`FleetJobSpec` per tenant (task
+config at its demand size, per-job dynamics, arrival time, priority).
+Like the scenario spec it canonicalizes to JSON-safe primitives so the
+campaign cache key covers every field — changing any job's arrival,
+priority, or dynamics re-executes exactly the affected trials.
+
+:meth:`FleetSpec.homogeneous` builds the canonical contention workload
+the sweeps and benchmarks use: N staggered copies of one task sharing a
+cluster that cannot hold them all at full demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import ClusterSpec, make_cluster, resized_cluster
+from repro.core.config import DistTrainConfig
+from repro.scenarios.spec import ScenarioSpec
+
+@dataclass(frozen=True)
+class FleetJobSpec:
+    """One tenant of a shared cluster.
+
+    Attributes:
+        name: Unique job label.
+        config: The training task *at its demand size* — the config's
+            cluster is what the job asks the scheduler for (and the
+            node type it runs on).
+        scenario: The job's own dynamics (iterations, failures,
+            stragglers, elasticity). Trace-scripted resize events are
+            rejected: inside a fleet, resizes belong to the scheduler.
+        arrival_s: Fleet wall-clock at which the job arrives.
+        priority: Larger preempts smaller under the priority policy.
+        min_gpus: Smallest slice the scheduler may grant (defaults to
+            one node; the engine additionally respects orchestration
+            feasibility at runtime).
+    """
+
+    name: str
+    config: DistTrainConfig
+    scenario: ScenarioSpec
+    arrival_s: float = 0.0
+    priority: int = 0
+    min_gpus: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job needs a name")
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+        if self.scenario.events is not None and any(
+            e.kind == "resize" for e in self.scenario.events
+        ):
+            raise ValueError(
+                "fleet jobs cannot carry scripted resize events; "
+                "allocation changes belong to the scheduling policy"
+            )
+        node = self.config.cluster.gpus_per_node
+        if self.min_gpus is not None:
+            if self.min_gpus < node or self.min_gpus % node != 0:
+                raise ValueError(
+                    f"min_gpus must be whole nodes (>= {node}), "
+                    f"got {self.min_gpus}"
+                )
+            if self.min_gpus > self.config.cluster.num_gpus:
+                raise ValueError(
+                    f"min_gpus={self.min_gpus} exceeds the job's demand "
+                    f"({self.config.cluster.num_gpus} GPUs) — no grant "
+                    "could ever satisfy it"
+                )
+
+    @property
+    def demand_gpus(self) -> int:
+        return self.config.cluster.num_gpus
+
+    @property
+    def floor_gpus(self) -> int:
+        return (
+            self.min_gpus
+            if self.min_gpus is not None
+            else self.config.cluster.gpus_per_node
+        )
+
+
+@dataclass
+class FleetSpec:
+    """A shared cluster, a policy, and the tenant jobs."""
+
+    cluster: ClusterSpec
+    jobs: Tuple[FleetJobSpec, ...] = ()
+    policy: str = "fair-share"
+
+    def __post_init__(self) -> None:
+        self.jobs = tuple(self.jobs)
+        if not self.jobs:
+            raise ValueError("fleet needs at least one job")
+        names = [job.name for job in self.jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate job names: {sorted(names)}")
+        from repro.fleet.policies import POLICIES
+
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown scheduling policy {self.policy!r}; "
+                f"known: {sorted(POLICIES)}"
+            )
+        node = self.cluster.gpus_per_node
+        for job in self.jobs:
+            if job.config.cluster.gpus_per_node != node:
+                raise ValueError(
+                    f"job {job.name!r} node type does not match the "
+                    "shared cluster"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Canonical workloads
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def homogeneous(
+        cls,
+        config: DistTrainConfig,
+        cluster_gpus: int,
+        num_jobs: int,
+        job_gpus: Optional[int] = None,
+        arrival_spacing_s: float = 0.0,
+        priorities: Sequence[int] = (0,),
+        policy: str = "fair-share",
+        scenario: Optional[ScenarioSpec] = None,
+    ) -> "FleetSpec":
+        """N staggered copies of one task contending for one cluster.
+
+        Each job gets a distinct name, a derived failure seed
+        (``scenario.seed + index`` — identical tenants must not fail in
+        lockstep), an arrival of ``index * arrival_spacing_s``, and a
+        priority cycled from ``priorities``.
+        """
+        if num_jobs < 1:
+            raise ValueError("num_jobs must be >= 1")
+        scenario = scenario or ScenarioSpec()
+        demand = job_gpus or config.cluster.num_gpus
+        if demand != config.cluster.num_gpus:
+            config = config.with_(
+                cluster=resized_cluster(config.cluster, demand)
+            )
+        cluster = (
+            config.cluster
+            if cluster_gpus == config.cluster.num_gpus
+            else make_cluster(
+                cluster_gpus,
+                node=config.cluster.node,
+                cpu_nodes=config.cluster.cpu_nodes,
+            )
+        )
+        priorities = tuple(priorities) or (0,)
+        jobs = tuple(
+            FleetJobSpec(
+                name=f"job{i:02d}",
+                config=config,
+                scenario=scenario.with_(seed=scenario.seed + i),
+                arrival_s=i * arrival_spacing_s,
+                priority=priorities[i % len(priorities)],
+            )
+            for i in range(num_jobs)
+        )
+        return cls(cluster=cluster, jobs=jobs, policy=policy)
+
+    # ------------------------------------------------------------------ #
+    # Cache-key canonicalization
+    # ------------------------------------------------------------------ #
+    def canonical(self) -> Dict[str, Any]:
+        """JSON-safe canonical form (feeds the campaign cache key)."""
+        from repro.experiments.spec import canonical_value
+
+        return {
+            "cluster": canonical_value(self.cluster),
+            "policy": self.policy,
+            "jobs": [
+                {
+                    "name": job.name,
+                    "config": canonical_value(job.config),
+                    "scenario": job.scenario.canonical(),
+                    "arrival_s": job.arrival_s,
+                    "priority": job.priority,
+                    "min_gpus": job.min_gpus,
+                }
+                for job in self.jobs
+            ],
+        }
+
+    def with_(self, **kwargs: Any) -> "FleetSpec":
+        return replace(self, **kwargs)

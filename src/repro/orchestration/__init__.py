@@ -19,6 +19,7 @@ which parallelism configuration, minimizing the per-iteration time
   DistMM* FLOPs-proportional orchestration.
 """
 
+from repro.orchestration.errors import InfeasibleClusterError
 from repro.orchestration.problem import OrchestrationProblem, SampleProfile
 from repro.orchestration.formulation import (
     CandidateConfig,
@@ -41,6 +42,7 @@ from repro.orchestration.baselines import (
 )
 
 __all__ = [
+    "InfeasibleClusterError",
     "OrchestrationProblem",
     "SampleProfile",
     "CandidateConfig",

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.cluster.cluster import resized_cluster
 from repro.models.base import ModuleWorkload
+from repro.orchestration.errors import InfeasibleClusterError
 from repro.orchestration.convex import (
     solve_resource_split,
     solve_resource_split_batch,
@@ -236,10 +237,22 @@ def replan_for_cluster(
     to restart and checkpoint-reload time. Callers that re-plan the same
     cluster sizes repeatedly should go through
     :mod:`repro.orchestration.plancache`.
+
+    Shrinking below the minimum feasible size raises a clear
+    :class:`~repro.orchestration.errors.InfeasibleClusterError` — both
+    when the size cannot be formed from whole nodes and when no
+    memory-feasible plan exists on it — so elastic schedulers can treat
+    infeasibility as the expected, recoverable outcome it is.
     """
-    shrunk = replace(
-        problem, cluster=resized_cluster(problem.cluster, num_gpus)
-    )
+    try:
+        shrunk = replace(
+            problem, cluster=resized_cluster(problem.cluster, num_gpus)
+        )
+    except ValueError as exc:
+        raise InfeasibleClusterError(
+            f"cannot re-plan {problem.mllm.name} on {num_gpus} GPUs: {exc}",
+            num_gpus=num_gpus,
+        ) from exc
     return AdaptiveOrchestrator(shrunk).plan()
 
 
@@ -289,9 +302,10 @@ class AdaptiveOrchestrator:
 
         search = self._search_arrays(tp_me, tp_mg)
         if search is None:
-            raise RuntimeError(
+            raise InfeasibleClusterError(
                 "no feasible orchestration found; cluster too small for "
-                f"{problem.mllm.name}"
+                f"{problem.mllm.name} ({problem.num_gpus} GPUs)",
+                num_gpus=problem.num_gpus,
             )
         (cost, cand_idx, tp_lm, dp_lm, pp_lm, dp_me, dp_mg,
          convex_solutions) = search

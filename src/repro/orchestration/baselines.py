@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.models.base import ModuleWorkload
+from repro.orchestration.errors import InfeasibleClusterError
 from repro.orchestration.adaptive import (
     OrchestrationResult,
     divisors,
@@ -67,8 +68,10 @@ class MegatronOrchestrator:
         gpus_per_replica = tp * (pp_lm + 2)
         max_dp = budget // gpus_per_replica
         if max_dp < 1:
-            raise RuntimeError(
-                f"cluster too small for monolithic pp={pp_lm} tp={tp}"
+            raise InfeasibleClusterError(
+                f"cluster too small for monolithic pp={pp_lm} tp={tp} "
+                f"({budget} GPUs)",
+                num_gpus=budget,
             )
         per_iter_samples = problem.global_batch_size // M
         dp_lm = max(
@@ -76,7 +79,11 @@ class MegatronOrchestrator:
             default=None,
         )
         if dp_lm is None:
-            raise RuntimeError("no feasible DP for monolithic orchestration")
+            raise InfeasibleClusterError(
+                "no feasible DP for monolithic orchestration "
+                f"({budget} GPUs)",
+                num_gpus=budget,
+            )
 
         plans: Dict[str, ParallelismPlan] = {
             # The small modules run replicated inside the TP-group node.
@@ -218,7 +225,11 @@ class DistMMOrchestrator:
             if best is None or plan.num_gpus > best.num_gpus:
                 best = plan
         if best is None:
-            raise RuntimeError("DistMM* found no feasible LLM plan")
+            raise InfeasibleClusterError(
+                "DistMM* found no feasible LLM plan "
+                f"({problem.num_gpus} GPUs)",
+                num_gpus=problem.num_gpus,
+            )
         llm_plan = best
 
         plans = {

@@ -1,0 +1,33 @@
+"""Orchestration failure types.
+
+Shrinking a task below its minimum feasible cluster used to surface as
+whatever the search tripped over first — an opaque ``RuntimeError`` deep
+inside the candidate enumeration, or a ``ValueError`` from the cluster
+resizer. Elastic scenarios, the fleet scheduler, and campaign error rows
+all need to *recognize* infeasibility (it is an expected, recoverable
+outcome: keep the previous size, queue the job, mark the trial), so it
+gets a dedicated type.
+
+``InfeasibleClusterError`` subclasses ``RuntimeError`` so existing
+callers catching the old generic failures keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class InfeasibleClusterError(RuntimeError):
+    """The task cannot be orchestrated on the given cluster slice.
+
+    Raised when no memory-feasible parallelism plan exists — the cluster
+    (or the allocated slice of it) is below the model's minimum feasible
+    size, or the requested size cannot be formed from whole nodes.
+
+    Attributes:
+        num_gpus: The infeasible cluster size, when known.
+    """
+
+    def __init__(self, message: str, num_gpus: Optional[int] = None):
+        super().__init__(message)
+        self.num_gpus = num_gpus

@@ -1,98 +1,47 @@
 """Process-wide cache of orchestration plans.
 
 Elastic scenarios oscillate between the same few cluster sizes
-(fail -> shrink -> repair -> re-grow -> fail again), and campaign sweeps
-re-plan identical tasks across trials. The orchestration search is a
-pure function of the task configuration and the cluster size, so every
-distinct ``(problem signature, num_gpus)`` pair needs to be solved
-exactly once per process; everything after that is a dictionary lookup.
+(fail -> shrink -> repair -> re-grow -> fail again), campaign sweeps
+re-plan identical tasks across trials, and co-tenant fleet jobs running
+the same task replan the same slice sizes as the scheduler reshapes the
+fleet. The orchestration search is a pure function of the task
+configuration and the cluster size, so every distinct
+``(problem signature, num_gpus)`` pair needs to be solved exactly once
+per process; everything after that is a dictionary lookup.
 
 The cache is deliberately tiny and explicit (no ``lru_cache``): hit and
 miss counters are part of the public contract — the scenario engine
-reports them on :class:`~repro.scenarios.engine.ScenarioResult`, and the
-CLI surfaces them after ``repro plan`` / ``repro scenario run``.
+reports them on :class:`~repro.scenarios.engine.ScenarioResult`, the
+fleet engine aggregates them per job, and the CLI surfaces them after
+``repro plan`` / ``repro scenario run`` / ``repro fleet run``.
 
 Failed plans (e.g. a shrunken cluster too small for the model) are *not*
 cached; exceptions propagate to the caller unrecorded so a transiently
-infeasible size is re-checked the next time it appears.
+infeasible size is re-checked the next time it appears. The store
+semantics live in :class:`repro.core.keyedcache.KeyedCache`, shared with
+the profile and profiler caches.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+from typing import Tuple
+
+from repro.core.keyedcache import KeyedCache
 
 #: Default capacity — far above the handful of cluster sizes a failure
 #: trace visits, but bounded so long sweeps cannot grow without limit.
 PLAN_CACHE_SIZE = 128
 
 
-class PlanCache:
+class PlanCache(KeyedCache):
     """A keyed plan store with FIFO eviction and hit/miss accounting."""
 
     def __init__(self, maxsize: int = PLAN_CACHE_SIZE):
-        if maxsize < 1:
-            raise ValueError("maxsize must be >= 1")
-        self.maxsize = maxsize
-        self._entries: Dict[Hashable, Any] = {}
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def get_or_compute(
-        self, key: Hashable, compute: Callable[[], Any]
-    ) -> Any:
-        """Return the cached plan for ``key``, computing it on a miss."""
-        return self.fetch(key, compute)[0]
-
-    def fetch(
-        self,
-        key: Hashable,
-        compute: Callable[[], Any],
-        bypass: bool = False,
-    ) -> Tuple[Any, bool]:
-        """Like :meth:`get_or_compute`, but returns ``(plan, was_hit)``.
-
-        Callers that report hit/miss accounting (the scenario engine)
-        read the flag directly — exact even when other threads use the
-        cache concurrently. ``bypass=True`` scopes cache avoidance to
-        this one call: ``compute`` runs directly and neither counters
-        nor entries change, leaving concurrent cache users undisturbed.
-        """
-        if bypass:
-            return compute(), False
-        with self._lock:
-            if key in self._entries:
-                self.hits += 1
-                return self._entries[key], True
-        result = compute()
-        with self._lock:
-            self.misses += 1
-            while len(self._entries) >= self.maxsize:
-                self._entries.pop(next(iter(self._entries)))
-            self._entries[key] = result
-        return result, False
-
-    def lookup(self, key: Hashable) -> Optional[Any]:
-        """Peek without counting or computing."""
-        return self._entries.get(key)
-
-    def stats(self) -> Tuple[int, int]:
-        """(hits, misses) snapshot."""
-        return self.hits, self.misses
-
-    def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
-            self.hits = 0
-            self.misses = 0
+        super().__init__(maxsize=maxsize)
 
 
-#: The process-wide instance ``core.api.replan`` and the scenario engine
-#: share.
+#: The process-wide instance ``core.api.replan``, the scenario engine,
+#: and the fleet engine share.
 PLAN_CACHE = PlanCache()
 
 

@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.cluster.cluster import ClusterSpec
+from repro.core.keyedcache import KeyedCache
 from repro.data.sample import TrainingSample
 from repro.models.base import ModuleWorkload
 from repro.models.mllm import MultimodalLLMSpec
@@ -25,9 +26,9 @@ from repro.timing.roofline import DEFAULT_EFFICIENCY, EfficiencyModel
 
 
 #: Noise-free profilers shared across problems (see
-#: :meth:`OrchestrationProblem.profiler`).
-_PROFILER_CACHE: Dict[tuple, PerformanceProfiler] = {}
-_PROFILER_CACHE_SIZE = 32
+#: :meth:`OrchestrationProblem.profiler`) — the same keyed-cache module
+#: the plan cache and data-profile cache use.
+PROFILER_CACHE = KeyedCache(maxsize=32)
 
 
 @dataclass(frozen=True)
@@ -150,31 +151,30 @@ class OrchestrationProblem:
         if self._profiler is None:
             key = self._profiler_key()
             if key is not None:
-                cached = _PROFILER_CACHE.get(key)
-                if cached is not None:
-                    self._profiler = cached
-                    return cached
-            profiler = PerformanceProfiler(
-                cost_models=self.cost_models(),
-                tp_candidates=tuple(self.tp_candidates),
-                noise_std=self.profiler_noise_std,
-            )
-            enc = self.per_sample_workload("encoder")
-            gen = self.per_sample_workload("generator")
-            profiler.profile(
-                max_units={
-                    "llm": 4.0 * self.microbatch_size,
-                    "encoder": 4.0 * enc.image_tokens * self.microbatch_size,
-                    "generator": 4.0 * gen.image_tokens * self.microbatch_size,
-                },
-                images_hint=max(1, round(self.profile.images)),
-            )
-            self._profiler = profiler
-            if key is not None:
-                while len(_PROFILER_CACHE) >= _PROFILER_CACHE_SIZE:
-                    _PROFILER_CACHE.pop(next(iter(_PROFILER_CACHE)))
-                _PROFILER_CACHE[key] = profiler
+                self._profiler = PROFILER_CACHE.get_or_compute(
+                    key, self._build_profiler
+                )
+            else:
+                self._profiler = self._build_profiler()
         return self._profiler
+
+    def _build_profiler(self) -> PerformanceProfiler:
+        profiler = PerformanceProfiler(
+            cost_models=self.cost_models(),
+            tp_candidates=tuple(self.tp_candidates),
+            noise_std=self.profiler_noise_std,
+        )
+        enc = self.per_sample_workload("encoder")
+        gen = self.per_sample_workload("generator")
+        profiler.profile(
+            max_units={
+                "llm": 4.0 * self.microbatch_size,
+                "encoder": 4.0 * enc.image_tokens * self.microbatch_size,
+                "generator": 4.0 * gen.image_tokens * self.microbatch_size,
+            },
+            images_hint=max(1, round(self.profile.images)),
+        )
+        return profiler
 
     def _profiler_key(self):
         """Process-wide profiler cache key, or None when unshareable

@@ -1,165 +1,36 @@
-"""Trace-driven simulation of long runs under cluster dynamics.
+"""Trace-driven simulation of one long run under cluster dynamics.
 
-The engine walks a multi-iteration timeline: every iteration's pipeline
-is priced through the vectorized kernel's batched sweep (via
-:meth:`~repro.runtime.iteration.TrainingIterationSimulator.evaluate_prepared`),
-asynchronous checkpoints stall the clock, failures roll the run back to
-the latest *durable* checkpoint, stragglers scale individual DP ranks'
-compute, and — under elastic scheduling — each membership change
-re-solves the resource split on the surviving cluster through the
-adaptive orchestrator.
+:class:`ScenarioEngine` is the single-job wrapper over the reusable
+per-job state machine, :class:`repro.fleet.job.JobSimulator`: the job is
+granted the config's entire cluster, walked to completion on its own
+clock, and its :class:`~repro.scenarios.result.ScenarioResult` returned.
+The state machine itself — batched kernel pricing, prepared-batch
+memoization per cluster size, asynchronous-checkpoint stalls,
+durable-checkpoint rollback, straggler rank slowdowns, elastic
+re-orchestration through the process-wide plan cache — lives in
+:mod:`repro.fleet.job`, where the multi-tenant
+:class:`~repro.fleet.engine.FleetEngine` drives many instances of it on
+one shared event clock.
 
-Thousand-iteration scenarios stay fast because nothing is simulated per
-iteration: the engine prepares ``sample_iterations`` distinct global
-batches per cluster size and memoizes every distinct
-``(cluster size, sample, straggler profile)`` evaluation, so the
-per-iteration cost is a dictionary lookup plus clock arithmetic.
+The extraction is behavior-preserving: the zero-event path stays
+hex-identical to :class:`~repro.runtime.trainer.TrainingRun` and the
+golden scenario snapshots are unchanged (both are pinned by the test
+suite).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Optional
 
 from repro.core.config import DistTrainConfig
-from repro.data.synthetic import SyntheticMultimodalDataset
-from repro.orchestration.plancache import PLAN_CACHE, planning_signature
-from repro.runtime.checkpoint import AsyncCheckpointer, CheckpointConfig
-from repro.runtime.iteration import IterationResult, PreparedIteration
-from repro.runtime.trainer import build_checkpointer
-from repro.scenarios.events import (
-    EventTrace,
-    FailureEvent,
-    ResizeEvent,
-    StragglerEvent,
+from repro.fleet.job import (  # noqa: F401  (re-exported compatibility)
+    MAX_FAILURES,
+    JobSimulator,
+    _cached_orchestration,
 )
+from repro.runtime.checkpoint import CheckpointConfig
+from repro.scenarios.result import ScenarioResult  # noqa: F401
 from repro.scenarios.spec import ScenarioSpec
-
-#: Hard cap on handled failures — a scenario whose downtime exceeds its
-#: MTBF never finishes; fail loudly instead of spinning.
-MAX_FAILURES = 10_000
-
-#: Seed-stream tags (numpy seed sequences) keeping failure and straggler
-#: sampling independent of each other.
-_FAILURE_STREAM = 0
-_STRAGGLER_STREAM = 1
-
-def _cached_orchestration(
-    config: DistTrainConfig, num_gpus: int, use_cache: bool = True
-):
-    """Plan (or elastically re-plan) through the process-wide
-    :data:`~repro.orchestration.plancache.PLAN_CACHE`.
-
-    Returns ``(orchestration, was_cache_hit)``. Both the full-size
-    ``plan`` and the elastic re-plan land on the same keyed store
-    ``core.api.replan`` uses, so every distinct (task, cluster size) is
-    solved once per process; ``use_cache=False`` scopes the bypass to
-    this call without disturbing concurrent cache users.
-    """
-    from repro.core.api import _replan_uncached, plan
-
-    if num_gpus != config.cluster.num_gpus:
-        def compute():
-            return _replan_uncached(config, num_gpus)
-    else:
-        def compute():
-            return plan(config)
-    return PLAN_CACHE.fetch(
-        planning_signature(config, num_gpus),
-        compute,
-        bypass=not use_cache,
-    )
-
-
-@dataclass
-class _ClusterState:
-    """Everything memoized for one cluster size."""
-
-    num_gpus: int
-    orchestration: Any
-    simulator: Any
-    prepared: List[PreparedIteration]
-    base: List[IterationResult]
-    #: (sample index, straggler profile) -> IterationResult
-    evaluations: Dict[Tuple[int, Tuple[Tuple[int, float], ...]], IterationResult] = field(
-        default_factory=dict
-    )
-
-
-@dataclass
-class ScenarioResult:
-    """Outcome of one dynamic-cluster scenario."""
-
-    num_iterations: int
-    total_seconds: float
-    ideal_seconds: float
-    useful_seconds: float
-    lost_seconds: float
-    checkpoint_stall_seconds: float
-    recovery_seconds: float
-    num_failures: int
-    replayed_iterations: int
-    num_replans: int
-    initial_gpus: int
-    final_gpus: int
-    min_gpus: int
-    mean_mfu: float
-    effective_tokens_per_s: float
-    ideal_tokens_per_s: float
-    mfu_trajectory: np.ndarray
-    iteration_times: np.ndarray
-    events: EventTrace
-    #: Plan-lookup accounting for this run: a hit is an orchestration
-    #: that was needed (initial plan, elastic shrink, repair re-growth)
-    #: and found already solved — in this engine's per-size state table
-    #: or the process-wide plan cache; a miss ran the full search.
-    #: Process-state dependent, so deliberately NOT part of
-    #: :meth:`metrics` (which must stay a pure function of the task).
-    plan_cache_hits: int = 0
-    plan_cache_misses: int = 0
-
-    @property
-    def goodput(self) -> float:
-        """Ideal-speed work over wall-clock: 1.0 means every second went
-        into full-cluster-speed retained progress."""
-        if self.total_seconds <= 0:
-            return 1.0
-        return self.ideal_seconds / self.total_seconds
-
-    @property
-    def availability(self) -> float:
-        """Fraction of wall-clock outside restart/reload/replan pauses."""
-        if self.total_seconds <= 0:
-            return 1.0
-        return 1.0 - self.recovery_seconds / self.total_seconds
-
-    def metrics(self) -> Dict[str, float]:
-        """Flat metric row for campaign records / ResultFrame."""
-        return {
-            "goodput": self.goodput,
-            "availability": self.availability,
-            "total_seconds": self.total_seconds,
-            "ideal_seconds": self.ideal_seconds,
-            "useful_seconds": self.useful_seconds,
-            "lost_seconds": self.lost_seconds,
-            "checkpoint_stall_seconds": self.checkpoint_stall_seconds,
-            "recovery_seconds": self.recovery_seconds,
-            "num_failures": float(self.num_failures),
-            "replayed_iterations": float(self.replayed_iterations),
-            "num_replans": float(self.num_replans),
-            "num_gpus": float(self.initial_gpus),
-            "final_gpus": float(self.final_gpus),
-            "min_gpus": float(self.min_gpus),
-            "mfu": self.mean_mfu,
-            "iteration_time": float(np.mean(self.iteration_times)),
-            "throughput_tokens_per_s": self.effective_tokens_per_s,
-            "ideal_tokens_per_s": self.ideal_tokens_per_s,
-        }
-
-    def summary(self) -> Dict[str, float]:
-        return self.metrics()
 
 
 class ScenarioEngine:
@@ -187,353 +58,22 @@ class ScenarioEngine:
     ):
         self.config = config
         self.scenario = scenario
-        self.checkpoint = checkpoint or CheckpointConfig(
-            interval_iterations=scenario.checkpoint_interval
-        )
         self.use_plan_cache = use_plan_cache
-        self._states: Dict[int, _ClusterState] = {}
-        self._batches: Optional[List[List[Any]]] = None
-        self._plan_hits = 0
-        self._plan_misses = 0
-
-    # ------------------------------------------------------------------ #
-    # Cluster-state memoization
-    # ------------------------------------------------------------------ #
-    def _sample_batches(self) -> List[List[Any]]:
-        """The K distinct global batches every cluster size re-prices.
-
-        Drawn from the same seeded stream :class:`TrainingRun` consumes,
-        so with ``sample_iterations >= num_iterations`` the scenario
-        replays the training run's exact batch sequence.
-        """
-        if self._batches is None:
-            dataset = SyntheticMultimodalDataset(
-                seq_len=self.config.mllm.seq_len,
-                config=self.config.data_config,
-                seed=self.config.data_seed,
-            )
-            count = min(
-                self.scenario.sample_iterations, self.scenario.num_iterations
-            )
-            self._batches = [
-                dataset.take(self.config.global_batch_size)
-                for _ in range(count)
-            ]
-        return self._batches
-
-    def _state(self, num_gpus: int) -> _ClusterState:
-        state = self._states.get(num_gpus)
-        if state is not None:
-            # Already built this run — the plan (and prepared batches)
-            # are reused without touching the orchestrator.
-            self._plan_hits += 1
-            return state
-        from repro.core.api import build_simulator
-
-        orchestration, was_hit = _cached_orchestration(
-            self.config, num_gpus, use_cache=self.use_plan_cache
+        self._job = JobSimulator(
+            config,
+            scenario,
+            checkpoint=checkpoint,
+            use_plan_cache=use_plan_cache,
         )
-        if was_hit:
-            self._plan_hits += 1
-        else:
-            self._plan_misses += 1
-        if num_gpus == self.config.cluster.num_gpus:
-            sim_config = self.config
-        else:
-            from repro.cluster.cluster import resized_cluster
+        self.checkpoint = self._job.checkpoint
 
-            sim_config = self.config.with_(
-                cluster=resized_cluster(self.config.cluster, num_gpus)
-            )
-        simulator = build_simulator(sim_config, orchestration)
-        prepared = [
-            simulator.prepare(batch) for batch in self._sample_batches()
-        ]
-        base = [simulator.evaluate_prepared(prep) for prep in prepared]
-        state = _ClusterState(
-            num_gpus=num_gpus,
-            orchestration=orchestration,
-            simulator=simulator,
-            prepared=prepared,
-            base=base,
-        )
-        self._states[num_gpus] = state
-        return state
-
-    def _evaluate(
-        self,
-        state: _ClusterState,
-        sample: int,
-        profile: Tuple[Tuple[int, float], ...],
-    ) -> IterationResult:
-        """Memoized iteration evaluation for one straggler profile."""
-        if not profile:
-            return state.base[sample]
-        key = (sample, profile)
-        cached = state.evaluations.get(key)
-        if cached is not None:
-            return cached
-        n_ranks = len(state.prepared[sample].rank_work)
-        factors = np.ones(n_ranks)
-        for rank, slowdown in profile:
-            idx = rank % n_ranks
-            factors[idx] = max(factors[idx], slowdown)
-        result = state.simulator.evaluate_prepared(
-            state.prepared[sample], rank_slowdowns=factors
-        )
-        state.evaluations[key] = result
-        return result
-
-    # ------------------------------------------------------------------ #
-    # Event sampling
-    # ------------------------------------------------------------------ #
-    def _sampled_stragglers(self) -> List[StragglerEvent]:
-        """Pre-drawn straggler episodes (deterministic for a seed)."""
-        spec = self.scenario
-        if spec.straggler_rate <= 0.0:
-            return []
-        rng = np.random.default_rng([spec.seed, _STRAGGLER_STREAM])
-        coins = rng.uniform(size=spec.num_iterations)
-        ranks = rng.integers(0, 2**16, size=spec.num_iterations)
-        episodes = []
-        for i in np.flatnonzero(coins < spec.straggler_rate):
-            episodes.append(
-                StragglerEvent(
-                    iteration=int(i),
-                    duration_iterations=spec.straggler_iterations,
-                    rank=int(ranks[i]),
-                    slowdown=spec.straggler_slowdown,
-                )
-            )
-        return episodes
-
-    def _straggler_profiles(
-        self, stragglers: List[StragglerEvent]
-    ) -> Dict[int, Tuple[Tuple[int, float], ...]]:
-        """Iteration -> canonical active-straggler profile."""
-        profiles: Dict[int, List[Tuple[int, float]]] = {}
-        for episode in stragglers:
-            for i in range(episode.iteration, episode.end_iteration):
-                if i >= self.scenario.num_iterations:
-                    break
-                profiles.setdefault(i, []).append(
-                    (episode.rank, episode.slowdown)
-                )
-        return {
-            i: tuple(sorted(active)) for i, active in profiles.items()
-        }
-
-    # ------------------------------------------------------------------ #
-    # Main entry point
-    # ------------------------------------------------------------------ #
     def run(self) -> ScenarioResult:
-        spec = self.scenario
-        config = self.config
-        full_gpus = config.cluster.num_gpus
-        node_gpus = config.cluster.node.gpus_per_node
+        """Walk the full timeline on the whole configured cluster.
 
-        # An explicit event trace *replaces* sampling (the spec and CLI
-        # contract): replaying a recorded run with its original MTBF and
-        # straggler rate still reproduces it exactly.
-        replaying = spec.events is not None
-        trace = spec.events or EventTrace()
-        replayed_failures = trace.failures
-        resizes = {e.iteration: e for e in trace.resizes}
-        sampled_stragglers = (
-            [] if replaying else self._sampled_stragglers()
-        )
-        profiles = self._straggler_profiles(
-            trace.stragglers + sampled_stragglers
-        )
-
-        failure_model = None if replaying else spec.failure_model()
-        failure_rng = np.random.default_rng([spec.seed, _FAILURE_STREAM])
-
-        plan_hits_at_start = self._plan_hits
-        plan_misses_at_start = self._plan_misses
-        state = self._state(full_gpus)
-        ckpt_config = self.checkpoint
-        checkpointer = build_checkpointer(
-            state.orchestration.plan, ckpt_config
-        )
-        assert checkpointer is not None
-
-        # Ideal trajectory: full cluster, no events, no stalls.
-        n = spec.num_iterations
-        K = len(self._sample_batches())
-        full_base = self._states[full_gpus].base
-        ideal_times = [full_base[i % K].iteration_time for i in range(n)]
-        # Sequential (not pairwise) accumulation, matching how the
-        # timeline clock advances — a zero-event scenario's goodput is
-        # exactly 1 up to its checkpoint stalls, never above.
-        ideal_seconds = 0.0
-        for t in ideal_times:
-            ideal_seconds += t
-
-        times = np.zeros(n)
-        mfu_traj = np.zeros(n)
-        #: The realized trace: explicit events plus everything sampled,
-        #: so any run can be replayed declaratively.
-        sampled_events: List[Any] = list(trace.events) + list(
-            sampled_stragglers
-        )
-
-        clock = 0.0
-        i = 0
-        num_failures = 0
-        replayed = 0
-        num_replans = 0
-        lost_seconds = 0.0
-        recovery_seconds = 0.0
-        stall_carry = 0.0
-        min_gpus = full_gpus
-        repair_at: Optional[float] = None
-        failure_idx = 0  # replayed failures consumed
-
-        # Lazy Poisson sampling: the next failure arrival in wall-clock.
-        last_rate_change = 0.0
-        next_sampled: Optional[float] = None
-        if failure_model is not None:
-            next_sampled = last_rate_change + failure_rng.exponential(
-                failure_model.cluster_mtbf_seconds(state.num_gpus)
-            )
-
-        def next_failure() -> Tuple[Optional[FailureEvent], bool]:
-            """(earliest pending failure, came-from-sampling flag)."""
-            replay: Optional[FailureEvent] = None
-            if failure_idx < len(replayed_failures):
-                replay = replayed_failures[failure_idx]
-            if next_sampled is not None and (
-                replay is None or next_sampled < replay.time_s
-            ):
-                return (
-                    FailureEvent(
-                        time_s=next_sampled,
-                        gpus_lost=spec.gpus_lost_per_failure,
-                    ),
-                    True,
-                )
-            return replay, False
-
-        def switch_cluster(num_gpus: int, now: float) -> None:
-            """Replan on a resized cluster and rebuild the checkpointer."""
-            nonlocal state, checkpointer, stall_carry
-            nonlocal num_replans, last_rate_change, next_sampled, min_gpus
-            state = self._state(num_gpus)
-            stall_carry += checkpointer.total_stall
-            checkpointer = build_checkpointer(
-                state.orchestration.plan, ckpt_config
-            )
-            checkpointer.resume_from(i)
-            num_replans += 1
-            min_gpus = min(min_gpus, num_gpus)
-            if failure_model is not None:
-                # Memoryless arrivals: restart the exponential clock at
-                # the new cluster's failure rate.
-                last_rate_change = now
-                next_sampled = now + failure_rng.exponential(
-                    failure_model.cluster_mtbf_seconds(num_gpus)
-                )
-
-        while i < n:
-            if num_failures > MAX_FAILURES:
-                raise RuntimeError(
-                    f"scenario exceeded {MAX_FAILURES} failures; downtime "
-                    "dominates MTBF and the run cannot finish"
-                )
-            # Scheduled capacity changes at the iteration boundary.
-            if repair_at is not None and clock >= repair_at:
-                repair_at = None
-                if state.num_gpus != full_gpus:
-                    switch_cluster(full_gpus, clock)
-                    clock += spec.replan_seconds
-                    recovery_seconds += spec.replan_seconds
-            if i in resizes and state.num_gpus != resizes[i].num_gpus:
-                switch_cluster(resizes[i].num_gpus, clock)
-                clock += spec.replan_seconds
-                recovery_seconds += spec.replan_seconds
-
-            result = self._evaluate(state, i % K, profiles.get(i, ()))
-            end_compute = clock + result.iteration_time
-
-            failure, sampled = next_failure()
-            if failure is not None and failure.time_s <= end_compute:
-                # The iteration is killed mid-flight.
-                if sampled:
-                    sampled_events.append(failure)
-                    next_sampled = failure.time_s + failure_rng.exponential(
-                        failure_model.cluster_mtbf_seconds(state.num_gpus)
-                    )
-                else:
-                    failure_idx += 1
-                num_failures += 1
-                at = max(clock, failure.time_s)
-                lost_seconds += at - clock  # the partial iteration
-                rollback_to = checkpointer.restart_from_latest(at)
-                replayed += i - rollback_to
-                lost_seconds += float(times[rollback_to:i].sum())
-                i = rollback_to
-                clock = at + spec.downtime_seconds
-                recovery_seconds += spec.downtime_seconds
-                if spec.elastic:
-                    lost_nodes = -(-failure.gpus_lost // node_gpus)
-                    survivors = state.num_gpus - lost_nodes * node_gpus
-                    if survivors >= node_gpus and self._feasible(survivors):
-                        switch_cluster(survivors, clock)
-                        clock += spec.replan_seconds
-                        recovery_seconds += spec.replan_seconds
-                        repair_at = (
-                            max(repair_at or 0.0, at + spec.repair_seconds)
-                        )
-                    # Too few survivors: restart on replacement hardware
-                    # at the current size instead of shrinking further.
-                continue
-
-            clock = end_compute
-            times[i] = result.iteration_time
-            mfu_traj[i] = result.mfu
-            clock += checkpointer.on_iteration(i, clock)
-            i += 1
-
-        total_stall = stall_carry + checkpointer.total_stall
-        useful_seconds = 0.0  # sequential, like the clock
-        for t in times:
-            useful_seconds += float(t)
-        tokens = float(n) * config.global_batch_size * config.mllm.seq_len
-        return ScenarioResult(
-            num_iterations=n,
-            total_seconds=clock,
-            ideal_seconds=ideal_seconds,
-            useful_seconds=useful_seconds,
-            lost_seconds=lost_seconds,
-            checkpoint_stall_seconds=total_stall,
-            recovery_seconds=recovery_seconds,
-            num_failures=num_failures,
-            replayed_iterations=replayed,
-            num_replans=num_replans,
-            initial_gpus=full_gpus,
-            final_gpus=state.num_gpus,
-            min_gpus=min_gpus,
-            mean_mfu=float(np.mean(mfu_traj)),
-            effective_tokens_per_s=tokens / clock if clock > 0 else 0.0,
-            ideal_tokens_per_s=(
-                tokens / ideal_seconds if ideal_seconds > 0 else 0.0
-            ),
-            mfu_trajectory=mfu_traj,
-            iteration_times=times,
-            events=EventTrace(sampled_events),
-            plan_cache_hits=self._plan_hits - plan_hits_at_start,
-            plan_cache_misses=self._plan_misses - plan_misses_at_start,
-        )
-
-    # ------------------------------------------------------------------ #
-    def _feasible(self, num_gpus: int) -> bool:
-        """Can the task be orchestrated on ``num_gpus`` survivors?"""
-        try:
-            self._state(num_gpus)
-            return True
-        except Exception:
-            return False
+        Repeated calls reuse the per-size plan/batch memo tables (the
+        run-scoped hit/miss counters on the result account for that).
+        """
+        return self._job.run()
 
 
 def run_scenario(

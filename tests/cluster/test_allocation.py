@@ -1,0 +1,121 @@
+"""Allocation accounting: carve/release/fail/repair stay leak-free."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.allocation import AllocationError, GPUAllocator
+from repro.cluster.cluster import make_cluster
+
+
+@pytest.fixture
+def allocator() -> GPUAllocator:
+    return GPUAllocator(make_cluster(96))
+
+
+class TestCarveRelease:
+    def test_carve_moves_free_to_held(self, allocator):
+        allocator.carve("a", 48)
+        assert allocator.free_gpus == 48
+        assert allocator.held_by("a") == 48
+        assert allocator.held_gpus == 48
+
+    def test_release_returns_capacity(self, allocator):
+        allocator.carve("a", 48)
+        allocator.release("a", 16)
+        assert allocator.held_by("a") == 32
+        assert allocator.free_gpus == 64
+
+    def test_carve_is_node_granular(self, allocator):
+        with pytest.raises(AllocationError, match="whole nodes"):
+            allocator.carve("a", 12)
+
+    def test_over_carve_rejected(self, allocator):
+        with pytest.raises(AllocationError, match="requested"):
+            allocator.carve("a", 104)
+
+    def test_over_release_rejected(self, allocator):
+        allocator.carve("a", 16)
+        with pytest.raises(AllocationError, match="only 16 held"):
+            allocator.release("a", 24)
+
+    def test_release_all_clears_owner(self, allocator):
+        allocator.carve("a", 48)
+        allocator.mark_down("a", 8)
+        freed = allocator.release_all("a")
+        assert freed == 48
+        assert allocator.free_gpus == 96
+        assert allocator.owners() == []
+
+
+class TestFailRepair:
+    def test_mark_down_reserves_for_owner(self, allocator):
+        allocator.carve("a", 48)
+        allocator.mark_down("a", 8)
+        assert allocator.held_by("a") == 40
+        assert allocator.down_for("a") == 8
+        assert allocator.free_gpus == 48  # nobody else gets the wreck
+
+    def test_mark_repaired_returns_to_owner(self, allocator):
+        allocator.carve("a", 48)
+        allocator.mark_down("a", 16)
+        allocator.mark_repaired("a", 16)
+        assert allocator.held_by("a") == 48
+        assert allocator.down_for("a") == 0
+
+    def test_cannot_repair_more_than_down(self, allocator):
+        allocator.carve("a", 48)
+        allocator.mark_down("a", 8)
+        with pytest.raises(AllocationError, match="only 8 down"):
+            allocator.mark_repaired("a", 16)
+
+    def test_cannot_fail_more_than_held(self, allocator):
+        allocator.carve("a", 16)
+        with pytest.raises(AllocationError, match="only 16 held"):
+            allocator.mark_down("a", 24)
+
+    def test_abandon_repairs_frees_pool(self, allocator):
+        allocator.carve("a", 48)
+        allocator.mark_down("a", 16)
+        assert allocator.abandon_repairs("a") == 16
+        assert allocator.free_gpus == 64
+        assert allocator.down_for("a") == 0
+
+
+class TestInvariants:
+    def test_conservation_over_random_walk(self, allocator):
+        # A long random sequence of legal transitions never leaks a GPU.
+        rng = np.random.default_rng(7)
+        owners = ["a", "b", "c"]
+        for _ in range(500):
+            op = rng.integers(0, 5)
+            owner = owners[rng.integers(0, len(owners))]
+            nodes = int(rng.integers(1, 4)) * 8
+            try:
+                if op == 0:
+                    allocator.carve(owner, nodes)
+                elif op == 1:
+                    allocator.release(owner, nodes)
+                elif op == 2:
+                    allocator.mark_down(owner, nodes)
+                elif op == 3:
+                    allocator.mark_repaired(owner, nodes)
+                else:
+                    allocator.release_all(owner)
+            except AllocationError:
+                continue  # illegal transition correctly refused
+            booked = (
+                allocator.free_gpus
+                + allocator.held_gpus
+                + allocator.down_gpus
+            )
+            assert booked == allocator.total_gpus
+
+    def test_snapshot_accounts_everything(self, allocator):
+        allocator.carve("a", 48)
+        allocator.carve("b", 24)
+        allocator.mark_down("a", 8)
+        snap = allocator.snapshot()
+        assert snap["a"] == (40, 8)
+        assert snap["b"] == (24, 0)
+        assert snap["<free>"] == (24, 0)
+        assert allocator.utilization == pytest.approx(64 / 96)

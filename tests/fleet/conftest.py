@@ -1,0 +1,20 @@
+"""Shared fleet-test fixtures.
+
+Same small task as the scenario suite (9B model, 48-GPU demand, GBS
+16), plus a 96-GPU shared cluster two such jobs fill exactly — the
+smallest geometry where every policy's behavior (queueing, fair
+shrinking, preemption) is distinguishable.
+"""
+
+import pytest
+
+from repro.core.config import DistTrainConfig
+
+#: Downtime-light failure settings so aggressive-MTBF tests converge.
+FAST_RECOVERY = dict(restart_seconds=60.0, checkpoint_load_seconds=30.0)
+
+
+@pytest.fixture(scope="session")
+def job_config() -> DistTrainConfig:
+    """One tenant's task: demands 48 GPUs."""
+    return DistTrainConfig.preset("mllm-9b", 48, 16)

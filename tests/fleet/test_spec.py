@@ -1,0 +1,147 @@
+"""FleetSpec validation, the homogeneous builder, and the campaign
+integration (fleet trials, cache keys, worker execution)."""
+
+import pytest
+
+from repro.cluster.cluster import make_cluster
+from repro.experiments.runner import execute_trial
+from repro.experiments.spec import FLEET_PARAMS, TrialSpec
+from repro.fleet import FleetJobSpec, FleetSpec
+from repro.fleet.policies import make_policy
+from repro.scenarios import ScenarioSpec
+from repro.scenarios.events import EventTrace, ResizeEvent
+
+
+class TestFleetJobSpec:
+    def test_demand_is_the_config_cluster(self, job_config):
+        job = FleetJobSpec(
+            name="a", config=job_config, scenario=ScenarioSpec()
+        )
+        assert job.demand_gpus == 48
+        assert job.floor_gpus == 8  # one node by default
+
+    def test_rejects_scripted_resizes(self, job_config):
+        with pytest.raises(ValueError, match="scheduling policy"):
+            FleetJobSpec(
+                name="a",
+                config=job_config,
+                scenario=ScenarioSpec(
+                    events=EventTrace(
+                        [ResizeEvent(iteration=5, num_gpus=40)]
+                    )
+                ),
+            )
+
+    def test_rejects_fractional_node_floor(self, job_config):
+        with pytest.raises(ValueError, match="whole nodes"):
+            FleetJobSpec(
+                name="a", config=job_config, scenario=ScenarioSpec(),
+                min_gpus=12,
+            )
+
+
+class TestFleetSpec:
+    def test_rejects_duplicate_names(self, job_config):
+        jobs = [
+            FleetJobSpec(name="a", config=job_config,
+                         scenario=ScenarioSpec())
+        ] * 2
+        with pytest.raises(ValueError, match="duplicate"):
+            FleetSpec(cluster=make_cluster(96), jobs=jobs)
+
+    def test_rejects_unknown_policy(self, job_config):
+        jobs = [
+            FleetJobSpec(name="a", config=job_config,
+                         scenario=ScenarioSpec())
+        ]
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            FleetSpec(cluster=make_cluster(96), jobs=jobs, policy="lifo")
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            make_policy("lifo")
+
+    def test_homogeneous_builder(self, job_config):
+        spec = FleetSpec.homogeneous(
+            job_config,
+            cluster_gpus=96,
+            num_jobs=3,
+            job_gpus=24,
+            arrival_spacing_s=60.0,
+            priorities=(2, 1),
+            policy="priority",
+            scenario=ScenarioSpec(num_iterations=100, seed=7),
+        )
+        assert spec.cluster.num_gpus == 96
+        assert [j.name for j in spec.jobs] == ["job00", "job01", "job02"]
+        assert all(j.demand_gpus == 24 for j in spec.jobs)
+        assert [j.arrival_s for j in spec.jobs] == [0.0, 60.0, 120.0]
+        assert [j.priority for j in spec.jobs] == [2, 1, 2]
+        # Identical tenants must not fail in lockstep: derived seeds.
+        assert [j.scenario.seed for j in spec.jobs] == [7, 8, 9]
+
+    def test_canonical_is_json_safe(self, job_config):
+        import json
+
+        spec = FleetSpec.homogeneous(
+            job_config, cluster_gpus=96, num_jobs=2
+        )
+        text = json.dumps(spec.canonical(), sort_keys=True)
+        assert "job00" in text and "fair-share" in text
+
+
+class TestCampaignIntegration:
+    PARAMS = {
+        "model": "mllm-9b",
+        "gpus": 96,
+        "gbs": 16,
+        "fleet_policy": "fair-share",
+        "fleet_jobs": 3,
+        "fleet_job_gpus": 48,
+        "fleet_arrival_spacing": 30.0,
+        "scenario_iterations": 20,
+    }
+
+    def test_fleet_params_are_known(self):
+        trial = TrialSpec(self.PARAMS)
+        assert set(trial.fleet_params()) == {
+            "fleet_policy", "fleet_jobs", "fleet_job_gpus",
+            "fleet_arrival_spacing",
+        }
+        assert set(FLEET_PARAMS) >= set(trial.fleet_params())
+
+    def test_to_fleet_materializes_spec(self):
+        fleet = TrialSpec(self.PARAMS).to_fleet()
+        assert fleet is not None
+        assert fleet.policy == "fair-share"
+        assert len(fleet.jobs) == 3
+        assert fleet.cluster.num_gpus == 96
+        assert all(j.demand_gpus == 48 for j in fleet.jobs)
+        assert all(
+            j.scenario.num_iterations == 20 for j in fleet.jobs
+        )
+
+    def test_plain_trial_has_no_fleet(self):
+        trial = TrialSpec({"model": "mllm-9b", "gpus": 48, "gbs": 16})
+        assert trial.to_fleet() is None
+
+    def test_cache_key_covers_fleet_fields(self):
+        base = TrialSpec(self.PARAMS)
+        for key, value in (
+            ("fleet_policy", "fifo"),
+            ("fleet_jobs", 4),
+            ("fleet_arrival_spacing", 31.0),
+        ):
+            changed = TrialSpec({**self.PARAMS, key: value})
+            assert changed.cache_key != base.cache_key
+        # ...and is stable for an identical assignment.
+        assert TrialSpec(dict(self.PARAMS)).cache_key == base.cache_key
+
+    def test_label_names_the_fleet(self):
+        label = TrialSpec(self.PARAMS).label()
+        assert "fleet(3x,fair-share)" in label
+
+    def test_execute_trial_runs_the_fleet(self):
+        index, record = execute_trial((0, dict(self.PARAMS), "key"))
+        assert index == 0
+        assert record["status"] == "ok", record["error"]
+        for key in ("fleet_goodput", "utilization", "mean_jct_seconds"):
+            assert key in record["metrics"]

@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "audio_modality",
     "campaign_sweep",
     "scenario_dynamics",
+    "fleet_contention",
 ]
 
 
