@@ -8,8 +8,16 @@ the experiment campaign engine; the figure/table record lives in the
 ``benchmarks/`` reproduction suite.
 """
 
-__version__ = "1.2.0"
+import logging as _logging
 
+__version__ = "1.3.0"
+
+# Library logging contract: the package logs under the "repro" root
+# logger but never configures handlers itself — entry points opt in
+# (the CLI's --log-level flag calls repro.obs.configure_logging).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
+from repro import obs
 from repro.core import (
     DistTrainConfig,
     plan,
@@ -46,5 +54,6 @@ __all__ = [
     "FleetJobSpec",
     "FleetSpec",
     "run_fleet",
+    "obs",
     "__version__",
 ]

@@ -25,11 +25,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from repro.core.api import compare_systems, plan, simulate
 from repro.core.config import KNOWN_SYSTEMS, DistTrainConfig
 from repro.core.reports import format_comparison, format_table
+from repro.obs.report import format_hit_miss
 from repro.models.mllm import MLLM_PRESETS
 from repro.runtime.frozen import FROZEN_PRESETS
 
@@ -97,6 +99,49 @@ def _config(args: argparse.Namespace, system: Optional[str] = None) -> DistTrain
         vpp=args.vpp,
         data_seed=args.seed,
     )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flight-recorder flags shared by the simulation entry points."""
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a flight-recorder trace (JSONL) to PATH; the "
+             "trace embeds the run's metrics snapshot and is "
+             "summarized by `repro trace summarize`",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect runtime metrics and print a digest to stderr "
+             "after the run",
+    )
+
+
+@contextmanager
+def _obs_session(args: argparse.Namespace) -> Iterator[None]:
+    """Enable tracing/metrics around one simulation, then export.
+
+    Observation never touches stdout: the trace goes to ``--trace``'s
+    path and the digest to stderr, preserving the ``--json`` contract
+    (one JSON document on stdout, nothing else).
+    """
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if trace_path is None and not want_metrics:
+        yield
+        return
+    from repro.obs import METRICS, instrument
+    from repro.obs.report import render_metrics
+
+    with instrument.session(
+        trace=trace_path is not None, metrics=want_metrics
+    ) as tracer:
+        yield
+        snapshot = METRICS.snapshot()
+    if trace_path is not None:
+        tracer.export_jsonl(trace_path, metrics=snapshot)
+        print(f"trace written to {trace_path}", file=sys.stderr)
+    if want_metrics:
+        print(render_metrics(snapshot), file=sys.stderr)
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
@@ -457,7 +502,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         progress=None if args.quiet else print_progress,
         derive_seeds=args.derive_seeds,
     )
-    campaign = runner.run()
+    with _obs_session(args):
+        campaign = runner.run()
 
     frame = campaign.frame().sort_by("model", "system", "gpus")
     available = set(frame.columns)
@@ -505,7 +551,8 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
         # trace JSON or invalid scenario parameters.
         print(f"repro scenario run: error: {exc}", file=sys.stderr)
         return 2
-    result = run_scenario(config, spec)
+    with _obs_session(args):
+        result = run_scenario(config, spec)
 
     gpus = f"{result.initial_gpus}"
     if result.min_gpus != result.initial_gpus:
@@ -524,7 +571,9 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
             ["recovery time", f"{result.recovery_seconds:.1f} s"],
             ["re-orchestrations", result.num_replans],
             ["plan cache (hit/miss)",
-             f"{result.plan_cache_hits}/{result.plan_cache_misses}"],
+             format_hit_miss(
+                 result.plan_cache_hits, result.plan_cache_misses
+             )],
             ["checkpoint stalls", f"{result.checkpoint_stall_seconds:.1f} s"],
             ["GPUs", gpus],
             ["mean MFU", f"{result.mean_mfu * 100:.1f} %"],
@@ -585,7 +634,8 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
         print(f"repro fleet run: error: {exc}", file=sys.stderr)
         return 2
     try:
-        result = run_fleet(spec)
+        with _obs_session(args):
+            result = run_fleet(spec)
     except FleetSchedulingError as exc:
         print(f"repro fleet run: error: {exc}", file=sys.stderr)
         return 1
@@ -621,7 +671,9 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
                 ["re-orchestrations", int(metrics["num_replans"])],
                 ["preemptions", int(metrics["preemptions"])],
                 ["plan cache (hit/miss)",
-                 f"{result.plan_cache_hits}/{result.plan_cache_misses}"],
+                 format_hit_miss(
+                     result.plan_cache_hits, result.plan_cache_misses
+                 )],
                 ["fleet throughput",
                  f"{metrics['fleet_tokens_per_s'] / 1e3:.0f} K tokens/s"],
             ],
@@ -635,7 +687,9 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
                 f"{r['queue_seconds']:.0f}",
                 f"{r['goodput'] * 100:.1f}%", r["num_failures"],
                 r["num_replans"], r["preemptions"],
-                f"{r['plan_cache_hits']}/{r['plan_cache_misses']}",
+                format_hit_miss(
+                    r["plan_cache_hits"], r["plan_cache_misses"]
+                ),
             ]
             for r in payload["jobs"]
         ]
@@ -718,11 +772,42 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs.report import load_trace, summarize_trace
+
+    try:
+        trace = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"repro trace summarize: error: {exc}", file=sys.stderr)
+        return 2
+    print(summarize_trace(trace, timeline_limit=args.timeline_limit))
+    if args.plot:
+        from repro.viz import plot_trace_timeline
+
+        try:
+            plot_trace_timeline(trace, args.plot)
+        except RuntimeError as exc:
+            print(
+                f"repro trace summarize: error: {exc}", file=sys.stderr
+            )
+            return 2
+        print(f"timeline plot written to {args.plot}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DistTrain reproduction: plan and simulate "
                     "disaggregated multimodal LLM training.",
+    )
+    # Root-parser-only: argparse re-applies subparser defaults after
+    # the root parse, so a per-subcommand flag with the same dest would
+    # silently reset it. `repro --log-level debug <command>`.
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="enable library logging to stderr at this level",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -768,6 +853,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sweep_arguments(sweep_parser)
     _add_scenario_sweep_arguments(sweep_parser)
+    _add_obs_arguments(sweep_parser)
     sweep_parser.set_defaults(fn=cmd_sweep, scenario_mode=False)
 
     scenario_parser = subparsers.add_parser(
@@ -831,6 +917,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument(
         "--output", default=None, help="write metrics (JSON) to this path"
     )
+    _add_obs_arguments(scenario_run)
     scenario_run.set_defaults(fn=cmd_scenario_run)
 
     scenario_sweep = scenario_sub.add_parser(
@@ -839,6 +926,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sweep_arguments(scenario_sweep)
     _add_scenario_sweep_arguments(scenario_sweep)
+    _add_obs_arguments(scenario_sweep)
     scenario_sweep.set_defaults(fn=cmd_sweep, scenario_mode=True)
 
     fleet_parser = subparsers.add_parser(
@@ -897,6 +985,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="also write the JSON report to this path",
     )
+    _add_obs_arguments(fleet_run)
     fleet_run.set_defaults(fn=cmd_fleet_run)
 
     fleet_sweep = fleet_sub.add_parser(
@@ -907,8 +996,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_arguments(fleet_sweep)
     _add_scenario_sweep_arguments(fleet_sweep)
     _add_fleet_arguments(fleet_sweep, sweep=True)
+    _add_obs_arguments(fleet_sweep)
     fleet_sweep.set_defaults(fn=cmd_sweep, scenario_mode=False,
                              fleet_mode=True)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect flight-recorder traces"
+    )
+    trace_sub = trace_parser.add_subparsers(
+        dest="trace_command", required=True
+    )
+    trace_summarize = trace_sub.add_parser(
+        "summarize",
+        help="render a JSONL trace into a run report (span table, "
+             "event timeline, metrics digest)",
+    )
+    trace_summarize.add_argument(
+        "path", help="trace file written by --trace"
+    )
+    trace_summarize.add_argument(
+        "--timeline-limit", type=int, default=40,
+        help="max raw timeline rows to print (default: %(default)s)",
+    )
+    trace_summarize.add_argument(
+        "--plot", default=None, metavar="OUT.png",
+        help="also render a graphical timeline (requires matplotlib)",
+    )
+    trace_summarize.set_defaults(fn=cmd_trace_summarize)
 
     report_parser = subparsers.add_parser(
         "report", help="tabulate cached campaign results"
@@ -949,6 +1063,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level:
+        from repro.obs import configure_logging
+
+        configure_logging(args.log_level)
     return args.fn(args)
 
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.cluster.cluster import ClusterSpec
+from repro.obs import instrument as obs
 
 
 class AllocationError(RuntimeError):
@@ -88,6 +89,16 @@ class GPUAllocator:
     # ------------------------------------------------------------------ #
     # Transitions
     # ------------------------------------------------------------------ #
+    def _record(self, op: str) -> None:
+        """Publish the pool state after a transition (no-op unless the
+        observability layer is collecting)."""
+        if not obs.enabled():
+            return
+        obs.count(f"allocator.{op}")
+        obs.gauge("allocator.free_gpus", self._free)
+        obs.gauge("allocator.held_gpus", self.held_gpus)
+        obs.gauge("allocator.down_gpus", self.down_gpus)
+
     def _require_nodes(self, gpus: int, what: str) -> None:
         if gpus < 0:
             raise AllocationError(f"{what}: negative GPU count {gpus}")
@@ -108,6 +119,7 @@ class GPUAllocator:
             )
         self._free -= gpus
         self._held[owner] = self._held.get(owner, 0) + gpus
+        self._record("carve")
         return self.check()._held[owner]
 
     def release(self, owner: str, gpus: int) -> None:
@@ -123,6 +135,7 @@ class GPUAllocator:
         self._free += gpus
         if self._held[owner] == 0:
             del self._held[owner]
+        self._record("release")
         self.check()
 
     def release_all(self, owner: str) -> int:
@@ -131,6 +144,7 @@ class GPUAllocator:
         number of GPUs freed."""
         freed = self._held.pop(owner, 0) + self._down.pop(owner, 0)
         self._free += freed
+        self._record("release_all")
         self.check()
         return freed
 
@@ -148,6 +162,7 @@ class GPUAllocator:
         if self._held[owner] == 0:
             del self._held[owner]
         self._down[owner] = self._down.get(owner, 0) + gpus
+        self._record("mark_down")
         self.check()
 
     def mark_repaired(self, owner: str, gpus: int) -> None:
@@ -164,6 +179,7 @@ class GPUAllocator:
         if self._down[owner] == 0:
             del self._down[owner]
         self._held[owner] = self._held.get(owner, 0) + gpus
+        self._record("mark_repaired")
         self.check()
 
     def abandon_repairs(self, owner: str) -> int:
@@ -172,6 +188,7 @@ class GPUAllocator:
         anyone can be granted it). Returns the GPUs forfeited."""
         forfeited = self._down.pop(owner, 0)
         self._free += forfeited
+        self._record("abandon_repairs")
         self.check()
         return forfeited
 

@@ -36,7 +36,7 @@ def _dataset(config: DistTrainConfig) -> SyntheticMultimodalDataset:
 #: (seq_len, distribution config, seed) — the same
 #: :class:`~repro.core.keyedcache.KeyedCache` store the plan cache and
 #: the noise-free profiler cache use.
-PROFILE_CACHE = KeyedCache(maxsize=64)
+PROFILE_CACHE = KeyedCache(maxsize=64, name="profile")
 
 
 def _cached_profile(

@@ -25,14 +25,27 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
+from repro.obs import instrument as obs
+
 
 class KeyedCache:
-    """A keyed store with FIFO eviction and hit/miss accounting."""
+    """A keyed store with FIFO eviction and hit/miss accounting.
 
-    def __init__(self, maxsize: int = 128):
+    Args:
+        maxsize: FIFO bound on resident entries.
+        name: Optional observability name. Named caches publish
+            ``cache.<name>.hits`` / ``.misses`` counters and a
+            ``cache.<name>.size`` gauge through :mod:`repro.obs` when
+            metrics collection is on; the local ``hits``/``misses``
+            fields stay byte-identical either way (the per-run engine
+            accounting reads them directly).
+    """
+
+    def __init__(self, maxsize: int = 128, name: Optional[str] = None):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
+        self.name = name
         self._entries: Dict[Hashable, Any] = {}
         self._lock = threading.Lock()
         self.hits = 0
@@ -67,6 +80,7 @@ class KeyedCache:
         with self._lock:
             if key in self._entries:
                 self.hits += 1
+                self._observe(hit=True)
                 return self._entries[key], True
         result = compute()
         with self._lock:
@@ -74,7 +88,15 @@ class KeyedCache:
             while len(self._entries) >= self.maxsize:
                 self._entries.pop(next(iter(self._entries)))
             self._entries[key] = result
+            self._observe(hit=False)
         return result, False
+
+    def _observe(self, hit: bool) -> None:
+        """Publish unified cache metrics (no-op unless named + enabled)."""
+        if self.name is None or not obs.enabled():
+            return
+        obs.count(f"cache.{self.name}.{'hits' if hit else 'misses'}")
+        obs.gauge(f"cache.{self.name}.size", len(self._entries))
 
     def lookup(self, key: Hashable) -> Optional[Any]:
         """Peek without counting or computing."""
@@ -83,6 +105,16 @@ class KeyedCache:
     def stats(self) -> Tuple[int, int]:
         """(hits, misses) snapshot."""
         return self.hits, self.misses
+
+    def stats_dict(self) -> Dict[str, int]:
+        """Unified stats row: name, hits, misses, resident size."""
+        return {
+            "name": self.name or "anonymous",
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
 
     def clear(self) -> None:
         with self._lock:

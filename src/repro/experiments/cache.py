@@ -16,6 +16,8 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
+from repro.obs import instrument as obs
+
 #: Bump when the record layout changes; older entries read as misses.
 CACHE_VERSION = 1
 
@@ -53,11 +55,15 @@ class ResultCache:
             # ValueError covers JSONDecodeError; UnicodeDecodeError (a
             # ValueError subclass) is listed for clarity — any unreadable
             # byte stream is a miss, never a crash.
+            obs.count("cache.results.misses")
             return None
         if not isinstance(record, dict):
+            obs.count("cache.results.misses")
             return None
         if record.get("cache_version") != CACHE_VERSION:
+            obs.count("cache.results.misses")
             return None
+        obs.count("cache.results.hits")
         return record
 
     def __contains__(self, key: str) -> bool:
@@ -90,6 +96,7 @@ class ResultCache:
     # ------------------------------------------------------------------ #
     def put(self, key: str, record: Dict) -> Path:
         """Atomically store ``record`` under ``key``."""
+        obs.count("cache.results.stores")
         path = self.path_for(key)
         payload = dict(record)
         payload["cache_version"] = CACHE_VERSION

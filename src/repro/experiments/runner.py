@@ -17,6 +17,7 @@ revisit a schedule shape never recompile it.
 from __future__ import annotations
 
 import hashlib
+import logging
 import multiprocessing
 import sys
 import time
@@ -27,6 +28,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.core.api import plan, simulate
 from repro.experiments.cache import ResultCache
 from repro.experiments.spec import SweepSpec, TrialSpec, canonical_json
+from repro.obs import instrument as obs
+
+logger = logging.getLogger(__name__)
 
 ProgressFn = Callable[[int, int, "TrialRecord"], None]
 
@@ -241,6 +245,14 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------ #
     def run(self) -> CampaignResult:
+        with obs.span(
+            "campaign.run",
+            campaign=self.spec.name,
+            trials=len(self.spec.expand()),
+        ):
+            return self._run_impl()
+
+    def _run_impl(self) -> CampaignResult:
         start = time.monotonic()
         trials = self.spec.expand()
         total = len(trials)
@@ -272,26 +284,48 @@ class CampaignRunner:
                 records[index] = TrialRecord.from_dict(hit, cached=True)
                 records[index].params = params  # identity over stored copy
                 cached_count += 1
+                obs.count("campaign.trials_cached")
                 done += 1
                 self._report(done, total, records[index])
             else:
                 pending.append((index, params, key))
 
         executed = len(pending)
+        busy_seconds = 0.0
         for index, record in self._execute(pending):
             records[index] = record
             if self.cache is not None and record.ok:
                 self.cache.put(record.config_hash, record.to_dict())
+            obs.count(
+                "campaign.trials_ok" if record.ok
+                else "campaign.trials_failed"
+            )
+            obs.observe("campaign.trial_seconds", record.elapsed_seconds)
+            busy_seconds += record.elapsed_seconds
             done += 1
             self._report(done, total, record)
 
+        elapsed = time.monotonic() - start
+        if executed and elapsed > 0 and obs.enabled():
+            # Aggregate worker utilization: per-trial busy seconds over
+            # the worker-seconds the pool had available for them.
+            workers = self._worker_count(executed)
+            obs.gauge(
+                "campaign.worker_utilization",
+                min(1.0, busy_seconds / (workers * elapsed)),
+            )
+            obs.gauge("campaign.workers", workers)
+        logger.info(
+            "campaign %s: %d trials (%d executed, %d cached) in %.2fs",
+            self.spec.name, total, executed, cached_count, elapsed,
+        )
         final = [record for record in records if record is not None]
         return CampaignResult(
             name=self.spec.name,
             records=final,
             executed=executed,
             cached=cached_count,
-            elapsed_seconds=time.monotonic() - start,
+            elapsed_seconds=elapsed,
         )
 
     # ------------------------------------------------------------------ #

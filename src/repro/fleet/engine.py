@@ -36,6 +36,7 @@ per-job hit/miss counters surface on each
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -43,9 +44,12 @@ import numpy as np
 
 from repro.cluster.allocation import GPUAllocator
 from repro.fleet.job import JobSimulator
+from repro.obs import instrument as obs
 from repro.fleet.policies import JobView, SchedulingPolicy, make_policy
 from repro.fleet.spec import FleetJobSpec, FleetSpec
 from repro.scenarios.result import ScenarioResult
+
+logger = logging.getLogger(__name__)
 
 
 class FleetSchedulingError(RuntimeError):
@@ -259,6 +263,22 @@ class FleetEngine:
 
     # ------------------------------------------------------------------ #
     def run(self) -> FleetResult:
+        """Drive every tenant to completion on the shared cluster."""
+        with obs.span(
+            "fleet.run",
+            policy=self.policy.name,
+            jobs=len(self._tenants),
+            gpus=self.allocator.total_gpus,
+        ):
+            result = self._run_impl()
+        logger.info(
+            "fleet run complete: %d jobs under %s on %d GPUs",
+            len(self._tenants), self.policy.name,
+            self.allocator.total_gpus,
+        )
+        return result
+
+    def _run_impl(self) -> FleetResult:
         # Consumed front-first as arrivals are admitted.
         pending = sorted(
             self._tenants, key=lambda t: (t.spec.arrival_s, t.order)
@@ -345,6 +365,13 @@ class FleetEngine:
         if tenant.sim.done:
             tenant.state = _DONE
             tenant.completion_s = tenant.sim.clock
+            obs.event(
+                "fleet.complete", job=tenant.name, t=tenant.sim.clock
+            )
+            obs.count("fleet.completions")
+            logger.debug(
+                "%s: completed at t=%.1fs", tenant.name, tenant.sim.clock
+            )
             self.allocator.release_all(tenant.name)
             self._reschedule(tenant.sim.clock)
 
@@ -382,6 +409,11 @@ class FleetEngine:
             tenant = pending.pop(0)
             tenant.state = _QUEUED
             tenant.queue_since = tenant.spec.arrival_s
+            obs.event(
+                "fleet.admit", job=tenant.name,
+                t=tenant.spec.arrival_s,
+                demand=tenant.spec.demand_gpus,
+            )
 
     def _reschedule(self, now: float) -> None:
         # A resize can return a tenant's under-repair capacity to the
@@ -494,6 +526,7 @@ class FleetEngine:
     def _preempt(self, tenant: _Tenant, now: float) -> None:
         # Killed at its own boundary (see _resize_running).
         at = tenant.sim.clock
+        obs.count("fleet.preemptions")
         tenant.sim.preempt(at)
         held = self.allocator.held_by(tenant.name)
         if held:
@@ -509,6 +542,10 @@ class FleetEngine:
         )
         if grant <= 0:
             return
+        obs.event(
+            "fleet.seat", job=tenant.name, t=now, gpus=grant,
+            resumed=tenant.state == _PAUSED,
+        )
         if tenant.state == _QUEUED:
             tenant.sim.start(grant, start_time=now)
             tenant.start_s = now

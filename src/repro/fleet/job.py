@@ -40,6 +40,7 @@ inside the fleet benchmark's budget.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -47,6 +48,7 @@ import numpy as np
 
 from repro.core.config import DistTrainConfig
 from repro.data.synthetic import SyntheticMultimodalDataset
+from repro.obs import instrument as obs
 from repro.orchestration.plancache import PLAN_CACHE, planning_signature
 from repro.runtime.checkpoint import CheckpointConfig
 from repro.runtime.iteration import IterationResult, PreparedIteration
@@ -58,6 +60,8 @@ from repro.scenarios.events import (
 )
 from repro.scenarios.result import ScenarioResult
 from repro.scenarios.spec import ScenarioSpec
+
+logger = logging.getLogger(__name__)
 
 #: Hard cap on handled failures — a scenario whose downtime exceeds its
 #: MTBF never finishes; fail loudly instead of spinning.
@@ -413,6 +417,13 @@ class JobSimulator:
         self._paused = False
         self._preemptions = 0
         self._fleet_log = []
+        obs.event(
+            "job.start", job=self.name, t=start_time, gpus=allocated_gpus
+        )
+        logger.info(
+            "%s: started on %d GPUs at t=%.1fs (%d iterations)",
+            self.name, allocated_gpus, start_time, n,
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection the drivers need
@@ -500,20 +511,28 @@ class JobSimulator:
 
     def _switch_cluster(self, num_gpus: int, now: float) -> None:
         """Replan on a resized slice and rebuild the checkpointer."""
-        self._cur = self._state(num_gpus)
-        self._stall_carry += self._checkpointer.total_stall
-        self._checkpointer = build_checkpointer(
-            self._cur.orchestration.plan, self.checkpoint
-        )
-        self._checkpointer.resume_from(self._i)
-        self._num_replans += 1
-        self._min_gpus = min(self._min_gpus, num_gpus)
-        if self._failure_model is not None:
-            # Memoryless arrivals: restart the exponential clock at
-            # the new slice's failure rate.
-            self._next_sampled = now + self._failure_rng.exponential(
-                self._failure_model.cluster_mtbf_seconds(num_gpus)
+        with obs.span(
+            "job.replan", job=self.name, gpus=num_gpus, t=now
+        ):
+            obs.count("job.replans")
+            logger.debug(
+                "%s: replan on %d GPUs at t=%.1fs",
+                self.name, num_gpus, now,
             )
+            self._cur = self._state(num_gpus)
+            self._stall_carry += self._checkpointer.total_stall
+            self._checkpointer = build_checkpointer(
+                self._cur.orchestration.plan, self.checkpoint
+            )
+            self._checkpointer.resume_from(self._i)
+            self._num_replans += 1
+            self._min_gpus = min(self._min_gpus, num_gpus)
+            if self._failure_model is not None:
+                # Memoryless arrivals: restart the exponential clock at
+                # the new slice's failure rate.
+                self._next_sampled = now + self._failure_rng.exponential(
+                    self._failure_model.cluster_mtbf_seconds(num_gpus)
+                )
 
     def step(self) -> None:
         """Advance the timeline by one unit of work.
@@ -541,6 +560,13 @@ class JobSimulator:
                 self._fleet_log.append(
                     ("grow", grown_from, self._cur.num_gpus, self._clock)
                 )
+                obs.event(
+                    "job.grow",
+                    job=self.name,
+                    t=self._clock,
+                    from_gpus=grown_from,
+                    to_gpus=self._cur.num_gpus,
+                )
         if self._i in self._resizes and (
             self._cur.num_gpus != self._resizes[self._i].num_gpus
         ):
@@ -553,6 +579,13 @@ class JobSimulator:
             self._fleet_log.append(
                 ("resize", resized_from, self._cur.num_gpus, self._clock)
             )
+            obs.event(
+                "job.resize",
+                job=self.name,
+                t=self._clock,
+                from_gpus=resized_from,
+                to_gpus=self._cur.num_gpus,
+            )
 
         result = self._evaluate(
             self._cur, self._i % self._K, self._profiles.get(self._i, ())
@@ -562,47 +595,14 @@ class JobSimulator:
         failure, sampled = self._next_failure()
         if failure is not None and failure.time_s <= end_compute:
             # The iteration is killed mid-flight.
-            if sampled:
-                self._events_log.append(failure)
-                self._next_sampled = (
-                    failure.time_s + self._failure_rng.exponential(
-                        self._failure_model.cluster_mtbf_seconds(
-                            self._cur.num_gpus
-                        )
-                    )
-                )
-            else:
-                self._failure_idx += 1
-            self._num_failures += 1
-            at = max(self._clock, failure.time_s)
-            self._lost_seconds += at - self._clock  # the partial iteration
-            rollback_to = self._checkpointer.restart_from_latest(at)
-            self._replayed += self._i - rollback_to
-            self._lost_seconds += float(
-                self._times[rollback_to:self._i].sum()
-            )
-            self._i = rollback_to
-            self._clock = at + spec.downtime_seconds
-            self._recovery_seconds += spec.downtime_seconds
-            shrunk_from = self._cur.num_gpus
-            if spec.elastic:
-                lost_nodes = -(-failure.gpus_lost // self._node_gpus)
-                survivors = (
-                    self._cur.num_gpus - lost_nodes * self._node_gpus
-                )
-                if survivors >= self._node_gpus and self.feasible(survivors):
-                    self._switch_cluster(survivors, self._clock)
-                    self._clock += spec.replan_seconds
-                    self._recovery_seconds += spec.replan_seconds
-                    self._repair_at = (
-                        max(self._repair_at or 0.0, at + spec.repair_seconds)
-                    )
-                # Too few survivors: restart on replacement hardware
-                # at the current size instead of shrinking further.
-            self._fleet_log.append(
-                ("failure", failure, shrunk_from, self._cur.num_gpus,
-                 self._clock)
-            )
+            with obs.span(
+                "job.failure",
+                job=self.name,
+                t=failure.time_s,
+                gpus_lost=failure.gpus_lost,
+                sampled=sampled,
+            ):
+                self._handle_failure(failure, sampled)
             return
 
         self._clock = end_compute
@@ -611,6 +611,65 @@ class JobSimulator:
         self._gpu_seconds += self._cur.num_gpus * result.iteration_time
         self._clock += self._checkpointer.on_iteration(self._i, self._clock)
         self._i += 1
+
+    def _handle_failure(self, failure: FailureEvent, sampled: bool) -> None:
+        """Roll back, pay downtime, and (if elastic) shrink to the
+        surviving slice — the body of :meth:`step`'s failure branch."""
+        spec = self.scenario
+        if sampled:
+            self._events_log.append(failure)
+            self._next_sampled = (
+                failure.time_s + self._failure_rng.exponential(
+                    self._failure_model.cluster_mtbf_seconds(
+                        self._cur.num_gpus
+                    )
+                )
+            )
+        else:
+            self._failure_idx += 1
+        self._num_failures += 1
+        obs.count("job.failures")
+        at = max(self._clock, failure.time_s)
+        self._lost_seconds += at - self._clock  # the partial iteration
+        rollback_to = self._checkpointer.restart_from_latest(at)
+        obs.event(
+            "job.rollback",
+            job=self.name,
+            t=at,
+            to_iteration=rollback_to,
+            replayed=self._i - rollback_to,
+        )
+        obs.count("job.rollbacks")
+        logger.debug(
+            "%s: failure at t=%.1fs, rollback %d -> %d",
+            self.name, at, self._i, rollback_to,
+        )
+        self._replayed += self._i - rollback_to
+        self._lost_seconds += float(
+            self._times[rollback_to:self._i].sum()
+        )
+        self._i = rollback_to
+        self._clock = at + spec.downtime_seconds
+        self._recovery_seconds += spec.downtime_seconds
+        shrunk_from = self._cur.num_gpus
+        if spec.elastic:
+            lost_nodes = -(-failure.gpus_lost // self._node_gpus)
+            survivors = (
+                self._cur.num_gpus - lost_nodes * self._node_gpus
+            )
+            if survivors >= self._node_gpus and self.feasible(survivors):
+                self._switch_cluster(survivors, self._clock)
+                self._clock += spec.replan_seconds
+                self._recovery_seconds += spec.replan_seconds
+                self._repair_at = (
+                    max(self._repair_at or 0.0, at + spec.repair_seconds)
+                )
+            # Too few survivors: restart on replacement hardware
+            # at the current size instead of shrinking further.
+        self._fleet_log.append(
+            ("failure", failure, shrunk_from, self._cur.num_gpus,
+             self._clock)
+        )
 
     def advance_until(self, horizon: float) -> None:
         """Step until the job's clock reaches ``horizon`` or it ends.
@@ -642,6 +701,14 @@ class JobSimulator:
         self._allocated = num_gpus
         self._repair_at = None
         if self._cur.num_gpus != num_gpus:
+            obs.event(
+                "job.resize",
+                job=self.name,
+                t=at,
+                from_gpus=self._cur.num_gpus,
+                to_gpus=num_gpus,
+            )
+            obs.count("job.resizes")
             self._switch_cluster(num_gpus, self._clock)
             self._clock += self.scenario.replan_seconds
             self._recovery_seconds += self.scenario.replan_seconds
@@ -656,14 +723,19 @@ class JobSimulator:
         it had pending repair.
         """
         at = max(self._clock, now)
-        rollback_to = self._checkpointer.restart_from_latest(at)
-        self._replayed += self._i - rollback_to
-        self._lost_seconds += float(self._times[rollback_to:self._i].sum())
-        self._i = rollback_to
-        self._clock = at
-        self._repair_at = None
-        self._paused = True
-        self._preemptions += 1
+        with obs.span("job.preempt", job=self.name, t=at):
+            obs.count("job.preemptions")
+            logger.debug("%s: preempted at t=%.1fs", self.name, at)
+            rollback_to = self._checkpointer.restart_from_latest(at)
+            self._replayed += self._i - rollback_to
+            self._lost_seconds += float(
+                self._times[rollback_to:self._i].sum()
+            )
+            self._i = rollback_to
+            self._clock = at
+            self._repair_at = None
+            self._paused = True
+            self._preemptions += 1
 
     def resume(self, num_gpus: int, now: float) -> None:
         """Resume a preempted job on a (possibly different) slice.
@@ -674,6 +746,7 @@ class JobSimulator:
         if not self._paused:
             raise RuntimeError(f"job {self.name!r} is not preempted")
         at = max(self._clock, now)
+        obs.event("job.resume", job=self.name, t=at, gpus=num_gpus)
         self._clock = at + self.scenario.checkpoint_load_seconds
         self._recovery_seconds += self.scenario.checkpoint_load_seconds
         self._allocated = num_gpus

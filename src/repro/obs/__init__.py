@@ -1,0 +1,69 @@
+"""Flight-recorder observability: metrics, tracing, and run reports.
+
+Three pieces, layered so the simulation core never pays for what it
+doesn't use:
+
+* :mod:`repro.obs.metrics` — process-wide :class:`MetricsRegistry`
+  (counters, gauges, histogram timers) behind :data:`METRICS`.
+* :mod:`repro.obs.tracer` — hierarchical span :class:`Tracer` with
+  point events, an injectable monotonic clock, and diffable JSONL
+  export.
+* :mod:`repro.obs.instrument` — the hooks the layers actually call;
+  no-ops until a session (CLI ``--trace`` / ``--metrics``) enables
+  them, and provably non-perturbing when it does.
+
+:mod:`repro.obs.report` renders traces and snapshots into text run
+reports (``repro trace summarize``). It is deliberately NOT imported
+here: the renderer depends on :mod:`repro.core.reports`, while the core
+layers import this package for their hooks — importing it eagerly would
+close an import cycle. Import it explicitly
+(``from repro.obs import report``).
+"""
+
+from repro.obs.instrument import (
+    NOOP_SPAN,
+    configure_logging,
+    count,
+    current_tracer,
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+    enabled,
+    event,
+    gauge,
+    kernel_span,
+    metrics_enabled,
+    observe,
+    session,
+    span,
+    tracing_enabled,
+)
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.tracer import TRACE_VERSION, Span, Tracer
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "TRACE_VERSION",
+    "Tracer",
+    "configure_logging",
+    "count",
+    "current_tracer",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "enabled",
+    "event",
+    "gauge",
+    "kernel_span",
+    "metrics_enabled",
+    "observe",
+    "session",
+    "span",
+    "summarize_trace",
+    "tracing_enabled",
+]

@@ -1,0 +1,218 @@
+"""Near-zero-cost instrumentation hooks for the simulation layers.
+
+Every layer of the stack calls these module-level functions instead of
+holding tracer/registry references. While observability is disabled
+(the default) each hook is a single global load + branch returning a
+shared singleton, so instrumented hot paths stay within the benchmark
+regression envelope; the tracked ``test_obs_overhead`` benchmark pins
+this.
+
+Hooks must never read or mutate simulation state, and they never touch
+RNG streams — enabling them cannot perturb results (the byte-identity
+suite in ``tests/obs/test_determinism.py`` proves it).
+
+Typical enablement, as done by the CLI::
+
+    with obs.session(trace=True) as tracer:
+        result = run_scenario(config, spec)
+    tracer.export_jsonl(path, metrics=obs.METRICS.snapshot())
+"""
+
+from __future__ import annotations
+
+import logging
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional
+
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import Span, Tracer
+
+_TRACER: Optional[Tracer] = None
+_METRICS_ON = False
+
+
+class _NoopSpan:
+    """Singleton stand-in for :class:`Span` while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+#: Shared no-op span; returned by every disabled :func:`span` call.
+NOOP_SPAN = _NoopSpan()
+
+
+# -- state ------------------------------------------------------------
+
+
+def tracing_enabled() -> bool:
+    return _TRACER is not None
+
+
+def metrics_enabled() -> bool:
+    return _METRICS_ON
+
+
+def enabled() -> bool:
+    """True when any sink (tracer or metrics) is active."""
+    return _METRICS_ON or _TRACER is not None
+
+
+def current_tracer() -> Optional[Tracer]:
+    return _TRACER
+
+
+def enable_tracing(
+    tracer: Optional[Tracer] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> Tracer:
+    """Install ``tracer`` (or a fresh one on ``clock``) process-wide."""
+    global _TRACER
+    _TRACER = tracer if tracer is not None else (
+        Tracer(clock=clock) if clock is not None else Tracer()
+    )
+    return _TRACER
+
+
+def disable_tracing() -> Optional[Tracer]:
+    """Uninstall and return the active tracer (records survive)."""
+    global _TRACER
+    tracer, _TRACER = _TRACER, None
+    return tracer
+
+
+def enable_metrics() -> None:
+    global _METRICS_ON
+    _METRICS_ON = True
+
+
+def disable_metrics() -> None:
+    global _METRICS_ON
+    _METRICS_ON = False
+
+
+@contextmanager
+def session(
+    trace: bool = False,
+    metrics: bool = False,
+    clock: Optional[Callable[[], float]] = None,
+    reset: bool = True,
+) -> Iterator[Optional[Tracer]]:
+    """Scoped enablement: yields the tracer (None when ``trace`` is
+    False), restores the previous disabled state on exit. Tracing
+    implies metrics so traces always embed a meaningful snapshot."""
+    tracer = enable_tracing(clock=clock) if trace else None
+    collect = metrics or trace
+    if collect:
+        if reset:
+            METRICS.reset()
+        enable_metrics()
+    try:
+        yield tracer
+    finally:
+        if tracer is not None:
+            disable_tracing()
+        if collect:
+            disable_metrics()
+
+
+# -- hooks (hot-path safe) --------------------------------------------
+
+
+def span(name: str, **attrs: Any):
+    """Context-manager span; :data:`NOOP_SPAN` while tracing is off."""
+    tracer = _TRACER
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Point event; dropped while tracing is off."""
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.event(name, **attrs)
+
+
+def count(name: str, n: int = 1) -> None:
+    if _METRICS_ON:
+        METRICS.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    if _METRICS_ON:
+        METRICS.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    if _METRICS_ON:
+        METRICS.observe(name, value)
+
+
+def kernel_span(name: str, batch: int) -> Any:
+    """Combined hook for kernel evaluation entry points: one call folds
+    the batch size into the ``kernel.batch_size`` histogram, bumps the
+    evaluation counter, and opens a span — without building a kwargs
+    dict on the disabled path."""
+    if _METRICS_ON:
+        METRICS.count("kernel.evaluations", batch)
+        METRICS.observe("kernel.batch_size", batch)
+    tracer = _TRACER
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, batch=batch)
+
+
+# -- logging (satellite: stdlib logging for the whole package) --------
+
+
+def configure_logging(level: str = "warning") -> None:
+    """Attach a stderr handler to the ``repro`` root logger.
+
+    The library itself only installs a :class:`logging.NullHandler`
+    (in ``repro/__init__``); entry points opt into output here — the
+    CLI maps ``--log-level`` straight to this.
+    """
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    logger = logging.getLogger("repro")
+    logger.setLevel(numeric)
+    if not any(
+        isinstance(h, logging.StreamHandler)
+        and not isinstance(h, logging.NullHandler)
+        for h in logger.handlers
+    ):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "count",
+    "current_tracer",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "enabled",
+    "event",
+    "gauge",
+    "kernel_span",
+    "metrics_enabled",
+    "observe",
+    "session",
+    "span",
+    "tracing_enabled",
+]

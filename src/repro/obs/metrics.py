@@ -1,0 +1,141 @@
+"""Process-wide metrics registry: counters, gauges, histograms/timers.
+
+One :class:`MetricsRegistry` instance (:data:`METRICS`) serves the whole
+process. Layers never talk to it directly — they go through the
+:mod:`repro.obs.instrument` hooks, which collapse to no-ops while
+metrics collection is disabled, so the registry only ever pays its
+locking cost on runs that asked for it.
+
+Design constraints inherited from the simulation core:
+
+* Recording must never touch simulation state or RNG streams — the
+  registry is a pure sink, so enabling it cannot perturb results.
+* Snapshots are plain nested dicts with sorted keys, suitable for JSON
+  export and for embedding as the trailing record of a JSONL trace.
+* Histograms keep streaming aggregates (count/total/min/max), not raw
+  samples, so hot-path observation stays O(1) in memory.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+
+class MetricsRegistry:
+    """Thread-safe store of named counters, gauges, and histograms.
+
+    Args:
+        clock: Monotonic clock used by :meth:`timer`. Injectable so
+            tests (and golden traces) can pin deterministic durations.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Dict[str, float]] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the counter ``name`` (creating it at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest ``value``."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the histogram ``name``."""
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                self._histograms[name] = {
+                    "count": 1,
+                    "total": value,
+                    "min": value,
+                    "max": value,
+                }
+            else:
+                h["count"] += 1
+                h["total"] += value
+                if value < h["min"]:
+                    h["min"] = value
+                if value > h["max"]:
+                    h["max"] = value
+
+    def timer(self, name: str) -> "_Timer":
+        """Context manager observing its elapsed clock time under
+        histogram ``name`` (the "timers" of the registry are histograms
+        of seconds)."""
+        return _Timer(self, name)
+
+    # -- reading / lifecycle -------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Point-in-time copy: ``{"counters", "gauges", "histograms"}``,
+        every level sorted by key so exports diff cleanly."""
+        with self._lock:
+            return {
+                "counters": {
+                    k: self._counters[k] for k in sorted(self._counters)
+                },
+                "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+                "histograms": {
+                    k: dict(self._histograms[k])
+                    for k in sorted(self._histograms)
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every recorded value (registry stays usable)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def export(self, path: str) -> None:
+        """Write :meth:`snapshot` to ``path`` as indented JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def counter_value(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> Optional[float]:
+        """Latest value of gauge ``name`` (None if never set)."""
+        with self._lock:
+            return self._gauges.get(name)
+
+
+class _Timer:
+    """Times a ``with`` block and records it as a histogram sample."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: MetricsRegistry, name: str):
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = self._registry._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._registry.observe(
+            self._name, self._registry._clock() - self._start
+        )
+
+
+#: The process-wide registry every instrument hook records into.
+METRICS = MetricsRegistry()

@@ -1,0 +1,160 @@
+"""Hierarchical span tracer with JSONL export — the flight recorder.
+
+A :class:`Tracer` records two kinds of facts:
+
+* **Spans** — ``with tracer.span("orch.plan", gpus=48):`` blocks that
+  measure wall-clock work on the injectable monotonic clock. Spans nest;
+  each closed span records its parent, so the trace reconstructs the
+  full call tree.
+* **Events** — zero-duration points (``tracer.event("job.failure",
+  t=1234.5)``). Simulation-domain facts carry *virtual* time in their
+  attrs (conventionally ``t``), keeping wall-clock jitter out of the
+  replayable part of the trace.
+
+Records accumulate in completion order (events when they fire, spans
+when they close) and export as JSON Lines: a ``meta`` header, one line
+per record, and optionally a trailing ``metrics`` line embedding a
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot. With a
+deterministic injected clock the byte stream is reproducible, which is
+what lets the test suite pin a golden trace.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+#: Schema version stamped into the ``meta`` record of every export.
+TRACE_VERSION = 1
+
+
+class Span:
+    """One in-flight span; close it via the ``with`` protocol."""
+
+    __slots__ = ("_tracer", "id", "parent", "name", "attrs", "start")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent: Optional[int],
+        name: str,
+        attrs: Dict[str, Any],
+    ):
+        self._tracer = tracer
+        self.id = span_id
+        self.parent = parent
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+
+    def __enter__(self) -> "Span":
+        self.start = self._tracer._clock()
+        self._tracer._stack.append(self.id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = self._tracer._clock()
+        stack = self._tracer._stack
+        if stack and stack[-1] == self.id:
+            stack.pop()
+        record = {
+            "type": "span",
+            "id": self.id,
+            "parent": self.parent,
+            "name": self.name,
+            "start": self.start,
+            "end": end,
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = self.attrs
+        self._tracer._records.append(record)
+
+
+class Tracer:
+    """Collects spans and events on one injectable monotonic clock.
+
+    Args:
+        clock: Returns monotonically non-decreasing floats; defaults to
+            :func:`time.perf_counter`. Inject a counter for
+            deterministic traces.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._records: List[Dict[str, Any]] = []
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span; record it (with duration + parent) on close."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        return Span(self, span_id, parent, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a zero-duration point inside the current span (if
+        any). Put virtual-simulation times in ``attrs``, e.g. ``t=``."""
+        record: Dict[str, Any] = {
+            "type": "event",
+            "name": name,
+            "time": self._clock(),
+            "span": self._stack[-1] if self._stack else None,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._records.append(record)
+
+    # -- reading / export ----------------------------------------------
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """Completed records, in completion order (live view)."""
+        return self._records
+
+    def reset(self) -> None:
+        """Drop all records and restart span numbering."""
+        self._records.clear()
+        self._stack.clear()
+        self._next_id = 1
+
+    def to_jsonl(self, metrics: Optional[Dict[str, Dict]] = None) -> str:
+        """Serialize: ``meta`` line, records, optional ``metrics`` line.
+
+        Args:
+            metrics: A :meth:`MetricsRegistry.snapshot` to embed so one
+                file carries the whole flight record.
+        """
+        spans = sum(1 for r in self._records if r["type"] == "span")
+        lines = [
+            json.dumps(
+                {
+                    "type": "meta",
+                    "version": TRACE_VERSION,
+                    "spans": spans,
+                    "events": len(self._records) - spans,
+                },
+                sort_keys=True,
+            )
+        ]
+        lines.extend(json.dumps(r, sort_keys=True) for r in self._records)
+        if metrics is not None:
+            lines.append(
+                json.dumps(
+                    {"type": "metrics", "snapshot": metrics}, sort_keys=True
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+    def export_jsonl(
+        self, path: str, metrics: Optional[Dict[str, Dict]] = None
+    ) -> None:
+        """Write :meth:`to_jsonl` to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl(metrics=metrics))

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.cluster.cluster import resized_cluster
 from repro.models.base import ModuleWorkload
+from repro.obs import instrument as obs
 from repro.orchestration.errors import InfeasibleClusterError
 from repro.orchestration.convex import (
     solve_resource_split,
@@ -294,6 +295,24 @@ class AdaptiveOrchestrator:
     # ------------------------------------------------------------------ #
     def plan(self) -> OrchestrationResult:
         """Run the adaptive search and return the best configuration."""
+        with obs.span(
+            "orch.plan",
+            model=self.problem.mllm.name,
+            gpus=self.problem.num_gpus,
+            solver=self.solver,
+        ):
+            try:
+                result = self._plan_impl()
+            except InfeasibleClusterError:
+                obs.count("orch.infeasible")
+                raise
+            obs.count("orch.plans")
+            obs.count("orch.candidates", result.candidates_evaluated)
+            obs.count("orch.convex_solves", result.convex_solutions)
+            obs.observe("orch.solve_seconds", result.solve_seconds)
+            return result
+
+    def _plan_impl(self) -> OrchestrationResult:
         problem = self.problem
         started = time.perf_counter()
 
@@ -421,6 +440,7 @@ class AdaptiveOrchestrator:
                 dp_list.append(dp)
         if not tp_list:
             return None
+        obs.count("orch.enumerated", len(tp_list))
         tp_lm = np.asarray(tp_list, dtype=np.int64)
         dp_lm = np.asarray(dp_list, dtype=np.int64)
         width = tp_lm * ep
@@ -455,6 +475,7 @@ class AdaptiveOrchestrator:
             x_min + y_min + z_min <= budget
         )
         sel = np.flatnonzero(ok)
+        obs.count("orch.screened_out", len(ok) - len(sel))
         if not len(sel):
             return None
         convex_solutions = int(len(sel))

@@ -39,6 +39,8 @@ from typing import Tuple
 import numpy as np
 from scipy.optimize import minimize
 
+from repro.obs import instrument as obs
+
 
 @dataclass(frozen=True)
 class ConvexSolution:
@@ -162,6 +164,18 @@ def solve_resource_split(
         options={"maxiter": 200, "ftol": 1e-10},
     )
     x, y, z, _ = result.x
+    obs.count("convex.slsqp_solves")
+    if not result.success:
+        # The per-candidate SLSQP oracle occasionally stops at maxiter;
+        # callers keep the (still feasible) iterate, but the flight
+        # recorder flags it so sweeps can audit fallback quality.
+        obs.count("convex.slsqp_nonconverged")
+        obs.event(
+            "convex.slsqp_nonconverged",
+            status=int(result.status),
+            iterations=int(result.nit),
+            budget=budget,
+        )
     # Re-evaluate the true (non-epigraph) objective at the solution.
     t_true = max(steady_x / x, steady_y / y, steady_z / z)
     value = warm_x / x + warm_z / z + n_steady * t_true
@@ -313,6 +327,7 @@ def solve_resource_split_batch(
                          value, np.inf)
     best = np.argmin(value, axis=-1)
     rows = np.arange(len(best))
+    obs.count("convex.analytic_solves", int(len(x)))
     return BatchConvexSolution(
         x=x[rows, best],
         y=y[rows, best],

@@ -36,8 +36,8 @@ PLAN_CACHE_SIZE = 128
 class PlanCache(KeyedCache):
     """A keyed plan store with FIFO eviction and hit/miss accounting."""
 
-    def __init__(self, maxsize: int = PLAN_CACHE_SIZE):
-        super().__init__(maxsize=maxsize)
+    def __init__(self, maxsize: int = PLAN_CACHE_SIZE, name: str = "plan"):
+        super().__init__(maxsize=maxsize, name=name)
 
 
 #: The process-wide instance ``core.api.replan``, the scenario engine,

@@ -28,7 +28,7 @@ from repro.timing.roofline import DEFAULT_EFFICIENCY, EfficiencyModel
 #: Noise-free profilers shared across problems (see
 #: :meth:`OrchestrationProblem.profiler`) — the same keyed-cache module
 #: the plan cache and data-profile cache use.
-PROFILER_CACHE = KeyedCache(maxsize=32)
+PROFILER_CACHE = KeyedCache(maxsize=32, name="profiler")
 
 
 @dataclass(frozen=True)

@@ -40,6 +40,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs import instrument as obs
 from repro.pipeline.ops import Direction, PipelineOp
 from repro.pipeline.schedules import ScheduleKind, schedule_order
 from repro.pipeline.trace import OpRecord, PipelineTrace
@@ -177,6 +178,24 @@ class SimulatorKernel:
     # ------------------------------------------------------------------ #
     @classmethod
     def build(
+        cls,
+        kind: ScheduleKind,
+        num_stages: int,
+        num_microbatches: int,
+        vpp: int = 1,
+    ) -> "SimulatorKernel":
+        with obs.span(
+            "kernel.compile",
+            kind=kind.value,
+            stages=num_stages,
+            microbatches=num_microbatches,
+            vpp=vpp,
+        ):
+            obs.count("kernel.compiles")
+            return cls._build(kind, num_stages, num_microbatches, vpp)
+
+    @classmethod
+    def _build(
         cls,
         kind: ScheduleKind,
         num_stages: int,
@@ -480,6 +499,14 @@ class SimulatorKernel:
         ``delays`` is a scalar (uniform inter-stage delay) or a per-op
         vector aligned with ``ops``.
         """
+        with obs.kernel_span("kernel.evaluate", 1):
+            return self._evaluate(durations, delays)
+
+    def _evaluate(
+        self,
+        durations: np.ndarray,
+        delays: Union[float, np.ndarray] = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
         n = self.num_ops
         levels = self.levels
         uniform = np.ndim(delays) == 0
@@ -522,6 +549,14 @@ class SimulatorKernel:
         ``delays`` is a scalar shared by the whole batch or a ``(B,)``
         vector of per-item uniform delays.
         """
+        with obs.kernel_span("kernel.evaluate_batch", len(durations)):
+            return self._evaluate_batch(durations, delays)
+
+    def _evaluate_batch(
+        self,
+        durations: np.ndarray,
+        delays: Union[float, np.ndarray] = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
         durations = np.asarray(durations, dtype=float)
         if durations.ndim != 2 or durations.shape[1] != self.num_ops:
             raise ValueError(
@@ -562,6 +597,14 @@ class SimulatorKernel:
         invariant) — the orchestration refinement's fast path.
         Bit-identical to ``makespan(evaluate(...)[1])``.
         """
+        with obs.kernel_span("kernel.makespan", 1):
+            return self._makespan_from_durations(durations, delays)
+
+    def _makespan_from_durations(
+        self,
+        durations: np.ndarray,
+        delays: Union[float, np.ndarray] = 0.0,
+    ) -> float:
         n = self.num_ops
         levels = self.levels
         uniform = np.ndim(delays) == 0
@@ -591,6 +634,14 @@ class SimulatorKernel:
         """Batched :meth:`makespan_from_durations` over ``(B, n)``
         durations (bit-identical to ``makespans(evaluate_batch(...)[1])``).
         """
+        with obs.kernel_span("kernel.makespan_batch", len(durations)):
+            return self._makespans_from_durations(durations, delays)
+
+    def _makespans_from_durations(
+        self,
+        durations: np.ndarray,
+        delays: Union[float, np.ndarray] = 0.0,
+    ) -> np.ndarray:
         durations = np.asarray(durations, dtype=float)
         if durations.ndim != 2 or durations.shape[1] != self.num_ops:
             raise ValueError(

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import DistTrainConfig
+from repro.obs import instrument as obs
 from repro.fleet.job import (  # noqa: F401  (re-exported compatibility)
     MAX_FAILURES,
     JobSimulator,
@@ -73,7 +74,13 @@ class ScenarioEngine:
         Repeated calls reuse the per-size plan/batch memo tables (the
         run-scoped hit/miss counters on the result account for that).
         """
-        return self._job.run()
+        with obs.span(
+            "scenario.run",
+            model=self.config.mllm.name,
+            gpus=self.config.cluster.num_gpus,
+            iterations=self.scenario.num_iterations,
+        ):
+            return self._job.run()
 
 
 def run_scenario(

@@ -6,7 +6,7 @@ benchmark reports — the closest a terminal gets to the paper's figures.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.pipeline.trace import PipelineTrace
 
@@ -100,3 +100,61 @@ def utilization_timeline(
         fraction = min(1.0, amount / bin_width)
         chars.append(shades[round(fraction * (len(shades) - 1))])
     return f"s{stage} |" + "".join(chars) + "|"
+
+
+def plot_trace_timeline(trace: Dict[str, Any], path: str) -> str:
+    """Render a flight-recorder trace (see :mod:`repro.obs.report`)
+    as a two-panel figure: event lanes on the simulation clock, and
+    span wall time by name.
+
+    Matplotlib is an optional extra; without it this raises a
+    RuntimeError and the text report stands on its own.
+    """
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError as exc:
+        raise RuntimeError(
+            "matplotlib is not installed; the text report "
+            "(`repro trace summarize` without --plot) needs no extras"
+        ) from exc
+    from repro.obs.report import span_aggregates
+
+    events = trace["events"]
+    lanes: Dict[str, List[float]] = {}
+    for record in events:
+        attrs = record.get("attrs") or {}
+        t = attrs.get("t", record["time"])
+        lanes.setdefault(record["name"], []).append(float(t))
+    stats = span_aggregates(trace["spans"])
+
+    fig, (ax_events, ax_spans) = plt.subplots(
+        2, 1, figsize=(10, 6),
+        gridspec_kw={"height_ratios": [2, 1]},
+    )
+    if lanes:
+        names = sorted(lanes)
+        for lane, name in enumerate(names):
+            ax_events.scatter(
+                lanes[name], [lane] * len(lanes[name]), s=14, marker="|"
+            )
+        ax_events.set_yticks(range(len(names)))
+        ax_events.set_yticklabels(names)
+    ax_events.set_xlabel("simulation time (s)")
+    ax_events.set_title("events")
+
+    if stats:
+        names = sorted(stats, key=lambda n: stats[n]["total"])
+        ax_spans.barh(
+            range(len(names)), [stats[n]["total"] for n in names]
+        )
+        ax_spans.set_yticks(range(len(names)))
+        ax_spans.set_yticklabels(names)
+    ax_spans.set_xlabel("total wall time (s)")
+    ax_spans.set_title("spans")
+    fig.tight_layout()
+    fig.savefig(path, dpi=120)
+    plt.close(fig)
+    return path

@@ -1,0 +1,34 @@
+"""Shared observability-test fixtures.
+
+Observability state is process-global (the instrument module's tracer
+slot and metrics flag), so every test in this package runs behind an
+autouse guard that restores the disabled default and an empty registry
+— a failing test can never leak an enabled tracer into the rest of the
+suite.
+"""
+
+import pytest
+
+from repro.obs import METRICS, instrument
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled():
+    instrument.disable_tracing()
+    instrument.disable_metrics()
+    METRICS.reset()
+    yield
+    instrument.disable_tracing()
+    instrument.disable_metrics()
+    METRICS.reset()
+
+
+class FakeClock:
+    """Monotonic integer clock: 0.0, 1.0, 2.0, ... per call."""
+
+    def __init__(self):
+        self.now = -1.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now

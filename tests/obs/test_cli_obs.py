@@ -1,0 +1,139 @@
+"""The observability CLI surface: --trace/--metrics, trace summarize,
+--log-level."""
+
+import json
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import load_trace
+
+SCENARIO_ARGS = [
+    "scenario", "run", "--model", "mllm-9b", "--gpus", "48",
+    "--gbs", "16", "--iterations", "30", "--mtbf", "5",
+    "--seed", "3", "--elastic",
+]
+
+FLEET_ARGS = [
+    "fleet", "run", "--model", "mllm-9b", "--gpus", "96",
+    "--gbs", "16", "--jobs", "2", "--job-gpus", "48",
+    "--arrival-spacing", "40", "--iterations", "20",
+]
+
+
+class TestTraceFlag:
+    def test_scenario_trace_is_loadable(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        code = main(SCENARIO_ARGS + ["--trace", str(path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "trace written to" in captured.err
+        trace = load_trace(str(path))
+        span_names = {s["name"] for s in trace["spans"]}
+        assert "scenario.run" in span_names
+        # tracing implies metrics: the snapshot rides in the file
+        assert trace["metrics"]["counters"]["kernel.evaluations"] > 0
+
+    def test_fleet_json_stdout_stays_pure(self, tmp_path, capsys):
+        path = tmp_path / "fleet.jsonl"
+        code = main(FLEET_ARGS + ["--json", "--trace", str(path),
+                                  "--metrics"])
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)  # one document, nothing else
+        assert payload["cluster_gpus"] == 96
+        assert "trace written to" in captured.err
+        trace = load_trace(str(path))
+        assert {s["name"] for s in trace["spans"]} >= {"fleet.run"}
+        assert {e["name"] for e in trace["events"]} >= {
+            "fleet.admit", "fleet.seat", "fleet.complete",
+        }
+
+    def test_metrics_digest_goes_to_stderr(self, capsys):
+        code = main(SCENARIO_ARGS + ["--metrics"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "counters" in captured.err
+        assert "counters" not in captured.out
+
+    def test_no_flags_means_no_obs_output(self, capsys):
+        code = main(SCENARIO_ARGS)
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "trace written to" not in captured.err
+        assert "counters" not in captured.err
+
+
+class TestTraceSummarize:
+    @pytest.fixture
+    def trace_path(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(SCENARIO_ARGS + ["--trace", str(path)]) == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_renders_report(self, trace_path, capsys):
+        code = main(["trace", "summarize", trace_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("trace v1:")
+        assert "spans (by total wall time)" in out
+        assert "scenario.run" in out
+
+    def test_timeline_limit_flag(self, trace_path, capsys):
+        code = main([
+            "trace", "summarize", trace_path, "--timeline-limit", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+
+    def test_missing_file_exits_2(self, capsys):
+        code = main(["trace", "summarize", "/nonexistent/x.jsonl"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error" in err
+
+    def test_invalid_trace_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "event", "name": "e", "time": 0.0}\n')
+        code = main(["trace", "summarize", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no meta record" in err
+
+    def test_plot_without_matplotlib_reports_cleanly(
+        self, trace_path, tmp_path, capsys
+    ):
+        try:
+            import matplotlib  # noqa: F401
+
+            pytest.skip("matplotlib installed; gate path not reachable")
+        except ImportError:
+            pass
+        code = main([
+            "trace", "summarize", trace_path,
+            "--plot", str(tmp_path / "out.png"),
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "matplotlib is not installed" in err
+
+
+class TestLogLevel:
+    def test_log_level_flag_configures_root_logger(self, capsys):
+        logger = logging.getLogger("repro")
+        before = list(logger.handlers)
+        level = logger.level
+        try:
+            code = main(["--log-level", "info"] + FLEET_ARGS)
+            captured = capsys.readouterr()
+            assert code == 0
+            assert "fleet run complete" in captured.err
+        finally:
+            logger.handlers[:] = before
+            logger.setLevel(level)
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "loud"] + FLEET_ARGS)

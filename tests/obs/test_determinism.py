@@ -1,0 +1,124 @@
+"""Byte-identity: instrumentation must never perturb a simulation.
+
+The flight recorder only *observes* — it reads no simulation state and
+draws nothing from any RNG stream. These properties pin that contract:
+a scenario or fleet run executed inside an enabled tracing+metrics
+session produces byte-identical results to the same run with
+observability disabled (the process default).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster.cluster import make_cluster
+from repro.core.config import DistTrainConfig
+from repro.fleet import FleetJobSpec, FleetSpec, run_fleet
+from repro.obs import instrument
+from repro.scenarios import ScenarioSpec, run_scenario
+from tests.scenarios.conftest import FAST_RECOVERY
+
+ENGINE_SETTINGS = dict(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+CONFIG = DistTrainConfig.preset("mllm-9b", 48, 16)
+
+
+def assert_scenario_identical(first, second):
+    assert first.metrics() == second.metrics()
+    assert first.iteration_times.tobytes() == second.iteration_times.tobytes()
+    assert first.mfu_trajectory.tobytes() == second.mfu_trajectory.tobytes()
+    assert first.events.events == second.events.events
+
+
+@settings(**ENGINE_SETTINGS)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    mtbf=st.one_of(st.none(), st.floats(min_value=3.0, max_value=100.0)),
+    elastic=st.booleans(),
+)
+def test_traced_scenario_is_byte_identical(seed, mtbf, elastic):
+    spec = ScenarioSpec(
+        num_iterations=60,
+        checkpoint_interval=15,
+        mtbf_gpu_hours=mtbf,
+        straggler_rate=0.05,
+        elastic=elastic,
+        seed=seed,
+        **FAST_RECOVERY,
+    )
+    untraced = run_scenario(CONFIG, spec)
+    with instrument.session(trace=True, metrics=True):
+        traced = run_scenario(CONFIG, spec)
+    assert_scenario_identical(untraced, traced)
+    # and the tracer actually recorded the run — this is a live session,
+    # not an accidentally-disabled one
+    tracer = instrument.current_tracer()
+    assert tracer is None  # session restored the disabled default
+
+
+@settings(**ENGINE_SETTINGS)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    policy=st.sampled_from(["fair-share", "fifo", "priority"]),
+)
+def test_traced_fleet_is_byte_identical(seed, policy):
+    spec = FleetSpec(
+        cluster=make_cluster(96),
+        jobs=[
+            FleetJobSpec(
+                name=f"job{i}",
+                config=CONFIG,
+                scenario=ScenarioSpec(
+                    num_iterations=40,
+                    checkpoint_interval=10,
+                    mtbf_gpu_hours=30.0,
+                    elastic=True,
+                    seed=seed + i,
+                    **FAST_RECOVERY,
+                ),
+                arrival_s=5.0 * i,
+                priority=i % 2,
+            )
+            for i in range(3)
+        ],
+        policy=policy,
+    )
+    untraced = run_fleet(spec)
+    with instrument.session(trace=True, metrics=True):
+        traced = run_fleet(spec)
+    assert untraced.metrics() == traced.metrics()
+    for u, t in zip(untraced.records, traced.records):
+        assert u.name == t.name
+        assert u.start_s == t.start_s
+        assert u.completion_s == t.completion_s
+        assert u.result.metrics() == t.result.metrics()
+        assert_scenario_identical(u.result, t.result)
+
+
+def test_traced_run_records_spans_and_metrics():
+    """The non-perturbation proof is only meaningful if the session was
+    genuinely recording; pin that the instrumented layers actually
+    emitted into it."""
+    from repro.orchestration.plancache import PLAN_CACHE
+
+    PLAN_CACHE.clear()  # a warm cache would (rightly) skip orch.plan
+    spec = ScenarioSpec(
+        num_iterations=60,
+        checkpoint_interval=10,
+        mtbf_gpu_hours=2.0,
+        elastic=True,
+        seed=2,  # samples two failures on this geometry
+        **FAST_RECOVERY,
+    )
+    with instrument.session(trace=True, metrics=True) as tracer:
+        run_scenario(CONFIG, spec)
+        from repro.obs import METRICS
+
+        snapshot = METRICS.snapshot()
+    names = {r["name"] for r in tracer.records}
+    assert "scenario.run" in names
+    assert "orch.plan" in names
+    assert snapshot["counters"]["orch.plans"] >= 1
+    assert snapshot["counters"].get("job.failures", 0) >= 1

@@ -1,0 +1,63 @@
+"""Golden flight-recorder trace: byte-exact snapshot of a canonical
+traced scenario.
+
+Any change to the instrumentation points, span/event names, record
+schema, or engine control flow shows up here as a byte diff. Re-bless
+intentional changes with::
+
+    PYTHONPATH=src python -m tests.obs.golden.regen
+"""
+
+import json
+
+import pytest
+
+from tests.obs.golden.regen import GOLDEN_DIR, trace_fixture
+
+REBLESS = "PYTHONPATH=src python -m tests.obs.golden.regen"
+
+
+def load_fixture():
+    path = GOLDEN_DIR / "trace_canonical.json"
+    assert path.exists(), f"missing golden fixture; run: {REBLESS}"
+    return json.loads(path.read_text())
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    return trace_fixture()
+
+
+def test_trace_bytes_match_golden(fresh):
+    golden = load_fixture()
+    assert fresh["jsonl"] == golden["jsonl"], (
+        f"trace bytes diverged from golden; if intentional: {REBLESS}"
+    )
+
+
+def test_counters_and_gauges_match_golden(fresh):
+    golden = load_fixture()
+    assert fresh["counters"] == golden["counters"], (
+        f"metric counters diverged from golden; if intentional: {REBLESS}"
+    )
+    assert fresh["gauges"] == golden["gauges"], (
+        f"metric gauges diverged from golden; if intentional: {REBLESS}"
+    )
+
+
+def test_golden_trace_covers_the_instrumented_layers():
+    """The fixture itself must stay a meaningful probe: it has to
+    exercise kernel, orchestration, cache, and scenario instrumentation
+    (a trivial trace would pin bytes while guarding nothing)."""
+    golden = load_fixture()
+    records = [
+        json.loads(line) for line in golden["jsonl"].splitlines()
+    ]
+    assert records[0]["type"] == "meta"
+    assert records[0]["version"] == 1
+    names = {r["name"] for r in records[1:]}
+    assert {"scenario.run", "orch.plan", "kernel.compile"} <= names
+    counters = golden["counters"]
+    assert counters["kernel.compiles"] > 0
+    assert counters["orch.plans"] >= 1
+    assert counters["cache.plan.misses"] >= 1

@@ -1,0 +1,146 @@
+"""Instrumentation hooks: no-op defaults, session scoping, logging."""
+
+import logging
+
+import pytest
+
+from repro.obs import METRICS, instrument
+
+from tests.obs.conftest import FakeClock
+
+
+class TestDisabledDefaults:
+    def test_span_returns_shared_noop_singleton(self):
+        assert instrument.span("x", gpus=1) is instrument.NOOP_SPAN
+        assert instrument.span("y") is instrument.NOOP_SPAN
+
+    def test_noop_span_supports_with(self):
+        with instrument.span("x"):
+            pass
+
+    def test_event_and_metrics_hooks_drop_silently(self):
+        instrument.event("e", t=1.0)
+        instrument.count("c")
+        instrument.gauge("g", 1.0)
+        instrument.observe("h", 1.0)
+        assert METRICS.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_kernel_span_is_noop(self):
+        assert instrument.kernel_span("k", 32) is instrument.NOOP_SPAN
+        assert METRICS.counter_value("kernel.evaluations") == 0
+
+    def test_state_predicates(self):
+        assert not instrument.tracing_enabled()
+        assert not instrument.metrics_enabled()
+        assert not instrument.enabled()
+        assert instrument.current_tracer() is None
+
+
+class TestEnabledHooks:
+    def test_span_and_event_record_through_hooks(self):
+        tracer = instrument.enable_tracing(clock=FakeClock())
+        with instrument.span("outer", gpus=48):
+            instrument.event("tick", t=5.0)
+        assert [r["name"] for r in tracer.records] == ["tick", "outer"]
+
+    def test_metrics_hooks_hit_global_registry(self):
+        instrument.enable_metrics()
+        instrument.count("c", 2)
+        instrument.gauge("g", 7.0)
+        instrument.observe("h", 3.0)
+        assert METRICS.counter_value("c") == 2
+        assert METRICS.gauge_value("g") == 7.0
+
+    def test_kernel_span_counts_batch_and_opens_span(self):
+        tracer = instrument.enable_tracing(clock=FakeClock())
+        instrument.enable_metrics()
+        with instrument.kernel_span("kernel.evaluate_batch", 16):
+            pass
+        assert METRICS.counter_value("kernel.evaluations") == 16
+        hist = METRICS.snapshot()["histograms"]["kernel.batch_size"]
+        assert hist == {"count": 1, "total": 16.0, "min": 16.0, "max": 16.0}
+        assert tracer.records[0]["attrs"] == {"batch": 16}
+
+    def test_disable_tracing_returns_tracer_with_records(self):
+        instrument.enable_tracing(clock=FakeClock())
+        with instrument.span("a"):
+            pass
+        tracer = instrument.disable_tracing()
+        assert tracer is not None
+        assert len(tracer.records) == 1
+        assert instrument.span("b") is instrument.NOOP_SPAN
+
+
+class TestSession:
+    def test_trace_session_yields_tracer_and_restores(self):
+        with instrument.session(trace=True, clock=FakeClock()) as tracer:
+            assert instrument.tracing_enabled()
+            assert instrument.metrics_enabled()  # tracing implies metrics
+            with instrument.span("a"):
+                pass
+        assert not instrument.enabled()
+        assert len(tracer.records) == 1
+
+    def test_metrics_only_session(self):
+        with instrument.session(metrics=True) as tracer:
+            assert tracer is None
+            assert instrument.metrics_enabled()
+            assert not instrument.tracing_enabled()
+            instrument.count("c")
+        assert METRICS.counter_value("c") == 1
+        assert not instrument.metrics_enabled()
+
+    def test_session_resets_registry_by_default(self):
+        METRICS.count("stale")
+        with instrument.session(metrics=True):
+            assert METRICS.counter_value("stale") == 0
+
+    def test_session_keeps_registry_with_reset_false(self):
+        METRICS.count("stale")
+        with instrument.session(metrics=True, reset=False):
+            assert METRICS.counter_value("stale") == 1
+
+    def test_session_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with instrument.session(trace=True):
+                raise RuntimeError("boom")
+        assert not instrument.enabled()
+
+
+class TestLogging:
+    def test_library_root_logger_has_null_handler(self):
+        import repro  # noqa: F401  (handler installed at import)
+
+        handlers = logging.getLogger("repro").handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)
+
+    def test_configure_logging_sets_level_and_stream_handler(self):
+        logger = logging.getLogger("repro")
+        before = list(logger.handlers)
+        level = logger.level
+        try:
+            instrument.configure_logging("debug")
+            assert logger.level == logging.DEBUG
+            streams = [
+                h for h in logger.handlers
+                if isinstance(h, logging.StreamHandler)
+                and not isinstance(h, logging.NullHandler)
+            ]
+            assert len(streams) == 1
+            # idempotent: a second call must not stack handlers
+            instrument.configure_logging("info")
+            streams_after = [
+                h for h in logger.handlers
+                if isinstance(h, logging.StreamHandler)
+                and not isinstance(h, logging.NullHandler)
+            ]
+            assert len(streams_after) == 1
+        finally:
+            logger.handlers[:] = before
+            logger.setLevel(level)
+
+    def test_configure_logging_rejects_unknown_level(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            instrument.configure_logging("loud")

@@ -1,0 +1,98 @@
+"""MetricsRegistry: counters, gauges, histograms, snapshot/reset."""
+
+import json
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+
+from tests.obs.conftest import FakeClock
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        registry = MetricsRegistry()
+        registry.count("a")
+        registry.count("a", 4)
+        assert registry.counter_value("a") == 5
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0
+
+
+class TestGauges:
+    def test_gauge_keeps_latest(self):
+        registry = MetricsRegistry()
+        registry.gauge("free", 96)
+        registry.gauge("free", 48)
+        assert registry.gauge_value("free") == 48
+
+    def test_unset_gauge_is_none(self):
+        assert MetricsRegistry().gauge_value("nope") is None
+
+
+class TestHistograms:
+    def test_observe_tracks_streaming_aggregates(self):
+        registry = MetricsRegistry()
+        for value in (4.0, 1.0, 7.0):
+            registry.observe("batch", value)
+        h = registry.snapshot()["histograms"]["batch"]
+        assert h == {"count": 3, "total": 12.0, "min": 1.0, "max": 7.0}
+
+    def test_timer_observes_elapsed_on_injected_clock(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with registry.timer("work"):
+            pass
+        h = registry.snapshot()["histograms"]["work"]
+        assert h["count"] == 1
+        assert h["total"] == 1.0  # two clock ticks, one apart
+
+
+class TestSnapshot:
+    def test_keys_sorted_at_every_level(self):
+        registry = MetricsRegistry()
+        registry.count("z")
+        registry.count("a")
+        registry.gauge("m", 1.0)
+        snap = registry.snapshot()
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == ["a", "z"]
+
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.count("a")
+        snap = registry.snapshot()
+        snap["counters"]["a"] = 999
+        assert registry.counter_value("a") == 1
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.count("a")
+        registry.gauge("g", 1.0)
+        registry.observe("h", 1.0)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_export_writes_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.count("a", 3)
+        path = tmp_path / "metrics.json"
+        registry.export(str(path))
+        assert json.loads(path.read_text())["counters"]["a"] == 3
+
+
+def test_thread_safety_exact_counts():
+    registry = MetricsRegistry()
+
+    def hammer():
+        for _ in range(1000):
+            registry.count("n")
+            registry.observe("h", 1.0)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert registry.counter_value("n") == 4000
+    assert registry.snapshot()["histograms"]["h"]["count"] == 4000

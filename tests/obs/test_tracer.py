@@ -1,0 +1,125 @@
+"""Tracer: span nesting, events, error capture, JSONL export."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import TRACE_VERSION, Tracer
+
+from tests.obs.conftest import FakeClock
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(clock=FakeClock())
+
+
+class TestSpans:
+    def test_span_records_duration_on_close(self, tracer):
+        with tracer.span("work"):
+            pass
+        (record,) = tracer.records
+        assert record["type"] == "span"
+        assert record["name"] == "work"
+        assert record["start"] == 0.0
+        assert record["end"] == 1.0
+        assert record["parent"] is None
+        assert "error" not in record
+
+    def test_nested_spans_record_parent_ids(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.records  # completion order: inner first
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+
+    def test_sequential_spans_get_distinct_ids(self, tracer):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = [r["id"] for r in tracer.records]
+        assert ids == [1, 2]
+
+    def test_exception_marks_span_and_propagates(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        (record,) = tracer.records
+        assert record["error"] == "ValueError"
+
+    def test_attrs_recorded_only_when_present(self, tracer):
+        with tracer.span("a", gpus=48):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.records
+        assert a["attrs"] == {"gpus": 48}
+        assert "attrs" not in b
+
+
+class TestEvents:
+    def test_event_links_to_enclosing_span(self, tracer):
+        with tracer.span("outer") as s:
+            tracer.event("tick", t=12.5)
+        event, span = tracer.records
+        assert event["type"] == "event"
+        assert event["span"] == s.id
+        assert event["attrs"] == {"t": 12.5}
+
+    def test_toplevel_event_has_no_span(self, tracer):
+        tracer.event("tick")
+        (record,) = tracer.records
+        assert record["span"] is None
+        assert "attrs" not in record
+
+
+class TestExport:
+    def test_meta_counts_spans_and_events(self, tracer):
+        with tracer.span("a"):
+            tracer.event("e1")
+        tracer.event("e2")
+        meta = json.loads(tracer.to_jsonl().splitlines()[0])
+        assert meta == {
+            "type": "meta",
+            "version": TRACE_VERSION,
+            "spans": 1,
+            "events": 2,
+        }
+
+    def test_metrics_line_appended_when_given(self, tracer):
+        snapshot = {"counters": {"a": 1}, "gauges": {}, "histograms": {}}
+        last = json.loads(tracer.to_jsonl(metrics=snapshot).splitlines()[-1])
+        assert last == {"type": "metrics", "snapshot": snapshot}
+
+    def test_export_jsonl_round_trips(self, tracer, tmp_path):
+        with tracer.span("a", gpus=8):
+            tracer.event("e", t=1.0)
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["type"] for l in lines] == [
+            "meta", "event", "span",
+        ]
+
+    def test_identical_runs_produce_identical_bytes(self):
+        def run():
+            t = Tracer(clock=FakeClock())
+            with t.span("outer", gpus=48):
+                t.event("tick", t=3.0)
+                with t.span("inner"):
+                    pass
+            return t.to_jsonl()
+
+        assert run() == run()
+
+    def test_reset_restarts_numbering(self, tracer):
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.records == []
+        with tracer.span("b"):
+            pass
+        assert tracer.records[0]["id"] == 1
