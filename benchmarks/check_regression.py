@@ -40,18 +40,19 @@ DEFAULT_THRESHOLD = 1.2
 #: Benchmarks guarded against regression (substring match on the
 #: pytest-benchmark name): the tracked figure benchmarks of the
 #: vectorized-kernel work, the scenario engine's thousand-iteration
-#: dynamics hot path, the 8-tenant fleet-scheduling workload, the
-#: orchestration search (the convex ablation plus every Table-3 scale
-#: of the batched analytic engine), and the flight-recorder overhead
-#: (the same scenario workload with tracing + metrics enabled — the
-#: disabled-hook cost is implicitly guarded by the two untraced
-#: scenario/fleet entries above).
+#: dynamics hot path, the 8-tenant and batched 100-tenant
+#: fleet-scheduling workloads, the orchestration search (the convex
+#: ablation plus every Table-3 scale of the batched analytic engine),
+#: and the flight-recorder overhead (the same scenario workload with
+#: tracing + metrics enabled — the disabled-hook cost is implicitly
+#: guarded by the two untraced scenario/fleet entries above).
 TRACKED = (
     "test_figure16_reordering_ablation",
     "test_figure5_distributions",
     "test_convex_matches_enumeration",
     "test_scenario_1000_iterations",
     "test_fleet_8jobs_1000_iterations",
+    "test_fleet_100jobs_1000_iterations",
     "test_obs_overhead",
     "test_table3_overhead[1296-1920]",
     "test_table3_overhead[648-960]",

@@ -1,0 +1,119 @@
+"""Fleet-engine benchmarks at hundred-tenant scale.
+
+The tracked benchmark pins this PR's acceptance criterion: a 100-job,
+1000-iteration-per-job fair-share fleet — failures, elastic resizes,
+and every orchestration solve from cold plan *and* shared-state caches
+— completes end-to-end in about a second, because the batched engine
+pops the lagging tenant off an indexed event heap, shares one
+plan/simulator/prepared-batch build across the 100 identical tenants
+through :data:`~repro.fleet.job.STATE_CACHE`, and prices un-memoized
+straggler evaluations in fused cross-tenant kernel sweeps. A second
+(non-tracked) benchmark holds the batched engine to >=3x over the
+sequential per-tenant reference loop on the same workload — the
+speedup the sharing and fusion exist to deliver.
+"""
+
+import pytest
+
+from repro.core.config import DistTrainConfig
+from repro.core.reports import format_table
+from repro.fleet import FleetEngine, FleetSpec
+from repro.fleet.job import STATE_CACHE
+from repro.orchestration.plancache import PLAN_CACHE
+from repro.scenarios import ScenarioSpec
+
+#: Heavyweight fleet evaluations; deselected from the default tier-1
+#: run (see pyproject addopts) and exercised by CI's full benchmark job.
+pytestmark = pytest.mark.slow
+
+JOB_CONFIG = DistTrainConfig.preset("mllm-9b", 48, 16)
+
+#: Each tenant's dynamics: real failures, elastic shrinking, repairs.
+JOB_SCENARIO = ScenarioSpec(
+    num_iterations=1000,
+    checkpoint_interval=50,
+    mtbf_gpu_hours=60.0,
+    elastic=True,
+    repair_seconds=900.0,
+)
+
+
+def fleet_spec() -> FleetSpec:
+    """100 x (48-GPU demand) on 480 shared GPUs: 10x oversubscribed."""
+    return FleetSpec.homogeneous(
+        JOB_CONFIG,
+        cluster_gpus=480,
+        num_jobs=100,
+        job_gpus=48,
+        arrival_spacing_s=120.0,
+        priorities=(1, 0),
+        policy="fair-share",
+        scenario=JOB_SCENARIO,
+    )
+
+
+def cold_fleet(batched: bool):
+    # Cold start: every orchestration solve and every shared cluster
+    # state build lands inside the measured time.
+    PLAN_CACHE.clear()
+    STATE_CACHE.clear()
+    return FleetEngine(fleet_spec(), batched=batched).run()
+
+
+def test_fleet_100jobs_1000_iterations(benchmark):
+    result = benchmark.pedantic(
+        lambda: cold_fleet(batched=True), rounds=1, iterations=1
+    )
+    metrics = result.metrics()
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["fleet goodput", f"{metrics['fleet_goodput'] * 100:.1f}%"],
+            ["utilization", f"{metrics['utilization'] * 100:.1f}%"],
+            ["mean JCT", f"{metrics['mean_jct_seconds']:.0f} s"],
+            ["failures", int(metrics["num_failures"])],
+            ["re-orchestrations", int(metrics["num_replans"])],
+            ["plan cache (hit/miss)",
+             f"{result.plan_cache_hits}/{result.plan_cache_misses}"],
+        ],
+        title="100 x 1000-iteration jobs, fair-share on 480 shared GPUs:",
+    ))
+    # Acceptance criterion: end-to-end around ~1 s at nominal machine
+    # speed (the tracked guard enforces the calibrated budget; this
+    # bound only catches order-of-magnitude breakage on any machine).
+    assert benchmark.stats.stats.mean < 10.0
+    # The fleet must actually contend and adapt...
+    assert len(result.records) == 100
+    assert all(r.result.num_iterations == 1000 for r in result.records)
+    assert metrics["num_failures"] > 0
+    assert metrics["num_replans"] > 0
+    assert 0.0 < metrics["fleet_goodput"] <= 1.0
+    assert 0.0 < metrics["utilization"] <= 1.0
+    # ...amortize co-tenant planning through the shared cache...
+    assert result.plan_cache_hits > result.plan_cache_misses
+    # ...and stay seed-deterministic across repeated runs.
+    again = FleetEngine(fleet_spec()).run()
+    assert again.metrics() == metrics
+
+
+def test_batched_engine_speedup_over_sequential(benchmark):
+    """The batched fast path must hold >=3x over the sequential
+    reference loop on the tracked workload (measured ~9x when blessed;
+    the margin absorbs machine noise), while returning the identical
+    result."""
+    import time
+
+    start = time.perf_counter()
+    sequential = cold_fleet(batched=False)
+    sequential_seconds = time.perf_counter() - start
+
+    batched = benchmark.pedantic(
+        lambda: cold_fleet(batched=True), rounds=1, iterations=1
+    )
+    batched_seconds = benchmark.stats.stats.mean
+    speedup = sequential_seconds / batched_seconds
+    print(f"\nsequential {sequential_seconds:.2f}s / "
+          f"batched {batched_seconds:.2f}s = {speedup:.1f}x")
+    assert batched.metrics() == sequential.metrics()
+    assert speedup >= 3.0

@@ -106,13 +106,36 @@ def replan(config: DistTrainConfig, num_gpus: int) -> OrchestrationResult:
 
 
 def _replan_uncached(
-    config: DistTrainConfig, num_gpus: int
+    config: DistTrainConfig,
+    num_gpus: int,
+    warm_start_from_cache: bool = True,
 ) -> OrchestrationResult:
+    """One uncached re-orchestration of ``config`` at ``num_gpus``.
+
+    With ``warm_start_from_cache`` (the default), a DistTrain re-solve
+    is warm-started from the nearest cached neighbor size's
+    ``refined_portfolio`` — the incremental-replanning fast path for
+    elastic ±1-node resizes. The warm start only skips refinement
+    simulations whose result it already knows, so the returned plan is
+    bit-identical to a cold search; callers bypassing the plan cache
+    pass ``False`` to stay entirely cache-free.
+    """
     from repro.cluster.cluster import resized_cluster
     from repro.orchestration.errors import InfeasibleClusterError
 
     if config.system == "disttrain":
-        return replan_for_cluster(_problem(config), num_gpus)
+        warm_start = None
+        if warm_start_from_cache:
+            neighbor = PLAN_CACHE.nearest(
+                *planning_signature(config, num_gpus)
+            )
+            if neighbor is not None:
+                warm_start = getattr(
+                    neighbor[1], "refined_portfolio", None
+                )
+        return replan_for_cluster(
+            _problem(config), num_gpus, warm_start=warm_start
+        )
     try:
         return plan(
             config.with_(cluster=resized_cluster(config.cluster, num_gpus))

@@ -11,6 +11,19 @@ and preemptions release capacity first, then grows and starts consume
 it, with every transition preserving the allocator's conservation
 invariant.
 
+The default ``batched`` mode prices and steps many jobs per event tick:
+the lagging tenant comes off an indexed event heap keyed on
+``(clock, arrival order)`` instead of a linear scan, same-task tenants
+share one plan/simulator/prepared-batch build through the process-wide
+:data:`~repro.fleet.job.STATE_CACHE`, and un-memoized straggler
+evaluations are gathered across running tenants
+(:meth:`~repro.fleet.job.JobSimulator.prepare_step`) and priced in one
+fused kernel sweep before any clock commits. Every shared or fused
+value is bit-identical to the sequential per-tenant path
+(``batched=False``, retained as the equivalence reference), so the
+:class:`FleetResult` is byte-identical either way — the hypothesis
+equivalence suite pins this across all three policies.
+
 Failure/repair capacity stays **job-local** (a repaired node returns to
 the job that lost it, as production schedulers do), so a single-job
 fleet reproduces the standalone
@@ -36,14 +49,16 @@ per-job hit/miss counters surface on each
 
 from __future__ import annotations
 
+import heapq
 import logging
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.cluster.allocation import GPUAllocator
-from repro.fleet.job import JobSimulator
+from repro.fleet.job import JobSimulator, price_pending_steps
 from repro.obs import instrument as obs
 from repro.fleet.policies import JobView, SchedulingPolicy, make_policy
 from repro.fleet.spec import FleetJobSpec, FleetSpec
@@ -74,7 +89,11 @@ class FleetJobRecord:
     #: fleet-goodput numerator. The per-job ``result.ideal_seconds`` is
     #: priced at the initially granted slice instead (matching the
     #: standalone scenario semantics), which can understate the ideal
-    #: for a job admitted on a small share that later grows.
+    #: for a job admitted on a small share that later grows. When the
+    #: cluster-capped demand itself cannot be orchestrated, the ideal
+    #: is priced at the largest feasible node-granular size below it
+    #: (the best private cluster the job could actually use), falling
+    #: back to ``result.ideal_seconds`` only when no size is feasible.
     ideal_demand_seconds: float = 0.0
 
     @property
@@ -212,13 +231,20 @@ _DONE = "done"
 class _Tenant:
     """Mutable per-job scheduling state."""
 
-    def __init__(self, spec: FleetJobSpec, order: int, use_plan_cache: bool):
+    def __init__(
+        self,
+        spec: FleetJobSpec,
+        order: int,
+        use_plan_cache: bool,
+        share_states: bool = False,
+    ):
         self.spec = spec
         self.order = order
         self.sim = JobSimulator(
             spec.config,
             spec.scenario,
             use_plan_cache=use_plan_cache,
+            share_states=share_states,
             name=spec.name,
         )
         self.state = _PENDING
@@ -250,16 +276,42 @@ class FleetEngine:
         spec: Cluster, policy, and tenant jobs.
         use_plan_cache: Forwarded to every job simulator (False re-runs
             every orchestration search; the equivalence suite uses it).
+        batched: Multi-job fast path (default): indexed event heap for
+            the lagging-tenant pick, cluster states shared across
+            same-task tenants, and cross-tenant fused pricing of
+            un-memoized straggler evaluations. ``False`` runs the
+            sequential per-tenant reference loop; both produce
+            byte-identical :class:`FleetResult`\\ s. State sharing rides
+            on the plan cache's purity contract, so
+            ``use_plan_cache=False`` also disables it (every tenant
+            then builds — and searches — privately, as bypass mode
+            promises).
     """
 
-    def __init__(self, spec: FleetSpec, use_plan_cache: bool = True):
+    def __init__(
+        self,
+        spec: FleetSpec,
+        use_plan_cache: bool = True,
+        batched: bool = True,
+    ):
         self.spec = spec
+        self.batched = batched
         self.policy: SchedulingPolicy = make_policy(spec.policy)
         self.allocator = GPUAllocator(spec.cluster)
         self._tenants = [
-            _Tenant(job, order, use_plan_cache)
+            _Tenant(
+                job, order, use_plan_cache,
+                share_states=batched and use_plan_cache,
+            )
             for order, job in enumerate(spec.jobs)
         ]
+        #: Latest scheduling-decision clock (arrival, completion, or
+        #: preemption time) — the wedged-fleet reschedule must not seat
+        #: a waiter earlier than the decision that freed its capacity.
+        self._last_decision = 0.0
+        #: Decision epoch: bumped by every policy round so the batched
+        #: loop knows its event heap may hold stale clocks/states.
+        self._decisions = 0
 
     # ------------------------------------------------------------------ #
     def run(self) -> FleetResult:
@@ -279,12 +331,21 @@ class FleetEngine:
         return result
 
     def _run_impl(self) -> FleetResult:
-        # Consumed front-first as arrivals are admitted.
-        pending = sorted(
+        # Consumed front-first (popleft) as arrivals are admitted — a
+        # thousand-job arrival burst admits in O(1) per job.
+        pending: Deque[_Tenant] = deque(sorted(
             self._tenants, key=lambda t: (t.spec.arrival_s, t.order)
-        )
-        last_decision = 0.0
+        ))
+        self._last_decision = 0.0
+        if self.batched:
+            self._run_batched(pending)
+        else:
+            self._run_sequential(pending)
+        return self._records()
 
+    def _run_sequential(self, pending: Deque[_Tenant]) -> None:
+        """The per-tenant reference loop: linear lagging-tenant scan,
+        one evaluation at a time (the equivalence suite's oracle)."""
         while True:
             running = [t for t in self._tenants if t.state == _RUNNING]
             next_arrival = pending[0].spec.arrival_s if pending else None
@@ -295,7 +356,6 @@ class FleetEngine:
                     next_arrival <= lagging.sim.clock
                 ):
                     self._admit(pending, next_arrival)
-                    last_decision = next_arrival
                     self._reschedule(next_arrival)
                     continue
                 self._step(lagging)
@@ -303,37 +363,131 @@ class FleetEngine:
 
             if next_arrival is not None:
                 self._admit(pending, next_arrival)
-                last_decision = next_arrival
                 self._reschedule(next_arrival)
                 continue
 
-            waiting = [
-                t for t in self._tenants if t.state in (_QUEUED, _PAUSED)
-            ]
-            if not waiting:
+            if not self._unwedge():
                 break
-            # Nothing runs, nothing arrives: either the policy can seat
-            # a waiter now, or the fleet is wedged.
-            self._reschedule(last_decision)
-            if not any(t.state == _RUNNING for t in self._tenants):
-                names = sorted(t.name for t in waiting)
-                raise FleetSchedulingError(
-                    f"fleet deadlock: jobs {names} cannot be granted a "
-                    f"feasible slice ({self.allocator.free_gpus} GPUs "
-                    f"free of {self.allocator.total_gpus})"
-                )
 
+    def _run_batched(self, pending: Deque[_Tenant]) -> None:
+        """The indexed event loop: running tenants sit on a heap keyed
+        ``(clock, arrival order)`` — the same total order the linear
+        scan minimizes — and un-memoized straggler evaluations are
+        gathered across tenants and priced in one fused kernel sweep
+        before the lagging tenant commits its step.
+
+        Between policy rounds, tenant clocks only advance through this
+        loop's own steps, so heap entries cannot go stale; any round
+        (``_reschedule``) bumps the decision epoch and the heap is
+        rebuilt once from the surviving running set.
+        """
+        heap: List[Tuple[float, int, _Tenant]] = []
+        epoch = -1
+        while True:
+            if epoch != self._decisions:
+                heap = [
+                    (t.sim.clock, t.order, t)
+                    for t in self._tenants
+                    if t.state == _RUNNING
+                ]
+                heapq.heapify(heap)
+                epoch = self._decisions
+            next_arrival = pending[0].spec.arrival_s if pending else None
+
+            if heap:
+                clock, _, lagging = heap[0]
+                if next_arrival is not None and next_arrival <= clock:
+                    self._admit(pending, next_arrival)
+                    self._reschedule(next_arrival)
+                    continue
+                heapq.heappop(heap)
+                self._price_pending(lagging)
+                self._step(lagging)
+                if epoch == self._decisions and lagging.state == _RUNNING:
+                    heapq.heappush(
+                        heap, (lagging.sim.clock, lagging.order, lagging)
+                    )
+                continue
+
+            if next_arrival is not None:
+                self._admit(pending, next_arrival)
+                self._reschedule(next_arrival)
+                continue
+
+            if not self._unwedge():
+                break
+
+    def _unwedge(self) -> bool:
+        """Nothing runs and nothing arrives: seat a waiter or finish.
+
+        Returns False when the fleet is drained. The reschedule runs at
+        the *latest* decision clock — completions and preemptions update
+        it too (see :meth:`_reschedule`), so a waiter seated here can
+        never be granted a start time earlier than the event that freed
+        its capacity.
+        """
+        waiting = [
+            t for t in self._tenants if t.state in (_QUEUED, _PAUSED)
+        ]
+        if not waiting:
+            return False
+        self._reschedule(self._last_decision)
+        if not any(t.state == _RUNNING for t in self._tenants):
+            names = sorted(t.name for t in waiting)
+            raise FleetSchedulingError(
+                f"fleet deadlock: jobs {names} cannot be granted a "
+                f"feasible slice ({self.allocator.free_gpus} GPUs "
+                f"free of {self.allocator.total_gpus})"
+            )
+        return True
+
+    def _price_pending(self, lagging: _Tenant) -> None:
+        """Fused pricing of the evaluations upcoming steps need.
+
+        Only fires when the lagging tenant's next step actually needs an
+        un-memoized (straggler) evaluation — the common base-batch tick
+        costs one O(1) probe. When it fires, every running tenant's
+        pending evaluation rides along in the same kernel sweep, so a
+        straggler-heavy fleet prices whole waves at once. Pre-filling
+        the shared memos is invisible to the sequential semantics: the
+        values are bit-identical to what each tenant's own step would
+        have computed.
+        """
+        first = lagging.sim.prepare_step()
+        if first is None:
+            return
+        items = [first]
+        for t in self._tenants:
+            if t is lagging or t.state != _RUNNING:
+                continue
+            item = t.sim.prepare_step()
+            if item is not None:
+                items.append(item)
+        price_pending_steps(items)
+
+    def _records(self) -> FleetResult:
         records = []
+        node = self.allocator.gpus_per_node
         for t in sorted(self._tenants, key=lambda t: t.order):
             assert t.completion_s is not None and t.start_s is not None
             result = t.sim.finish()  # snapshots hit/miss counters first
             demand = min(t.spec.demand_gpus, self.allocator.total_gpus)
-            if t.sim.feasible(demand):
-                ideal_demand = t.sim.ideal_seconds_at(demand)
+            # The private-cluster ideal: the largest node-granular size
+            # at-or-below the capped demand the orchestrator can
+            # actually plan. Walking down matters when the cap lands on
+            # an infeasible size — pricing the ideal at the granted
+            # slice there would skew per-job slowdown (a job squeezed
+            # to a sliver would look like it ran at its ideal).
+            size = demand
+            while size >= node and not t.sim.feasible(size):
+                size -= node
+            if size >= node:
+                ideal_demand = t.sim.ideal_seconds_at(size)
             else:
-                # A demand-capped size the orchestrator cannot plan:
-                # fall back to the ideal at the slice actually granted
-                # rather than discarding the finished simulation.
+                # No feasible size at all below the cap (the demand
+                # config itself must have been granted to finish):
+                # fall back to the ideal at the initially granted
+                # slice rather than discarding the finished simulation.
                 ideal_demand = result.ideal_seconds
             records.append(
                 FleetJobRecord(
@@ -404,9 +558,9 @@ class FleetEngine:
     # ------------------------------------------------------------------ #
     # Decision points
     # ------------------------------------------------------------------ #
-    def _admit(self, pending: List[_Tenant], now: float) -> None:
+    def _admit(self, pending: Deque[_Tenant], now: float) -> None:
         while pending and pending[0].spec.arrival_s <= now:
-            tenant = pending.pop(0)
+            tenant = pending.popleft()
             tenant.state = _QUEUED
             tenant.queue_since = tenant.spec.arrival_s
             obs.event(
@@ -416,6 +570,13 @@ class FleetEngine:
             )
 
     def _reschedule(self, now: float) -> None:
+        # Every policy round is a scheduling decision: remember the
+        # latest decision clock (completions and preemptions route
+        # through here too — the wedged-fleet reschedule replays at
+        # this clock, never an older arrival's), and bump the epoch so
+        # the batched loop rebuilds its event heap.
+        self._last_decision = max(self._last_decision, now)
+        self._decisions += 1
         # A resize can return a tenant's under-repair capacity to the
         # shared pool, which the targets already computed cannot see —
         # iterate to a fixed point (bounded: each round either frees

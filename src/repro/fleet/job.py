@@ -29,13 +29,25 @@ batches per cluster size and memoizes every distinct
 per-iteration cost is a dictionary lookup plus clock arithmetic. All
 orchestration solves go through the process-wide
 :data:`~repro.orchestration.plancache.PLAN_CACHE`, so co-tenant jobs
-running the same task amortize each other's replans (the search is by
-far the dominant cost). Batch preparation and base pricing are kept
-per-job on purpose: the per-job memo tables are what make the run-scoped
-plan hit/miss counters exact and the single-job timeline byte-identical
-to the standalone engine, and sharing their mutable state across
-tenants would trade those contracts for a secondary cost already well
-inside the fleet benchmark's budget.
+running the same task amortize each other's replans.
+
+Fleets of same-task jobs amortize much more than the plan search: a
+:class:`_ClusterState` — plan, simulator, prepared batches, base
+evaluations, straggler-evaluation memo — is a pure function of
+``(task config, cluster size, sample count)``, so with
+``share_states=True`` (the batched fleet engine's default) states are
+fetched from the process-wide :data:`STATE_CACHE` and 100 identical
+tenants build one. The run-scoped plan hit/miss counters stay exact —
+every state fetch still consults the plan cache exactly like a private
+build — and every shared value is bit-identical to the private one, so
+per-job results do not change. The scenario engine keeps
+``share_states=False``: its byte-identity contract with the
+pre-extraction engine is pinned per-job.
+
+The :meth:`JobSimulator.prepare_step` / :meth:`JobSimulator.commit_step`
+split lets the fleet engine gather the straggler evaluations many
+tenants need for their *next* iteration and price them in one fused
+kernel sweep (:func:`price_pending_steps`) before committing any clock.
 """
 
 from __future__ import annotations
@@ -47,11 +59,16 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.config import DistTrainConfig
+from repro.core.keyedcache import KeyedCache
 from repro.data.synthetic import SyntheticMultimodalDataset
 from repro.obs import instrument as obs
 from repro.orchestration.plancache import PLAN_CACHE, planning_signature
 from repro.runtime.checkpoint import CheckpointConfig
-from repro.runtime.iteration import IterationResult, PreparedIteration
+from repro.runtime.iteration import (
+    IterationResult,
+    PreparedIteration,
+    evaluate_prepared_many,
+)
 from repro.runtime.trainer import build_checkpointer
 from repro.scenarios.events import (
     EventTrace,
@@ -84,13 +101,16 @@ def _cached_orchestration(
     ``core.api.replan`` uses, so every distinct (task, cluster size) is
     solved once per process — across every job of a fleet;
     ``use_cache=False`` scopes the bypass to this call without
-    disturbing concurrent cache users.
+    disturbing concurrent cache users (including the warm-start peek —
+    a bypassed replan runs the full cold search, cache-free).
     """
     from repro.core.api import _replan_uncached, plan
 
     if num_gpus != config.cluster.num_gpus:
         def compute():
-            return _replan_uncached(config, num_gpus)
+            return _replan_uncached(
+                config, num_gpus, warm_start_from_cache=use_cache
+            )
     else:
         def compute():
             return plan(config)
@@ -99,6 +119,17 @@ def _cached_orchestration(
         compute,
         bypass=not use_cache,
     )
+
+
+#: Process-wide store of built :class:`_ClusterState` objects, keyed by
+#: ``(config hash, num_gpus, sample count)``. Every field of a state —
+#: plan, compiled simulator, prepared batches, base evaluations, and
+#: the straggler-evaluation memo it accretes — is a pure function of
+#: that key, so same-task fleet tenants (``share_states=True``) can
+#: share one build bit-identically. Sized for a few tasks' worth of
+#: cluster-size oscillation; evicted states a job already holds stay
+#: alive through its private per-size table.
+STATE_CACHE = KeyedCache(maxsize=64, name="jobstate")
 
 
 @dataclass
@@ -116,6 +147,69 @@ class _ClusterState:
     )
 
 
+@dataclass
+class PendingEvaluation:
+    """One un-memoized iteration evaluation a job needs before its next
+    :meth:`JobSimulator.step` — the gatherable half of the
+    :meth:`~JobSimulator.prepare_step`/:meth:`~JobSimulator.commit_step`
+    split. :func:`price_pending_steps` fills the owning state's memo so
+    the commit is a lookup."""
+
+    state: _ClusterState
+    sample: int
+    profile: Tuple[Tuple[int, float], ...]
+
+
+def _slowdown_factors(
+    state: _ClusterState,
+    sample: int,
+    profile: Tuple[Tuple[int, float], ...],
+) -> np.ndarray:
+    """Per-simulated-rank slowdown factors for one straggler profile."""
+    n_ranks = len(state.prepared[sample].rank_work)
+    factors = np.ones(n_ranks)
+    for rank, slowdown in profile:
+        idx = rank % n_ranks
+        factors[idx] = max(factors[idx], slowdown)
+    return factors
+
+
+def price_pending_steps(pending: List[PendingEvaluation]) -> None:
+    """Fill the memo behind many tenants' pending evaluations at once.
+
+    Deduplicates by ``(state, sample, profile)`` (co-tenants sharing a
+    state may need the same evaluation) and prices the remainder through
+    one fused :func:`~repro.runtime.iteration.evaluate_prepared_many`
+    call — each result lands in its state's ``evaluations`` memo exactly
+    where the sequential :meth:`JobSimulator._evaluate` would have put
+    it, bit-identical to the value it would have computed.
+    """
+    unique: Dict[Tuple[int, int, Tuple], PendingEvaluation] = {}
+    for item in pending:
+        unique.setdefault(
+            (id(item.state), item.sample, item.profile), item
+        )
+    items = [
+        item
+        for item in unique.values()
+        if (item.sample, item.profile) not in item.state.evaluations
+    ]
+    if not items:
+        return
+    results = evaluate_prepared_many(
+        [
+            (
+                item.state.simulator,
+                item.state.prepared[item.sample],
+                _slowdown_factors(item.state, item.sample, item.profile),
+            )
+            for item in items
+        ]
+    )
+    for item, result in zip(items, results):
+        item.state.evaluations[(item.sample, item.profile)] = result
+
+
 class JobSimulator:
     """Simulates one training job under a :class:`ScenarioSpec` on an
     allocated slice of a cluster.
@@ -131,6 +225,12 @@ class JobSimulator:
             and re-run every orchestration search from scratch (the
             replan-cache correctness suite compares both modes
             byte-for-byte).
+        share_states: Fetch built cluster states from the process-wide
+            :data:`STATE_CACHE` so same-task co-tenants share one
+            plan/simulator/prepared-batch build. Every shared value is
+            bit-identical to a private build and the per-job plan
+            hit/miss counters are unaffected; the batched fleet engine
+            turns this on, the standalone scenario engine does not.
         name: Job label for fleet bookkeeping and reports.
     """
 
@@ -140,6 +240,7 @@ class JobSimulator:
         scenario: ScenarioSpec,
         checkpoint: Optional[CheckpointConfig] = None,
         use_plan_cache: bool = True,
+        share_states: bool = False,
         name: str = "job",
     ):
         self.config = config
@@ -148,7 +249,13 @@ class JobSimulator:
             interval_iterations=scenario.checkpoint_interval
         )
         self.use_plan_cache = use_plan_cache
+        self.share_states = share_states
         self.name = name
+        #: Distinct global batches every cluster size re-prices (the K
+        #: of the per-iteration ``sample`` index).
+        self._num_samples = min(
+            scenario.sample_iterations, scenario.num_iterations
+        )
         self._states: Dict[int, _ClusterState] = {}
         self._infeasible: set = set()
         self._batches: Optional[List[List[Any]]] = None
@@ -177,12 +284,9 @@ class JobSimulator:
                 config=self.config.data_config,
                 seed=self.config.data_seed,
             )
-            count = min(
-                self.scenario.sample_iterations, self.scenario.num_iterations
-            )
             self._batches = [
                 dataset.take(self.config.global_batch_size)
-                for _ in range(count)
+                for _ in range(self._num_samples)
             ]
         return self._batches
 
@@ -193,8 +297,10 @@ class JobSimulator:
             # are reused without touching the orchestrator.
             self._plan_hits += 1
             return state
-        from repro.core.api import build_simulator
-
+        # The plan cache is consulted (and counted) on every new-size
+        # fetch, shared states included — a tenant reusing a co-tenant's
+        # state reports exactly the hit/miss tallies a private build
+        # would have.
         orchestration, was_hit = _cached_orchestration(
             self.config, num_gpus, use_cache=self.use_plan_cache
         )
@@ -202,6 +308,21 @@ class JobSimulator:
             self._plan_hits += 1
         else:
             self._plan_misses += 1
+        if self.share_states:
+            state = STATE_CACHE.get_or_compute(
+                planning_signature(self.config, num_gpus)
+                + (self._num_samples,),
+                lambda: self._build_state(num_gpus, orchestration),
+            )
+        else:
+            state = self._build_state(num_gpus, orchestration)
+        self._states[num_gpus] = state
+        return state
+
+    def _build_state(self, num_gpus: int, orchestration) -> _ClusterState:
+        """Build one cluster size's memoized state from its plan."""
+        from repro.core.api import build_simulator
+
         if num_gpus == self.config.cluster.num_gpus:
             sim_config = self.config
         else:
@@ -214,16 +335,23 @@ class JobSimulator:
         prepared = [
             simulator.prepare(batch) for batch in self._sample_batches()
         ]
-        base = [simulator.evaluate_prepared(prep) for prep in prepared]
-        state = _ClusterState(
+        if self.share_states:
+            # One fused kernel sweep prices all K base batches
+            # (bit-identical to the per-batch loop; kept off the
+            # scenario path purely to preserve its span-for-span
+            # golden traces).
+            base = evaluate_prepared_many(
+                [(simulator, prep, None) for prep in prepared]
+            )
+        else:
+            base = [simulator.evaluate_prepared(prep) for prep in prepared]
+        return _ClusterState(
             num_gpus=num_gpus,
             orchestration=orchestration,
             simulator=simulator,
             prepared=prepared,
             base=base,
         )
-        self._states[num_gpus] = state
-        return state
 
     def _evaluate(
         self,
@@ -238,13 +366,9 @@ class JobSimulator:
         cached = state.evaluations.get(key)
         if cached is not None:
             return cached
-        n_ranks = len(state.prepared[sample].rank_work)
-        factors = np.ones(n_ranks)
-        for rank, slowdown in profile:
-            idx = rank % n_ranks
-            factors[idx] = max(factors[idx], slowdown)
         result = state.simulator.evaluate_prepared(
-            state.prepared[sample], rank_slowdowns=factors
+            state.prepared[sample],
+            rank_slowdowns=_slowdown_factors(state, sample, profile),
         )
         state.evaluations[key] = result
         return result
@@ -373,7 +497,7 @@ class JobSimulator:
         # Ideal trajectory: the granted slice, no events, no stalls.
         n = spec.num_iterations
         self._n = n
-        K = len(self._sample_batches())
+        K = self._num_samples
         self._K = K
         full_base = self._states[allocated_gpus].base
         ideal_times = [full_base[i % K].iteration_time for i in range(n)]
@@ -470,7 +594,7 @@ class JobSimulator:
         run-scoped hit/miss counters.
         """
         state = self._state(num_gpus)
-        K = len(self._sample_batches())
+        K = self._num_samples
         total = 0.0
         for i in range(self.scenario.num_iterations):
             total += state.base[i % K].iteration_time
@@ -533,6 +657,50 @@ class JobSimulator:
                 self._next_sampled = now + self._failure_rng.exponential(
                     self._failure_model.cluster_mtbf_seconds(num_gpus)
                 )
+
+    def prepare_step(self) -> Optional[PendingEvaluation]:
+        """The evaluation the next :meth:`step` will need, if gatherable.
+
+        Returns a :class:`PendingEvaluation` when the next step's
+        iteration pricing is a straggler evaluation not yet in the
+        current state's memo — the fleet engine collects these across
+        tenants and batches them through :func:`price_pending_steps`
+        before committing any clock. Returns ``None`` when nothing
+        needs pre-pricing: the job is not running, a capacity change
+        (repair re-growth, scripted resize) lands at this boundary and
+        may move the job to a different cluster state, or the needed
+        evaluation is already memoized (the base-batch common case).
+
+        ``step()`` evaluates the iteration *before* its failure check,
+        so pre-filling the memo is safe even when the step turns out to
+        be a failure step — the sequential path would have computed and
+        memoized the same value.
+        """
+        if not self._started or self._paused or self.done:
+            return None
+        if self._repair_at is not None and self._clock >= self._repair_at:
+            return None
+        if self._i in self._resizes:
+            return None
+        profile = self._profiles.get(self._i, ())
+        if not profile:
+            return None
+        sample = self._i % self._K
+        if (sample, profile) in self._cur.evaluations:
+            return None
+        return PendingEvaluation(
+            state=self._cur, sample=sample, profile=profile
+        )
+
+    def commit_step(self) -> None:
+        """Commit one unit of work after :meth:`prepare_step`.
+
+        Identical to :meth:`step` — the split exists so the fleet
+        engine can gather many tenants' pending evaluations first; with
+        the memo pre-filled the commit reduces to lookups and clock
+        arithmetic.
+        """
+        self.step()
 
     def step(self) -> None:
         """Advance the timeline by one unit of work.

@@ -89,11 +89,19 @@ class FleetJobSpec:
 
 @dataclass
 class FleetSpec:
-    """A shared cluster, a policy, and the tenant jobs."""
+    """A shared cluster, a policy, and the tenant jobs.
+
+    ``policy`` is normally one of the named
+    :data:`~repro.fleet.policies.POLICIES`; a
+    :class:`~repro.fleet.policies.SchedulingPolicy` *instance* is also
+    accepted for custom (e.g. stateful) schedulers — such specs are not
+    campaign-cacheable (:meth:`canonical` uses the instance's name,
+    which cannot cover its state).
+    """
 
     cluster: ClusterSpec
     jobs: Tuple[FleetJobSpec, ...] = ()
-    policy: str = "fair-share"
+    policy: Any = "fair-share"
 
     def __post_init__(self) -> None:
         self.jobs = tuple(self.jobs)
@@ -102,9 +110,12 @@ class FleetSpec:
         names = [job.name for job in self.jobs]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate job names: {sorted(names)}")
-        from repro.fleet.policies import POLICIES
+        from repro.fleet.policies import POLICIES, SchedulingPolicy
 
-        if self.policy not in POLICIES:
+        if (
+            not isinstance(self.policy, SchedulingPolicy)
+            and self.policy not in POLICIES
+        ):
             raise ValueError(
                 f"unknown scheduling policy {self.policy!r}; "
                 f"known: {sorted(POLICIES)}"
@@ -178,7 +189,11 @@ class FleetSpec:
 
         return {
             "cluster": canonical_value(self.cluster),
-            "policy": self.policy,
+            "policy": (
+                self.policy
+                if isinstance(self.policy, str)
+                else self.policy.name
+            ),
             "jobs": [
                 {
                     "name": job.name,

@@ -30,7 +30,7 @@ solves the same searches in single-digit milliseconds).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -99,10 +99,43 @@ class OrchestrationResult:
     #: Kernel-refined uniform-workload pipeline makespan of the chosen
     #: plan (captures warm-up/cool-down/schedule effects Eqs. 1-2 omit).
     simulated_pipeline_seconds: Optional[float] = None
+    #: Every refinement makespan this search computed (or inherited),
+    #: keyed by plan structure (:func:`_structure_key`). A neighboring
+    #: replan warm-starts its shortlist refinement from this portfolio —
+    #: the makespans are pure functions of the plan structure and the
+    #: node type, independent of the cluster's GPU count. Excluded from
+    #: equality so warm- and cold-search results still compare equal.
+    refined_portfolio: Optional[Tuple] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def predicted_iteration_time(self) -> float:
         return self.breakdown.total
+
+
+def _structure_key(plans: Dict[str, ParallelismPlan]) -> Tuple:
+    """Canonical refinement-memo key for one plan dictionary.
+
+    Covers every :class:`~repro.parallelism.plan.ParallelismPlan` field
+    of all three units — the full input of :func:`_stage_times` and the
+    microbatch-count arithmetic in
+    :func:`simulated_pipeline_seconds_batch` (given one problem).
+    """
+    return tuple(
+        (
+            name,
+            plan.tp,
+            plan.pp,
+            plan.dp,
+            plan.vpp,
+            plan.sp,
+            plan.ep,
+            plan.microbatch_size,
+        )
+        for name in ("encoder", "llm", "generator")
+        for plan in (plans[name],)
+    )
 
 
 def simulated_pipeline_seconds(
@@ -226,7 +259,9 @@ def simulated_pipeline_seconds_batch(
 
 
 def replan_for_cluster(
-    problem: OrchestrationProblem, num_gpus: int
+    problem: OrchestrationProblem,
+    num_gpus: int,
+    warm_start: Optional[Tuple] = None,
 ) -> OrchestrationResult:
     """Elastic re-orchestration: re-solve the resource split on a resized
     cluster (surviving GPUs after a failure, or capacity returning after
@@ -238,6 +273,13 @@ def replan_for_cluster(
     to restart and checkpoint-reload time. Callers that re-plan the same
     cluster sizes repeatedly should go through
     :mod:`repro.orchestration.plancache`.
+
+    ``warm_start`` optionally carries a neighboring size's
+    ``refined_portfolio``: cached shortlist-refinement makespans that
+    this search reuses instead of re-simulating (they are pure
+    functions of plan structure, not cluster size, so the chosen plan
+    is bit-identical to a cold search — structures the portfolio
+    misses simply fall back to fresh simulation).
 
     Shrinking below the minimum feasible size raises a clear
     :class:`~repro.orchestration.errors.InfeasibleClusterError` — both
@@ -254,7 +296,7 @@ def replan_for_cluster(
             f"cannot re-plan {problem.mllm.name} on {num_gpus} GPUs: {exc}",
             num_gpus=num_gpus,
         ) from exc
-    return AdaptiveOrchestrator(shrunk).plan()
+    return AdaptiveOrchestrator(shrunk, warm_start=warm_start).plan()
 
 
 class AdaptiveOrchestrator:
@@ -267,16 +309,25 @@ class AdaptiveOrchestrator:
             ``"slsqp"`` runs the retained per-candidate SLSQP oracle
             instead (slow — used by the equivalence suite to cross-check
             the analytic engine).
+        warm_start: A neighbor plan's ``refined_portfolio`` — cached
+            shortlist-refinement makespans keyed by plan structure.
+            Structures it covers skip the kernel simulation; everything
+            else is simulated fresh, so the search result is
+            bit-identical to a cold run.
     """
 
     label = "disttrain"
 
     def __init__(self, problem: OrchestrationProblem,
-                 solver: str = "analytic"):
+                 solver: str = "analytic",
+                 warm_start: Optional[Tuple] = None):
         if solver not in ("analytic", "slsqp"):
             raise ValueError(f"unknown solver {solver!r}")
         self.problem = problem
         self.solver = solver
+        self._refine_memo: Dict[Tuple, float] = (
+            dict(warm_start) if warm_start else {}
+        )
         gpu = problem.cluster.gpu
         self.memory = MemoryModel(gpu_memory_bytes=gpu.memory_bytes)
         node = problem.cluster.node
@@ -355,8 +406,8 @@ class AdaptiveOrchestrator:
             )
             for row in diverse
         ]
-        simulated = simulated_pipeline_seconds_batch(
-            problem, self.collectives, [plans for _, plans in finalists]
+        simulated = self._refined_batch(
+            [plans for _, plans in finalists]
         )
         best: Optional[Tuple[float, CandidateConfig,
                              Dict[str, ParallelismPlan], float]] = None
@@ -373,7 +424,7 @@ class AdaptiveOrchestrator:
             # exactly this plan dictionary.
             simulated_seconds = winner_sim
         else:
-            simulated_seconds = self._simulated_cost(candidate, trimmed)
+            simulated_seconds = self._refined_batch([trimmed])[0]
         plans = trimmed
         plan = ModelOrchestrationPlan(
             mllm=problem.mllm,
@@ -392,6 +443,7 @@ class AdaptiveOrchestrator:
             candidates_evaluated=candidates_evaluated,
             convex_solutions=convex_solutions,
             simulated_pipeline_seconds=simulated_seconds,
+            refined_portfolio=tuple(sorted(self._refine_memo.items())),
         )
 
     # ------------------------------------------------------------------ #
@@ -878,6 +930,33 @@ class AdaptiveOrchestrator:
                 dp = next_dp
             trimmed[name] = plan.with_(dp=dp)
         return trimmed
+
+    def _refined_batch(
+        self, plans_list: Sequence[Dict[str, ParallelismPlan]]
+    ) -> List[float]:
+        """Refinement makespans, memoized across warm-started searches.
+
+        Structures already in ``self._refine_memo`` (seeded from a
+        neighbor plan's ``refined_portfolio``) are returned as-is; the
+        rest go through one :func:`simulated_pipeline_seconds_batch`
+        call. The kernel sweep prices each plan row-independently, so
+        dropping covered structures from the batch leaves the fresh
+        values bit-identical to a cold full-batch run.
+        """
+        memo = self._refine_memo
+        keys = [_structure_key(plans) for plans in plans_list]
+        missing = [i for i, key in enumerate(keys) if key not in memo]
+        if missing:
+            fresh = simulated_pipeline_seconds_batch(
+                self.problem,
+                self.collectives,
+                [plans_list[i] for i in missing],
+            )
+            for i, value in zip(missing, fresh):
+                memo[keys[i]] = value
+        obs.count("orch.refine_simulated", len(missing))
+        obs.count("orch.refine_warm_hits", len(keys) - len(missing))
+        return [memo[key] for key in keys]
 
     def _simulated_cost(
         self, candidate: CandidateConfig, plans: Dict[str, ParallelismPlan]

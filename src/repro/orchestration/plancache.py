@@ -24,7 +24,7 @@ the profile and profiler caches.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.core.keyedcache import KeyedCache
 
@@ -38,6 +38,27 @@ class PlanCache(KeyedCache):
 
     def __init__(self, maxsize: int = PLAN_CACHE_SIZE, name: str = "plan"):
         super().__init__(maxsize=maxsize, name=name)
+
+    def nearest(self, config_hash: str, num_gpus: int):
+        """The cached plan for ``config_hash`` closest to ``num_gpus``.
+
+        Scans the store for entries of the same task at *any* cluster
+        size and returns ``(cached_num_gpus, value)`` for the nearest
+        one (ties broken toward the smaller cluster, deterministically),
+        or ``None`` when the task has no cached plan at all. This is a
+        peek — neither hit nor miss counters move — used to warm-start
+        an incremental replan from a ±1-node neighbor's solution.
+        """
+        candidates = []
+        with self._lock:
+            for (key_hash, key_gpus), value in self._entries.items():
+                if key_hash == config_hash:
+                    candidates.append((key_gpus, value))
+        if not candidates:
+            return None
+        return min(
+            candidates, key=lambda item: (abs(item[0] - num_gpus), item[0])
+        )
 
 
 #: The process-wide instance ``core.api.replan``, the scenario engine,

@@ -730,6 +730,21 @@ class SimulatorKernel:
         capacity = makespan * self.num_stages
         return 1.0 - total_busy / capacity
 
+    def bubble_fractions(
+        self, start: np.ndarray, end: np.ndarray
+    ) -> List[float]:
+        """Per-row :meth:`bubble_fraction` of a batched ``(B, n)`` sweep.
+
+        Each row is reduced independently with the exact sequential
+        Python-float accumulation of the single-row path, so a batch
+        assembled from many callers (the fleet engine's fused stepping)
+        prices every row bit-identically to evaluating it alone.
+        """
+        return [
+            self.bubble_fraction(start[i], end[i])
+            for i in range(len(start))
+        ]
+
     def trace(self, start: np.ndarray, end: np.ndarray) -> PipelineTrace:
         """Materialize the full :class:`PipelineTrace`.
 

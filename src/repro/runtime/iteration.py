@@ -315,14 +315,27 @@ class TrainingIterationSimulator:
                 kernel sweep while communication delays stay fixed. None
                 evaluates the batch exactly as :meth:`simulate` would.
         """
-        plan = self.plan
-        global_batch = prepared.global_batch
         makespans, bubble_fractions = self._evaluate_ranks(
             prepared.rank_work,
             prepared.num_microbatches,
             rank_slowdowns=rank_slowdowns,
         )
+        return self._assemble(prepared, makespans, bubble_fractions)
 
+    def _assemble(
+        self,
+        prepared: PreparedIteration,
+        makespans: List[float],
+        bubble_fractions: Sequence[float],
+    ) -> IterationResult:
+        """Scalar result assembly from per-rank sweep outputs.
+
+        Split from :meth:`evaluate_prepared` so a fused multi-batch
+        sweep (:func:`evaluate_prepared_many`) can assemble each task's
+        result from its slice of one stacked kernel call.
+        """
+        plan = self.plan
+        global_batch = prepared.global_batch
         pipeline_time = max(makespans)
         dp_sync = self._dp_sync_time()
         preprocess = self._preprocess_overhead(global_batch, pipeline_time)
@@ -397,19 +410,18 @@ class TrainingIterationSimulator:
             order = InterReorderer(costs, vpp=vpp).reorder()
         return fwd, bwd, order, comm
 
-    def _evaluate_ranks(
+    def _rank_durations(
         self,
         rank_work: List[Tuple[np.ndarray, np.ndarray, List[int], float]],
         num_microbatches: int,
         rank_slowdowns: Optional[Sequence[float]] = None,
-    ) -> Tuple[List[float], List[float]]:
-        """Makespan and bubble fraction per simulated rank.
+    ):
+        """Gather half of the rank sweep: (kernel, durations, delays).
 
-        All ranks share one schedule shape, so their final (reordered)
-        duration tables are priced in a single batched kernel sweep.
-        ``rank_slowdowns`` scales each rank's compute durations (not its
-        communication delay) before the sweep — the scenario engine's
-        straggler injection point.
+        Builds the final per-rank duration rows (reorder gather, VPP
+        division, straggler scaling) without running the kernel, so
+        callers can stack rows from many prepared batches that share a
+        compiled kernel into one sweep.
         """
         num_stages = rank_work[0][0].shape[1]
         schedule, vpp = self._effective_schedule(num_microbatches, num_stages)
@@ -433,12 +445,28 @@ class TrainingIterationSimulator:
             if np.any(factors < 1.0):
                 raise ValueError("straggler slowdowns must be >= 1.0")
             durations *= factors[:, None]
+        return kernel, durations, delays
+
+    def _evaluate_ranks(
+        self,
+        rank_work: List[Tuple[np.ndarray, np.ndarray, List[int], float]],
+        num_microbatches: int,
+        rank_slowdowns: Optional[Sequence[float]] = None,
+    ) -> Tuple[List[float], List[float]]:
+        """Makespan and bubble fraction per simulated rank.
+
+        All ranks share one schedule shape, so their final (reordered)
+        duration tables are priced in a single batched kernel sweep.
+        ``rank_slowdowns`` scales each rank's compute durations (not its
+        communication delay) before the sweep — the scenario engine's
+        straggler injection point.
+        """
+        kernel, durations, delays = self._rank_durations(
+            rank_work, num_microbatches, rank_slowdowns=rank_slowdowns
+        )
         start, end = kernel.evaluate_batch(durations, delays)
         makespans = [float(m) for m in kernel.makespans(end)]
-        bubbles = [
-            kernel.bubble_fraction(start[i], end[i])
-            for i in range(len(rank_work))
-        ]
+        bubbles = kernel.bubble_fractions(start, end)
         return makespans, bubbles
 
     def _effective_schedule(
@@ -488,3 +516,58 @@ class TrainingIterationSimulator:
         return self._disaggregated.exposed_overhead(
             list(global_batch), pipeline_time
         )
+
+
+def evaluate_prepared_many(
+    tasks: Sequence[
+        Tuple[
+            TrainingIterationSimulator,
+            PreparedIteration,
+            Optional[Sequence[float]],
+        ]
+    ],
+) -> List[IterationResult]:
+    """Price many prepared batches through fused kernel sweeps.
+
+    Each task is ``(simulator, prepared, rank_slowdowns_or_None)``.
+    Tasks whose batches compile to the same pipeline kernel (same
+    schedule shape — the common case for a fleet of same-config jobs)
+    are stacked into one :meth:`~repro.pipeline.kernel.PipelineKernel
+    .evaluate_batch` call; the kernel's level sweep reduces rows
+    independently, so every returned :class:`IterationResult` is
+    bit-identical to the sequential
+    ``simulator.evaluate_prepared(prepared, rank_slowdowns)``.
+    """
+    gathered = [
+        sim._rank_durations(
+            prepared.rank_work,
+            prepared.num_microbatches,
+            rank_slowdowns=slowdowns,
+        )
+        for sim, prepared, slowdowns in tasks
+    ]
+    # Group rows by compiled kernel. ``get_kernel`` memoizes per shape
+    # and the gathered list keeps every kernel alive, so id() is stable.
+    groups: Dict[int, List[int]] = {}
+    for i, (kernel, _, _) in enumerate(gathered):
+        groups.setdefault(id(kernel), []).append(i)
+
+    results: List[Optional[IterationResult]] = [None] * len(tasks)
+    for members in groups.values():
+        kernel = gathered[members[0]][0]
+        durations = np.concatenate([gathered[i][1] for i in members])
+        delays = np.concatenate([gathered[i][2] for i in members])
+        start, end = kernel.evaluate_batch(durations, delays)
+        makespans = kernel.makespans(end)
+        bubbles = kernel.bubble_fractions(start, end)
+        row = 0
+        for i in members:
+            n = len(gathered[i][1])
+            sim, prepared, _ = tasks[i]
+            results[i] = sim._assemble(
+                prepared,
+                [float(m) for m in makespans[row : row + n]],
+                bubbles[row : row + n],
+            )
+            row += n
+    return results  # type: ignore[return-value]

@@ -1,0 +1,145 @@
+"""Incremental replanning: warm-started searches are cold searches.
+
+The adaptive search's shortlist-refinement makespans are pure functions
+of plan *structure* (the per-module parallelism tuple) and node type —
+never of the cluster GPU count — so a replan at a neighboring size can
+seed its refinement memo from the cached neighbor's
+``refined_portfolio`` and skip only simulations whose result it already
+knows. The chosen plan must therefore be bit-identical to a cold
+search; these tests pin that across random elastic resize walks, plus
+the :meth:`~repro.orchestration.plancache.PlanCache.nearest` peek the
+warm start rides on.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.api import _problem, _replan_uncached
+from repro.core.config import DistTrainConfig
+from repro.orchestration.adaptive import (
+    AdaptiveOrchestrator,
+    replan_for_cluster,
+)
+from repro.orchestration.errors import InfeasibleClusterError
+from repro.orchestration.plancache import (
+    PLAN_CACHE,
+    PlanCache,
+    planning_signature,
+)
+
+CONFIG = DistTrainConfig.preset("mllm-9b", 48, 16)
+NODE = CONFIG.cluster.gpus_per_node
+
+
+def comparable(result):
+    """Every deterministic field of an OrchestrationResult — all but
+    ``solve_seconds`` (wall-clock) and ``refined_portfolio`` (which
+    legitimately grows with whatever a warm start inherited)."""
+    return (
+        result.plan,
+        result.candidate,
+        result.breakdown,
+        result.candidates_evaluated,
+        result.convex_solutions,
+        result.simulated_pipeline_seconds,
+    )
+
+
+# --------------------------------------------------------------------- #
+# PlanCache.nearest
+# --------------------------------------------------------------------- #
+def test_nearest_picks_closest_size_for_the_task():
+    cache = PlanCache(maxsize=8, name="test-nearest")
+    cache.get_or_compute(("task", 32), lambda: "plan32")
+    cache.get_or_compute(("task", 48), lambda: "plan48")
+    cache.get_or_compute(("other", 40), lambda: "other40")
+    assert cache.nearest("task", 40) == (32, "plan32")  # tie -> smaller
+    assert cache.nearest("task", 44) == (48, "plan48")
+    assert cache.nearest("task", 8) == (32, "plan32")
+    assert cache.nearest("task", 48) == (48, "plan48")
+
+
+def test_nearest_returns_none_for_unknown_task():
+    cache = PlanCache(maxsize=8, name="test-nearest-miss")
+    cache.get_or_compute(("task", 32), lambda: "plan32")
+    assert cache.nearest("elsewhere", 32) is None
+
+
+def test_nearest_is_a_peek_and_moves_no_counters():
+    cache = PlanCache(maxsize=8, name="test-nearest-peek")
+    cache.get_or_compute(("task", 32), lambda: "plan32")
+    before = cache.stats()
+    cache.nearest("task", 40)
+    cache.nearest("elsewhere", 40)
+    assert cache.stats() == before
+
+
+# --------------------------------------------------------------------- #
+# Warm == cold
+# --------------------------------------------------------------------- #
+def test_warm_started_neighbor_replan_is_cold_replan():
+    """The direct claim, orchestrator-level: seeding the refinement
+    memo with a neighbor size's portfolio changes nothing about the
+    chosen plan."""
+    problem = _problem(CONFIG)
+    donor = replan_for_cluster(problem, 48)
+    assert donor.refined_portfolio, "search produced no portfolio"
+    cold = replan_for_cluster(problem, 40)
+    warm = replan_for_cluster(
+        problem, 40, warm_start=donor.refined_portfolio
+    )
+    assert comparable(warm) == comparable(cold)
+    # The portfolio a warm search emits covers everything it refined,
+    # donor structures included, so the next neighbor inherits both.
+    assert set(dict(donor.refined_portfolio)) <= set(
+        dict(warm.refined_portfolio)
+    )
+
+
+def test_garbage_warm_start_structures_are_ignored():
+    """Portfolio keys that match no candidate structure are dead weight,
+    never consulted — a warm start can only skip known simulations."""
+    problem = _problem(CONFIG)
+    cold = replan_for_cluster(problem, 48)
+    poisoned = cold.refined_portfolio + (
+        ((("zzz-bogus", 9, 9, 9, 9, 9, 9, 9),), -1.0),
+    )
+    warm = AdaptiveOrchestrator(problem, warm_start=poisoned).plan()
+    assert comparable(warm) == comparable(cold)
+
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    steps=st.lists(
+        st.sampled_from([-NODE, NODE]), min_size=3, max_size=8
+    ),
+)
+def test_elastic_resize_walk_warm_equals_cold(steps):
+    """Random ±1-node resize walks through ``api.replan``'s cached
+    warm-start path: every size planned along the walk is bit-identical
+    to a cold, cache-free search at that size."""
+    PLAN_CACHE.clear()
+    problem = _problem(CONFIG)
+    size = CONFIG.cluster.num_gpus
+    seen = set()
+    for step in steps:
+        size = min(96, max(2 * NODE, size + step))
+        if size in seen:
+            continue
+        seen.add(size)
+        try:
+            cold = replan_for_cluster(problem, size)
+        except InfeasibleClusterError:
+            continue
+        # The warm path: peek the nearest cached neighbor, seed the
+        # search, store the result — exactly what api.replan does.
+        warm = PLAN_CACHE.get_or_compute(
+            planning_signature(CONFIG, size),
+            lambda: _replan_uncached(CONFIG, size),
+        )
+        assert comparable(warm) == comparable(cold), (
+            f"warm != cold at {size} GPUs"
+        )

@@ -1,0 +1,83 @@
+"""Fused multi-batch evaluation is per-batch evaluation, bit for bit.
+
+:func:`~repro.runtime.iteration.evaluate_prepared_many` stacks the
+per-rank duration rows of many prepared batches that compile to the
+same pipeline kernel into one ``evaluate_batch`` sweep. The kernel's
+level sweep is row-independent, so every task's slice of the stacked
+call must equal its own :meth:`evaluate_prepared` — including straggler
+re-pricing — and tasks on *different* kernels must group correctly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import make_cluster
+from repro.models.mllm import MLLM_9B
+from repro.parallelism.orchestration_plan import ModelOrchestrationPlan
+from repro.parallelism.plan import ParallelismPlan
+from repro.runtime.iteration import (
+    TrainingIterationSimulator,
+    evaluate_prepared_many,
+)
+
+
+def simulator(plan):
+    return TrainingIterationSimulator(
+        plan,
+        intra_reordering=True,
+        inter_reordering=True,
+        preprocessing="disaggregated",
+    )
+
+
+@pytest.fixture(scope="module")
+def deep_plan():
+    """A second plan with a different pipeline shape, so fused tasks
+    span two distinct compiled kernels."""
+    return ModelOrchestrationPlan(
+        mllm=MLLM_9B,
+        cluster=make_cluster(24),
+        encoder_plan=ParallelismPlan(tp=1, pp=1, dp=4),
+        llm_plan=ParallelismPlan(tp=4, pp=2, dp=2),
+        generator_plan=ParallelismPlan(tp=1, pp=1, dp=4),
+    )
+
+
+def test_fused_matches_per_task_evaluation(
+    small_plan, deep_plan, small_batch
+):
+    from repro.data.synthetic import SyntheticMultimodalDataset
+
+    batches = [
+        small_batch,
+        SyntheticMultimodalDataset(seed=7).take(16),
+        SyntheticMultimodalDataset(seed=9).take(16),
+    ]
+    sims = [simulator(small_plan), simulator(deep_plan)]
+    tasks = []
+    for sim in sims:
+        for index, batch in enumerate(batches):
+            prepared = sim.prepare(batch)
+            n_ranks = len(prepared.rank_work)
+            if index == 1:
+                slowdowns = None  # base evaluation rides along
+            else:
+                slowdowns = np.ones(n_ranks)
+                slowdowns[index % n_ranks] = 1.5 + index
+            tasks.append((sim, prepared, slowdowns))
+
+    fused = evaluate_prepared_many(tasks)
+    for (sim, prepared, slowdowns), fused_result in zip(tasks, fused):
+        solo = sim.evaluate_prepared(prepared, rank_slowdowns=slowdowns)
+        assert fused_result == solo  # exact: dataclass of floats
+
+
+def test_fused_empty_and_singleton():
+    assert evaluate_prepared_many([]) == []
+
+
+def test_fused_singleton_is_evaluate_prepared(small_plan, small_batch):
+    sim = simulator(small_plan)
+    prepared = sim.prepare(small_batch)
+    [fused] = evaluate_prepared_many([(sim, prepared, None)])
+    assert fused == sim.evaluate_prepared(prepared)
