@@ -52,9 +52,10 @@ SCENARIO_REPORT_COLUMNS = (
 
 #: Columns printed for shared-cluster (fleet) sweeps.
 FLEET_REPORT_COLUMNS = (
-    "model", "gpus", "fleet_policy", "fleet_jobs", "fleet_job_gpus",
-    "mtbf", "fleet_goodput", "utilization", "mean_jct_seconds",
-    "mean_queue_seconds", "preemptions", "status",
+    "model", "gpus", "fleet_policy", "fleet_pack", "fleet_jobs",
+    "fleet_job_gpus", "mtbf", "fleet_goodput", "utilization",
+    "mean_jct_seconds", "mean_queue_seconds", "slo_attainment",
+    "preemptions", "status",
 )
 
 
@@ -391,13 +392,26 @@ def _add_fleet_arguments(
     parser: argparse.ArgumentParser, sweep: bool
 ) -> None:
     """Shared-cluster workload knobs for ``repro fleet run|sweep``."""
+    from repro.scenarios.packs import PACKS
+
     many = dict(nargs="+") if sweep else {}
     parser.add_argument(
         "--policy" if not sweep else "--policies",
         dest="fleet_policies",
-        default=["fair-share"] if sweep else "fair-share",
+        default=None,
         choices=["fifo", "fair-share", "priority"],
-        help="scheduling policy"
+        help="scheduling policy (default: fair-share, or the pack's "
+             "own policy when --pack is set)"
+             + (" (several values add a sweep axis)" if sweep else ""),
+        **many,
+    )
+    parser.add_argument(
+        "--pack" if not sweep else "--packs",
+        dest="fleet_packs",
+        default=None,
+        choices=sorted(PACKS),
+        help="scenario pack shaping arrivals, job classes/SLOs, and "
+             "correlated faults (replaces the fixed arrival grid)"
              + (" (several values add a sweep axis)" if sweep else ""),
         **many,
     )
@@ -432,17 +446,29 @@ def _fleet_sweep_params(args: argparse.Namespace, fleet_on: bool):
 
     if not fleet_on:
         return None, []
-    base = {
-        "fleet_arrival_spacing": args.arrival_spacing,
-        "fleet_priorities": tuple(args.priorities),
-    }
-    if args.job_gpus is not None:
-        base["fleet_job_gpus"] = args.job_gpus
+    packs = list(args.fleet_packs or [])
+    if packs:
+        # A pack owns arrivals, demands, and priorities; only the job
+        # count (and an explicit policy override) ride along.
+        base = {}
+    else:
+        base = {
+            "fleet_arrival_spacing": args.arrival_spacing,
+            "fleet_priorities": tuple(args.priorities),
+        }
+        if args.job_gpus is not None:
+            base["fleet_job_gpus"] = args.job_gpus
+    policies = list(args.fleet_policies or [])
+    if not policies and not packs:
+        policies = ["fair-share"]
     axes = []
     for name, values in (
-        ("fleet_policy", list(args.fleet_policies)),
+        ("fleet_policy", policies),
         ("fleet_jobs", list(args.fleet_jobs)),
+        ("fleet_pack", packs),
     ):
+        if not values:
+            continue
         if len(values) == 1:
             base[name] = values[0]
         else:
@@ -620,16 +646,28 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
             sample_iterations=args.sample_iterations,
             seed=args.failure_seed,
         )
-        spec = FleetSpec.homogeneous(
-            config,
-            cluster_gpus=args.gpus,
-            num_jobs=args.fleet_jobs,
-            job_gpus=args.job_gpus,
-            arrival_spacing_s=args.arrival_spacing,
-            priorities=tuple(args.priorities),
-            policy=args.fleet_policies,
-            scenario=scenario,
-        )
+        if args.fleet_packs:
+            from repro.scenarios.packs import get_pack
+
+            spec = get_pack(args.fleet_packs).build_fleet(
+                config,
+                cluster_gpus=args.gpus,
+                num_jobs=args.fleet_jobs,
+                seed=args.failure_seed,
+                scenario=scenario,
+                policy=args.fleet_policies,
+            )
+        else:
+            spec = FleetSpec.homogeneous(
+                config,
+                cluster_gpus=args.gpus,
+                num_jobs=args.fleet_jobs,
+                job_gpus=args.job_gpus,
+                arrival_spacing_s=args.arrival_spacing,
+                priorities=tuple(args.priorities),
+                policy=args.fleet_policies or "fair-share",
+                scenario=scenario,
+            )
     except ValueError as exc:
         print(f"repro fleet run: error: {exc}", file=sys.stderr)
         return 2
@@ -643,6 +681,7 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
     metrics = result.metrics()
     payload = {
         "policy": result.policy,
+        "pack": spec.pack,
         "cluster_gpus": result.total_gpus,
         "metrics": metrics,
         "plan_cache": {
@@ -656,30 +695,43 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
         # nothing else.
         print(json.dumps(payload, indent=1))
     else:
+        summary_rows = [
+            ["policy", result.policy],
+            ["jobs", len(result.records)],
+            ["makespan", f"{metrics['makespan_seconds']:.1f} s"],
+            ["fleet goodput", f"{metrics['fleet_goodput'] * 100:.1f} %"],
+            ["utilization", f"{metrics['utilization'] * 100:.1f} %"],
+            ["mean JCT", f"{metrics['mean_jct_seconds']:.1f} s"],
+            ["mean queue wait",
+             f"{metrics['mean_queue_seconds']:.1f} s"],
+            ["failures", int(metrics["num_failures"])],
+            ["re-orchestrations", int(metrics["num_replans"])],
+            ["preemptions", int(metrics["preemptions"])],
+            ["plan cache (hit/miss)",
+             format_hit_miss(
+                 result.plan_cache_hits, result.plan_cache_misses
+             )],
+            ["fleet throughput",
+             f"{metrics['fleet_tokens_per_s'] / 1e3:.0f} K tokens/s"],
+        ]
+        if spec.pack:
+            summary_rows.insert(1, ["pack", spec.pack])
+        if metrics["slo_jobs"] > 0:
+            summary_rows.append(
+                ["SLO attainment",
+                 f"{metrics['slo_attainment'] * 100:.1f} % "
+                 f"({int(metrics['slo_jobs'])} jobs)"]
+            )
+            summary_rows.append(
+                ["deadline misses", int(metrics["deadline_misses"])]
+            )
         print(format_table(
             ["metric", "value"],
-            [
-                ["policy", result.policy],
-                ["jobs", len(result.records)],
-                ["makespan", f"{metrics['makespan_seconds']:.1f} s"],
-                ["fleet goodput", f"{metrics['fleet_goodput'] * 100:.1f} %"],
-                ["utilization", f"{metrics['utilization'] * 100:.1f} %"],
-                ["mean JCT", f"{metrics['mean_jct_seconds']:.1f} s"],
-                ["mean queue wait",
-                 f"{metrics['mean_queue_seconds']:.1f} s"],
-                ["failures", int(metrics["num_failures"])],
-                ["re-orchestrations", int(metrics["num_replans"])],
-                ["preemptions", int(metrics["preemptions"])],
-                ["plan cache (hit/miss)",
-                 format_hit_miss(
-                     result.plan_cache_hits, result.plan_cache_misses
-                 )],
-                ["fleet throughput",
-                 f"{metrics['fleet_tokens_per_s'] / 1e3:.0f} K tokens/s"],
-            ],
+            summary_rows,
             title=f"fleet: {len(result.records)} x {args.model} @ "
                   f"{args.gpus} shared GPUs, policy {result.policy}:",
         ))
+        with_slo = any(r["deadline_s"] is not None for r in payload["jobs"])
         rows = [
             [
                 r["job"], r["priority"], f"{r['arrival_s']:.0f}",
@@ -691,11 +743,20 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
                     r["plan_cache_hits"], r["plan_cache_misses"]
                 ),
             ]
+            + (
+                [
+                    "-" if r["deadline_met"] is None
+                    else ("met" if r["deadline_met"] else "MISS")
+                ]
+                if with_slo
+                else []
+            )
             for r in payload["jobs"]
         ]
         print(format_table(
             ["job", "prio", "arrive", "start", "jct", "queued",
-             "goodput", "fail", "replan", "preempt", "plan hit/miss"],
+             "goodput", "fail", "replan", "preempt", "plan hit/miss"]
+            + (["slo"] if with_slo else []),
             rows,
             title="per-job outcomes:",
         ))

@@ -7,7 +7,8 @@ pipeline- and data-parallel communication crosses the RoCE fabric.
 
 The topology is also exposed as a :mod:`networkx` graph so benchmarks can
 reason about path counts and bisection bandwidth of the rail-optimized
-fabric.
+fabric, and as a catalog of :class:`FailureDomain` blast radii (nodes,
+racks) that correlated fault events target by name.
 """
 
 from __future__ import annotations
@@ -19,6 +20,37 @@ import networkx as nx
 
 from repro.cluster.cluster import ClusterSpec
 from repro.cluster.interconnect import LinkSpec
+
+#: Default rack granularity used when a cluster spec does not say
+#: otherwise: racks are consecutive blocks of this many nodes per pool.
+DEFAULT_NODES_PER_RACK = 4
+
+
+@dataclass(frozen=True)
+class FailureDomain:
+    """A named blast radius: the GPUs that die together.
+
+    Attributes:
+        name: Stable handle events reference (``"node3"``, ``"rack1"``).
+        scope: ``"node"`` or ``"rack"``.
+        node_indices: Flat node indices the domain covers.
+        num_gpus: Total GPUs inside the domain.
+    """
+
+    name: str
+    scope: str
+    node_indices: Tuple[int, ...]
+    num_gpus: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("failure domain needs a name")
+        if self.scope not in ("node", "rack"):
+            raise ValueError(f"unknown failure-domain scope {self.scope!r}")
+        if not self.node_indices:
+            raise ValueError("failure domain must cover at least one node")
+        if self.num_gpus < 1:
+            raise ValueError("failure domain must hold at least one GPU")
 
 
 @dataclass(frozen=True)
@@ -107,16 +139,69 @@ class ClusterTopology:
         """The bottleneck link of a communication group.
 
         If any pair of members crosses node boundaries, the whole
-        collective is bottlenecked by the inter-node fabric.
+        collective is bottlenecked by the slowest member's inter-node
+        fabric — a group spanning pools with different NICs runs at the
+        slower pool's effective bandwidth, not the first member's.
         """
         if not gpu_indices:
             raise ValueError("empty communication group")
         first = gpu_indices[0]
-        node_spec, _ = self.cluster.node_of_gpu(first)
+        node_specs = [self.cluster.node_of_gpu(first)[0]]
+        crosses_nodes = False
         for gpu in gpu_indices[1:]:
+            node_specs.append(self.cluster.node_of_gpu(gpu)[0])
             if not self.cluster.same_node(first, gpu):
-                return node_spec.inter_link
-        return node_spec.intra_link
+                crosses_nodes = True
+        if crosses_nodes:
+            return min(
+                (spec.inter_link for spec in node_specs),
+                key=lambda link: link.effective_bandwidth,
+            )
+        return node_specs[0].intra_link
+
+    # ------------------------------------------------------------------ #
+    # Failure domains
+    # ------------------------------------------------------------------ #
+    def failure_domains(
+        self, nodes_per_rack: int = DEFAULT_NODES_PER_RACK
+    ) -> Dict[str, FailureDomain]:
+        """Named blast radii correlated fault events can target.
+
+        Every physical node is a ``node{i}`` domain; consecutive nodes
+        within a pool are grouped into ``rack{j}`` domains of up to
+        ``nodes_per_rack`` nodes (racks never span pools — they share a
+        power/switch boundary, not just an index range). Domain names
+        are stable for a given cluster shape, so a trace recorded
+        against one slice replays against any same-shape slice.
+        """
+        if nodes_per_rack < 1:
+            raise ValueError("nodes_per_rack must be >= 1")
+        domains: Dict[str, FailureDomain] = {}
+        node_index = 0
+        rack_index = 0
+        for pool in self.cluster.pools:
+            pool_nodes = []
+            for _ in range(pool.num_nodes):
+                name = f"node{node_index}"
+                domains[name] = FailureDomain(
+                    name=name,
+                    scope="node",
+                    node_indices=(node_index,),
+                    num_gpus=pool.node.gpus_per_node,
+                )
+                pool_nodes.append(node_index)
+                node_index += 1
+            for start in range(0, len(pool_nodes), nodes_per_rack):
+                members = tuple(pool_nodes[start : start + nodes_per_rack])
+                name = f"rack{rack_index}"
+                domains[name] = FailureDomain(
+                    name=name,
+                    scope="rack",
+                    node_indices=members,
+                    num_gpus=len(members) * pool.node.gpus_per_node,
+                )
+                rack_index += 1
+        return domains
 
     # ------------------------------------------------------------------ #
     # Graph view

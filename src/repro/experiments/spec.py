@@ -84,6 +84,7 @@ FLEET_PARAMS = (
     "fleet_job_gpus",
     "fleet_arrival_spacing",
     "fleet_priorities",
+    "fleet_pack",
 )
 
 KNOWN_PARAMS = TASK_PARAMS + SCENARIO_PARAMS + FLEET_PARAMS
@@ -265,6 +266,13 @@ class TrialSpec:
         ``fleet_job_gpus``, defaulting to the whole cluster) sharing the
         ``gpus``-sized cluster under ``fleet_policy``, with the trial's
         scenario parameters as every job's dynamics.
+
+        With ``fleet_pack`` set, the named
+        :class:`~repro.scenarios.packs.ScenarioPack` expands the
+        workload instead: arrivals, job classes/SLOs, and per-job fault
+        traces all come from the pack (seeded by ``failure_seed``),
+        and ``fleet_policy`` — when given — overrides the pack's
+        default policy.
         """
         fleet = self.fleet_params()
         if not fleet:
@@ -273,10 +281,22 @@ class TrialSpec:
         from repro.scenarios.spec import ScenarioSpec
 
         scenario = self.to_scenario() or ScenarioSpec()
+        config = self.to_config()
+        pack_name = fleet.get("fleet_pack")
+        if pack_name:
+            from repro.scenarios.packs import get_pack
+
+            return get_pack(pack_name).build_fleet(
+                config,
+                cluster_gpus=config.cluster.num_gpus,
+                num_jobs=int(fleet.get("fleet_jobs", 2)),
+                seed=scenario.seed,
+                scenario=scenario,
+                policy=fleet.get("fleet_policy"),
+            )
         priorities = fleet.get("fleet_priorities", (0,))
         if isinstance(priorities, int):
             priorities = (priorities,)
-        config = self.to_config()
         return FleetSpec.homogeneous(
             config,
             cluster_gpus=config.cluster.num_gpus,
@@ -372,9 +392,13 @@ class TrialSpec:
         if frozen and frozen != "full":
             parts.append(str(frozen))
         if self.fleet_params():
-            policy = self.params.get("fleet_policy", "fair-share")
             jobs = self.params.get("fleet_jobs", 2)
-            parts.append(f"fleet({jobs}x,{policy})")
+            pack = self.params.get("fleet_pack")
+            if pack:
+                parts.append(f"fleet({jobs}x,pack={pack})")
+            else:
+                policy = self.params.get("fleet_policy", "fair-share")
+                parts.append(f"fleet({jobs}x,{policy})")
         elif self.scenario_params():
             mtbf = self.params.get("mtbf")
             parts.append(f"dyn(mtbf={mtbf})" if mtbf else "dyn")

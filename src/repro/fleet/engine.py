@@ -95,11 +95,23 @@ class FleetJobRecord:
     #: (the best private cluster the job could actually use), falling
     #: back to ``result.ideal_seconds`` only when no size is feasible.
     ideal_demand_seconds: float = 0.0
+    #: Workload-class label from the job spec (pack job mixes).
+    job_class: str = ""
+    #: Absolute completion deadline, resolved from the spec's
+    #: ``deadline_s`` or ``slo_factor`` (None = no deadline).
+    deadline_s: Optional[float] = None
 
     @property
     def jct_seconds(self) -> float:
         """Job completion time: arrival to retained final iteration."""
         return self.completion_s - self.arrival_s
+
+    @property
+    def deadline_met(self) -> Optional[bool]:
+        """Whether the job finished by its deadline (None: no SLO)."""
+        if self.deadline_s is None:
+            return None
+        return self.completion_s <= self.deadline_s
 
     def row(self) -> Dict[str, Any]:
         """Flat per-job report row."""
@@ -119,6 +131,9 @@ class FleetJobRecord:
             "mean_mfu": self.result.mean_mfu,
             "plan_cache_hits": self.result.plan_cache_hits,
             "plan_cache_misses": self.result.plan_cache_misses,
+            "job_class": self.job_class,
+            "deadline_s": self.deadline_s,
+            "deadline_met": self.deadline_met,
         }
 
 
@@ -177,6 +192,26 @@ class FleetResult:
     def plan_cache_misses(self) -> int:
         return sum(r.result.plan_cache_misses for r in self.records)
 
+    @property
+    def deadline_misses(self) -> int:
+        """Jobs that finished after their deadline."""
+        return sum(1 for r in self.records if r.deadline_met is False)
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of deadline-carrying jobs that met their deadline.
+
+        1.0 when no job carries a deadline — an SLO-free fleet attains
+        everything it promised.
+        """
+        with_deadline = [
+            r for r in self.records if r.deadline_s is not None
+        ]
+        if not with_deadline:
+            return 1.0
+        met = sum(1 for r in with_deadline if r.deadline_met)
+        return met / len(with_deadline)
+
     def metrics(self) -> Dict[str, float]:
         """Flat metric row for campaign records / ResultFrame."""
         records = self.records
@@ -212,6 +247,11 @@ class FleetResult:
                 np.mean([r.result.mean_mfu for r in records])
             ),
             "num_gpus": float(self.total_gpus),
+            "slo_attainment": self.slo_attainment,
+            "deadline_misses": float(self.deadline_misses),
+            "slo_jobs": float(
+                sum(1 for r in records if r.deadline_s is not None)
+            ),
         }
 
     def summary(self) -> Dict[str, float]:
@@ -316,11 +356,17 @@ class FleetEngine:
     # ------------------------------------------------------------------ #
     def run(self) -> FleetResult:
         """Drive every tenant to completion on the shared cluster."""
+        # The pack attribute rides the span only when a pack is set, so
+        # pack-free golden obs traces stay byte-identical.
+        span_extra = (
+            {"pack": self.spec.pack} if self.spec.pack else {}
+        )
         with obs.span(
             "fleet.run",
             policy=self.policy.name,
             jobs=len(self._tenants),
             gpus=self.allocator.total_gpus,
+            **span_extra,
         ):
             result = self._run_impl()
         logger.info(
@@ -489,6 +535,14 @@ class FleetEngine:
                 # fall back to the ideal at the initially granted
                 # slice rather than discarding the finished simulation.
                 ideal_demand = result.ideal_seconds
+            # Deadline resolution: an absolute deadline wins; otherwise
+            # a relative SLO prices the deadline off the demand-size
+            # ideal (the zero-event runtime the tenant was promised).
+            deadline = t.spec.deadline_s
+            if deadline is None and t.spec.slo_factor is not None:
+                deadline = (
+                    t.spec.arrival_s + t.spec.slo_factor * ideal_demand
+                )
             records.append(
                 FleetJobRecord(
                     name=t.name,
@@ -501,6 +555,8 @@ class FleetEngine:
                     preemptions=result.preemptions,
                     result=result,
                     ideal_demand_seconds=ideal_demand,
+                    job_class=t.spec.job_class,
+                    deadline_s=deadline,
                 )
             )
         return FleetResult(

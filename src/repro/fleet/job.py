@@ -73,6 +73,8 @@ from repro.runtime.trainer import build_checkpointer
 from repro.scenarios.events import (
     EventTrace,
     FailureEvent,
+    MaintenanceEvent,
+    SpotReclaimEvent,
     StragglerEvent,
 )
 from repro.scenarios.result import ScenarioResult
@@ -462,17 +464,22 @@ class JobSimulator:
         # straggler rate still reproduces it exactly.
         replaying = spec.events is not None
         trace = spec.events or EventTrace()
-        failures = trace.failures
+        # All wall-clock events ride one replay cursor: hard failures,
+        # correlated domain failures, and graceful capacity outages
+        # (spot reclaims, maintenance windows). For a v1 trace this is
+        # exactly the old failures list.
+        timed = trace.timed_events
         if start_time:
             # Trace times are job-relative (recorded from a run that
             # started at 0); a fleet job admitted mid-timeline replays
             # them offset to its own start, so a standalone recording
             # reproduces identically whenever the job is seated.
-            failures = [
+            timed = [
                 replace(event, time_s=event.time_s + start_time)
-                for event in failures
+                for event in timed
             ]
-        self._replayed_failures = failures
+        self._timed_events = timed
+        self._domain_tables: Dict[int, Dict[str, int]] = {}
         self._resizes = {e.iteration: e for e in trace.resizes}
         sampled_stragglers = (
             [] if replaying else self._sampled_stragglers()
@@ -528,7 +535,7 @@ class JobSimulator:
         self._stall_carry = 0.0
         self._min_gpus = allocated_gpus
         self._repair_at: Optional[float] = None
-        self._failure_idx = 0  # replayed failures consumed
+        self._failure_idx = 0  # replayed timed events consumed
         self._gpu_seconds = 0.0
 
         # Lazy Poisson sampling: the next failure arrival in wall-clock.
@@ -616,11 +623,16 @@ class JobSimulator:
     # ------------------------------------------------------------------ #
     # The state machine
     # ------------------------------------------------------------------ #
-    def _next_failure(self) -> Tuple[Optional[FailureEvent], bool]:
-        """(earliest pending failure, came-from-sampling flag)."""
-        replay: Optional[FailureEvent] = None
-        if self._failure_idx < len(self._replayed_failures):
-            replay = self._replayed_failures[self._failure_idx]
+    def _next_timed(self) -> Tuple[Optional[Any], bool]:
+        """(earliest pending timed event, came-from-sampling flag).
+
+        Replayed events cover all wall-clock kinds (failure,
+        domain-failure, spot-reclaim, maintenance); sampled arrivals
+        are always plain :class:`FailureEvent`\\ s.
+        """
+        replay: Optional[Any] = None
+        if self._failure_idx < len(self._timed_events):
+            replay = self._timed_events[self._failure_idx]
         if self._next_sampled is not None and (
             replay is None or self._next_sampled < replay.time_s
         ):
@@ -632,6 +644,33 @@ class JobSimulator:
                 True,
             )
         return replay, False
+
+    def _domain_gpus(self, domain: str) -> int:
+        """GPUs the job currently holds inside a named failure domain.
+
+        Domains are resolved against the job's *current slice* (the
+        demand cluster resized to what the job computes on), so a rack
+        the slice no longer reaches has zero blast radius here. Unknown
+        domain names also resolve to zero — a fleet-wide trace may name
+        racks a small job never occupies.
+        """
+        from repro.cluster.cluster import resized_cluster
+        from repro.cluster.topology import ClusterTopology
+
+        num_gpus = self._cur.num_gpus
+        table = self._domain_tables.get(num_gpus)
+        if table is None:
+            cluster = self.config.cluster
+            if num_gpus != cluster.num_gpus:
+                cluster = resized_cluster(cluster, num_gpus)
+            table = {
+                name: dom.num_gpus
+                for name, dom in ClusterTopology(cluster)
+                .failure_domains()
+                .items()
+            }
+            self._domain_tables[num_gpus] = table
+        return table.get(domain, 0)
 
     def _switch_cluster(self, num_gpus: int, now: float) -> None:
         """Replan on a resized slice and rebuild the checkpointer."""
@@ -760,17 +799,53 @@ class JobSimulator:
         )
         end_compute = self._clock + result.iteration_time
 
-        failure, sampled = self._next_failure()
-        if failure is not None and failure.time_s <= end_compute:
+        event, sampled = self._next_timed()
+        while event is not None and event.time_s <= end_compute:
+            if isinstance(event, (SpotReclaimEvent, MaintenanceEvent)):
+                if (
+                    isinstance(event, MaintenanceEvent)
+                    and self._domain_gpus(event.domain) <= 0
+                ):
+                    # Maintenance over a domain the slice never
+                    # touches: consume the event and keep computing.
+                    self._failure_idx += 1
+                    event, sampled = self._next_timed()
+                    continue
+                # Graceful capacity outage: no rollback, capacity
+                # returns after the window.
+                with obs.span(
+                    "job.outage",
+                    job=self.name,
+                    t=event.time_s,
+                    kind=event.kind,
+                ):
+                    self._handle_outage(event)
+                return
+            if isinstance(event, FailureEvent):
+                gpus_lost = event.gpus_lost
+            else:  # DomainFailureEvent: blast radius on the live slice
+                gpus_lost = self._domain_gpus(event.domain)
+                if gpus_lost <= 0:
+                    # The domain lies entirely outside the job's slice:
+                    # consume the event and keep computing.
+                    self._failure_idx += 1
+                    event, sampled = self._next_timed()
+                    continue
             # The iteration is killed mid-flight.
+            extra = (
+                {"domain": event.domain}
+                if not isinstance(event, FailureEvent)
+                else {}
+            )
             with obs.span(
                 "job.failure",
                 job=self.name,
-                t=failure.time_s,
-                gpus_lost=failure.gpus_lost,
+                t=event.time_s,
+                gpus_lost=gpus_lost,
                 sampled=sampled,
+                **extra,
             ):
-                self._handle_failure(failure, sampled)
+                self._handle_failure(event, sampled, gpus_lost)
             return
 
         self._clock = end_compute
@@ -780,10 +855,23 @@ class JobSimulator:
         self._clock += self._checkpointer.on_iteration(self._i, self._clock)
         self._i += 1
 
-    def _handle_failure(self, failure: FailureEvent, sampled: bool) -> None:
+    def _handle_failure(
+        self,
+        failure: Any,
+        sampled: bool,
+        gpus_lost: Optional[int] = None,
+    ) -> None:
         """Roll back, pay downtime, and (if elastic) shrink to the
-        surviving slice — the body of :meth:`step`'s failure branch."""
+        surviving slice — the body of :meth:`step`'s failure branch.
+
+        ``failure`` is a :class:`FailureEvent` or a
+        :class:`~repro.scenarios.events.DomainFailureEvent`;
+        ``gpus_lost`` is the resolved blast radius (defaults to the
+        event's own count for plain failures).
+        """
         spec = self.scenario
+        if gpus_lost is None:
+            gpus_lost = failure.gpus_lost
         if sampled:
             self._events_log.append(failure)
             self._next_sampled = (
@@ -821,7 +909,7 @@ class JobSimulator:
         self._recovery_seconds += spec.downtime_seconds
         shrunk_from = self._cur.num_gpus
         if spec.elastic:
-            lost_nodes = -(-failure.gpus_lost // self._node_gpus)
+            lost_nodes = -(-gpus_lost // self._node_gpus)
             survivors = (
                 self._cur.num_gpus - lost_nodes * self._node_gpus
             )
@@ -837,6 +925,64 @@ class JobSimulator:
         self._fleet_log.append(
             ("failure", failure, shrunk_from, self._cur.num_gpus,
              self._clock)
+        )
+
+    def _handle_outage(self, event: Any) -> None:
+        """Graceful capacity outage (spot reclaim / maintenance window).
+
+        No checkpoint work is rolled back — the provider drains the
+        capacity with notice — but the iteration in flight is abandoned
+        (its partial time is lost). An elastic job sheds the affected
+        node(s) and keeps computing on the survivors, re-growing when
+        the window ends; an inelastic job (or one left with no
+        orchestrable size) vacates for the remainder of the window and
+        resumes at unchanged size.
+        """
+        spec = self.scenario
+        self._failure_idx += 1
+        obs.count("job.outages")
+        at = max(self._clock, event.time_s)
+        self._lost_seconds += at - self._clock  # the partial iteration
+        self._clock = at
+        if isinstance(event, SpotReclaimEvent):
+            gpus_lost = min(event.gpus, self._cur.num_gpus)
+        else:
+            gpus_lost = self._domain_gpus(event.domain)
+        resume_at = event.time_s + event.duration_s
+        from_gpus = self._cur.num_gpus
+        if gpus_lost <= 0:
+            # A maintenance domain outside the slice: nothing to drain.
+            return
+        lost_nodes = -(-gpus_lost // self._node_gpus)
+        survivors = self._cur.num_gpus - lost_nodes * self._node_gpus
+        if (
+            spec.elastic
+            and survivors >= self._node_gpus
+            and self.feasible(survivors)
+        ):
+            self._switch_cluster(survivors, self._clock)
+            self._clock += spec.replan_seconds
+            self._recovery_seconds += spec.replan_seconds
+            self._repair_at = max(self._repair_at or 0.0, resume_at)
+        else:
+            # The whole job vacates for the remainder of the window.
+            pause = max(0.0, resume_at - self._clock)
+            self._clock += pause
+            self._recovery_seconds += pause
+        obs.event(
+            "job.outage_drain",
+            job=self.name,
+            t=self._clock,
+            kind=event.kind,
+            gpus_lost=gpus_lost,
+            from_gpus=from_gpus,
+            to_gpus=self._cur.num_gpus,
+        )
+        # Mirrored like a failure: the fleet marks the drained capacity
+        # down for the job until re-growth fires (from == to means the
+        # job paused in place and keeps its slice).
+        self._fleet_log.append(
+            ("failure", event, from_gpus, self._cur.num_gpus, self._clock)
         )
 
     def advance_until(self, horizon: float) -> None:

@@ -39,6 +39,14 @@ class FleetJobSpec:
         min_gpus: Smallest slice the scheduler may grant (defaults to
             one node; the engine additionally respects orchestration
             feasibility at runtime).
+        job_class: Workload-class label (e.g. ``"prod"``, ``"batch"``)
+            carried into per-job fleet records and reports.
+        deadline_s: Absolute fleet wall-clock deadline. A job finishing
+            after it counts as a deadline miss.
+        slo_factor: Relative SLO: the deadline is ``arrival_s +
+            slo_factor * ideal_demand_seconds`` (the job's zero-event
+            runtime at full demand). Ignored when ``deadline_s`` is
+            set; both None means the job carries no deadline.
     """
 
     name: str
@@ -47,12 +55,21 @@ class FleetJobSpec:
     arrival_s: float = 0.0
     priority: int = 0
     min_gpus: Optional[int] = None
+    job_class: str = ""
+    deadline_s: Optional[float] = None
+    slo_factor: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("job needs a name")
         if self.arrival_s < 0:
             raise ValueError("arrival_s must be non-negative")
+        if self.deadline_s is not None and self.deadline_s <= self.arrival_s:
+            raise ValueError(
+                "deadline_s must lie after the job's arrival"
+            )
+        if self.slo_factor is not None and self.slo_factor <= 0:
+            raise ValueError("slo_factor must be positive")
         if self.scenario.events is not None and any(
             e.kind == "resize" for e in self.scenario.events
         ):
@@ -102,6 +119,9 @@ class FleetSpec:
     cluster: ClusterSpec
     jobs: Tuple[FleetJobSpec, ...] = ()
     policy: Any = "fair-share"
+    #: Name of the scenario pack that generated this fleet (see
+    #: :mod:`repro.scenarios.packs`), or None for hand-built fleets.
+    pack: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.jobs = tuple(self.jobs)
@@ -142,16 +162,25 @@ class FleetSpec:
         priorities: Sequence[int] = (0,),
         policy: str = "fair-share",
         scenario: Optional[ScenarioSpec] = None,
+        arrivals: Optional[Sequence[float]] = None,
     ) -> "FleetSpec":
         """N staggered copies of one task contending for one cluster.
 
         Each job gets a distinct name, a derived failure seed
         (``scenario.seed + index`` — identical tenants must not fail in
         lockstep), an arrival of ``index * arrival_spacing_s``, and a
-        priority cycled from ``priorities``.
+        priority cycled from ``priorities``. An explicit ``arrivals``
+        sequence (e.g. sampled from a pack's
+        :class:`~repro.scenarios.packs.ArrivalProcess`) replaces the
+        fixed spacing grid.
         """
         if num_jobs < 1:
             raise ValueError("num_jobs must be >= 1")
+        if arrivals is not None and len(arrivals) != num_jobs:
+            raise ValueError(
+                f"arrivals has {len(arrivals)} entries for "
+                f"{num_jobs} jobs"
+            )
         scenario = scenario or ScenarioSpec()
         demand = job_gpus or config.cluster.num_gpus
         if demand != config.cluster.num_gpus:
@@ -173,7 +202,11 @@ class FleetSpec:
                 name=f"job{i:02d}",
                 config=config,
                 scenario=scenario.with_(seed=scenario.seed + i),
-                arrival_s=i * arrival_spacing_s,
+                arrival_s=(
+                    float(arrivals[i])
+                    if arrivals is not None
+                    else i * arrival_spacing_s
+                ),
                 priority=priorities[i % len(priorities)],
             )
             for i in range(num_jobs)
@@ -194,6 +227,7 @@ class FleetSpec:
                 if isinstance(self.policy, str)
                 else self.policy.name
             ),
+            "pack": self.pack,
             "jobs": [
                 {
                     "name": job.name,
@@ -202,6 +236,9 @@ class FleetSpec:
                     "arrival_s": job.arrival_s,
                     "priority": job.priority,
                     "min_gpus": job.min_gpus,
+                    "job_class": job.job_class,
+                    "deadline_s": job.deadline_s,
+                    "slo_factor": job.slo_factor,
                 }
                 for job in self.jobs
             ],

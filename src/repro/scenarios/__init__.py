@@ -17,27 +17,49 @@ Layout:
   scenario configuration with a canonical content hash;
 * :mod:`repro.scenarios.engine` — :class:`ScenarioEngine` and
   :class:`ScenarioResult` (goodput, lost work, recovery time, MFU
-  trajectory).
+  trajectory);
+* :mod:`repro.scenarios.packs` — the declarative scenario-pack catalog
+  (arrival processes, job-class mixes, correlated fault profiles).
 """
 
 from repro.scenarios.engine import ScenarioEngine, ScenarioResult, run_scenario
 from repro.scenarios.events import (
     ClusterEvent,
+    DomainFailureEvent,
     EventTrace,
     FailureEvent,
+    MaintenanceEvent,
     ResizeEvent,
+    SpotReclaimEvent,
     StragglerEvent,
+)
+from repro.scenarios.packs import (
+    PACKS,
+    ArrivalProcess,
+    FaultProfile,
+    JobClass,
+    ScenarioPack,
+    get_pack,
 )
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
+    "ArrivalProcess",
     "ClusterEvent",
+    "DomainFailureEvent",
     "EventTrace",
     "FailureEvent",
+    "FaultProfile",
+    "JobClass",
+    "MaintenanceEvent",
+    "PACKS",
     "ResizeEvent",
     "ScenarioEngine",
+    "ScenarioPack",
     "ScenarioResult",
     "ScenarioSpec",
+    "SpotReclaimEvent",
     "StragglerEvent",
+    "get_pack",
     "run_scenario",
 ]

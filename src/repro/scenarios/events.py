@@ -18,6 +18,28 @@ and re-played bit-identically::
 Failures are timestamped in simulated wall-clock seconds (hardware dies
 at a point in time); stragglers and resizes are pinned to iteration
 indices (they are scheduler-visible conditions on the training loop).
+
+Schema **v2** adds topology-correlated and capacity-lifecycle events
+(see the scenario-pack catalog, :mod:`repro.scenarios.packs`)::
+
+    {
+     "version": 2,
+     "events": [
+      {"kind": "domain-failure", "time_s": 500.0, "domain": "rack1"},
+      {"kind": "spot-reclaim", "time_s": 900.0, "gpus": 8,
+       "duration_s": 1800.0},
+      {"kind": "maintenance", "time_s": 7200.0, "duration_s": 1800.0,
+       "domain": "rack0"}
+     ]
+    }
+
+A *domain failure* names a node/rack failure domain drawn from
+:meth:`repro.cluster.topology.ClusterTopology.failure_domains` and kills
+every GPU in its blast radius. *Spot reclamations* and *maintenance
+windows* are graceful capacity outages: no work is rolled back, the
+capacity returns after ``duration_s``. Serialization stays
+backward-compatible: a trace holding only v1 kinds round-trips to the
+v1 schema (no ``version`` marker), and v1 fixtures parse unchanged.
 """
 
 from __future__ import annotations
@@ -103,13 +125,106 @@ class ResizeEvent:
             raise ValueError("resize must keep at least one GPU")
 
 
-ClusterEvent = Union[FailureEvent, StragglerEvent, ResizeEvent]
+@dataclass(frozen=True)
+class DomainFailureEvent:
+    """A correlated failure of a whole failure domain at ``time_s``.
+
+    ``domain`` names a node/rack blast radius from
+    :meth:`repro.cluster.topology.ClusterTopology.failure_domains`
+    (e.g. ``"node3"`` or ``"rack1"``). Every GPU the job holds inside
+    the domain dies at once; the job rolls back and recovers exactly as
+    for a :class:`FailureEvent` of that size. A domain that lies
+    entirely outside the job's current slice is a no-op for the job.
+    """
+
+    time_s: float
+    domain: str
+
+    kind = "domain-failure"
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("failure time must be non-negative")
+        if not self.domain:
+            raise ValueError("domain failure must name a failure domain")
+
+
+@dataclass(frozen=True)
+class SpotReclaimEvent:
+    """The provider reclaims ``gpus`` spot GPUs for ``duration_s``.
+
+    Reclamation is graceful: no checkpoint work is lost, only the
+    iteration in flight is abandoned. An elastic job sheds the
+    reclaimed node(s) and continues on the survivors; an inelastic job
+    vacates for the window and resumes at full size when the capacity
+    returns.
+    """
+
+    time_s: float
+    gpus: int = 8
+    duration_s: float = 1800.0
+
+    kind = "spot-reclaim"
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("reclaim time must be non-negative")
+        if self.gpus < 1:
+            raise ValueError("a reclamation must take at least one GPU")
+        if self.duration_s <= 0:
+            raise ValueError("reclaim duration must be positive")
+
+
+@dataclass(frozen=True)
+class MaintenanceEvent:
+    """A scheduled maintenance window over a failure domain.
+
+    Like :class:`SpotReclaimEvent` the drain is graceful (no rollback),
+    but the outage is pinned to a topology domain: the job loses
+    whatever it holds inside ``domain`` for ``duration_s`` seconds.
+    """
+
+    time_s: float
+    duration_s: float
+    domain: str
+
+    kind = "maintenance"
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("maintenance time must be non-negative")
+        if self.duration_s <= 0:
+            raise ValueError("maintenance duration must be positive")
+        if not self.domain:
+            raise ValueError("maintenance must name a failure domain")
+
+
+ClusterEvent = Union[
+    FailureEvent,
+    StragglerEvent,
+    ResizeEvent,
+    DomainFailureEvent,
+    SpotReclaimEvent,
+    MaintenanceEvent,
+]
 
 _EVENT_KINDS = {
     "failure": FailureEvent,
     "straggler": StragglerEvent,
     "resize": ResizeEvent,
+    "domain-failure": DomainFailureEvent,
+    "spot-reclaim": SpotReclaimEvent,
+    "maintenance": MaintenanceEvent,
 }
+
+# Kinds introduced by trace schema v2. Their presence is what flips a
+# serialized trace to the versioned form.
+_V2_KINDS = (DomainFailureEvent, SpotReclaimEvent, MaintenanceEvent)
+
+# Wall-clock-stamped kinds the simulator replays on its failure clock.
+_TIMED_KINDS = (FailureEvent, DomainFailureEvent, SpotReclaimEvent, MaintenanceEvent)
+
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -160,6 +275,42 @@ class EventTrace:
             key=lambda e: e.iteration,
         )
 
+    @property
+    def timed_events(self) -> List[ClusterEvent]:
+        """All wall-clock events (failures, domain failures, outages)
+        in time order. Equals :attr:`failures` for a v1-only trace."""
+        return sorted(
+            (e for e in self.events if isinstance(e, _TIMED_KINDS)),
+            key=lambda e: e.time_s,
+        )
+
+    @property
+    def domain_failures(self) -> List[DomainFailureEvent]:
+        """Correlated domain failures ordered by time."""
+        return sorted(
+            (e for e in self.events if isinstance(e, DomainFailureEvent)),
+            key=lambda e: e.time_s,
+        )
+
+    @property
+    def outages(self) -> List[ClusterEvent]:
+        """Graceful capacity outages (spot reclaims + maintenance)."""
+        return sorted(
+            (
+                e
+                for e in self.events
+                if isinstance(e, (SpotReclaimEvent, MaintenanceEvent))
+            ),
+            key=lambda e: e.time_s,
+        )
+
+    @property
+    def schema_version(self) -> int:
+        """2 when any v2 kind is present, else 1."""
+        if any(isinstance(e, _V2_KINDS) for e in self.events):
+            return SCHEMA_VERSION
+        return 1
+
     # ------------------------------------------------------------------ #
     # Serialization
     # ------------------------------------------------------------------ #
@@ -187,18 +338,48 @@ class EventTrace:
         return cls(events)
 
     def to_json(self, path: Union[str, Path, None] = None) -> str:
-        text = json.dumps({"events": self.to_dicts()}, indent=1)
+        # Traces with only v1 kinds keep the original unversioned form
+        # so pre-existing fixtures round-trip byte-identically.
+        payload: Dict[str, Any] = {}
+        if self.schema_version > 1:
+            payload["version"] = self.schema_version
+        payload["events"] = self.to_dicts()
+        text = json.dumps(payload, indent=1)
         if path is not None:
             Path(path).write_text(text + "\n", encoding="utf-8")
         return text
 
     @classmethod
     def from_json(cls, source: Union[str, Path]) -> "EventTrace":
-        """Parse a trace from a JSON string or file path."""
+        """Parse a trace from a JSON string or file path.
+
+        Inline JSON may be an object (``{"events": [...]}``, optionally
+        with a ``"version"`` marker) or a bare top-level array of event
+        records. Anything else is treated as a filesystem path; an
+        unreadable path raises a ``ValueError`` naming the source
+        instead of a bare ``OSError``.
+        """
         text = str(source)
-        if not text.lstrip().startswith("{"):
-            text = Path(source).read_text(encoding="utf-8")
+        if not text.lstrip().startswith(("{", "[")):
+            try:
+                text = Path(source).read_text(encoding="utf-8")
+            except OSError as exc:
+                raise ValueError(
+                    "event trace source is neither inline JSON nor a "
+                    f"readable file: {text!r} ({exc})"
+                ) from exc
         payload = json.loads(text)
         if isinstance(payload, dict):
+            version = payload.get("version", 1)
+            if version not in (1, SCHEMA_VERSION):
+                raise ValueError(
+                    f"unsupported event trace schema version {version!r}; "
+                    f"this build reads versions 1 and {SCHEMA_VERSION}"
+                )
             payload = payload.get("events", [])
+        if not isinstance(payload, list):
+            raise ValueError(
+                "event trace JSON must be an object with an 'events' "
+                f"list or a bare array, got {type(payload).__name__}"
+            )
         return cls.from_dicts(payload)

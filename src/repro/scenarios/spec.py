@@ -63,6 +63,10 @@ class ScenarioSpec:
             :class:`~repro.runtime.trainer.TrainingRun` stream exactly.
         seed: Seed for sampled failures and straggler episodes.
         events: Explicit event trace replayed instead of sampling.
+        pack: Name of the scenario pack that generated this spec (see
+            :mod:`repro.scenarios.packs`), or None for hand-built
+            specs. Participates in the canonical cache key so pack
+            revisions invalidate cached trials.
     """
 
     num_iterations: int = 1000
@@ -80,6 +84,7 @@ class ScenarioSpec:
     sample_iterations: int = 4
     seed: int = 0
     events: Optional[EventTrace] = None
+    pack: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_iterations < 1:
@@ -100,6 +105,10 @@ class ScenarioSpec:
             raise ValueError("gpus_lost_per_failure must be >= 1")
         if self.repair_seconds < 0 or self.replan_seconds < 0:
             raise ValueError("recovery times must be non-negative")
+        if self.restart_seconds < 0 or self.checkpoint_load_seconds < 0:
+            # A negative component would flow into downtime_seconds as
+            # a per-failure time *credit*.
+            raise ValueError("downtime components must be non-negative")
 
     # ------------------------------------------------------------------ #
     # Derived pieces
@@ -167,5 +176,6 @@ class ScenarioSpec:
             "events": (
                 self.events.to_dicts() if self.events is not None else None
             ),
+            "pack": self.pack,
         }
         return payload

@@ -61,6 +61,34 @@ class TestFleetRun:
         with pytest.raises(SystemExit):
             main(self.ARGS + ["--policy", "lifo"])
 
+    def test_pack_run_reports_slo(self, capsys):
+        code = main([
+            "fleet", "run", "--model", "mllm-9b", "--gpus", "96",
+            "--gbs", "16", "--jobs", "3", "--job-gpus", "48",
+            "--iterations", "30", "--pack", "blast-radius", "--elastic",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "blast-radius" in out
+        assert "SLO attainment" in out
+        assert "job00-standard" in out
+
+    def test_pack_json_payload(self, capsys):
+        code = main([
+            "fleet", "run", "--model", "mllm-9b", "--gpus", "96",
+            "--gbs", "16", "--jobs", "2", "--job-gpus", "48",
+            "--iterations", "20", "--pack", "steady", "--json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["pack"] == "steady"
+        assert payload["metrics"]["slo_jobs"] == 0.0
+
+    def test_parser_rejects_unknown_pack(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--pack", "chaos-monkey"])
+
 
 class TestFleetSweep:
     def test_policy_axis_sweeps(self, capsys, tmp_path):
@@ -77,3 +105,18 @@ class TestFleetSweep:
         assert "fleet_policy" in out
         assert "fifo" in out and "fair-share" in out
         assert "fleet_goodput" in out
+
+    def test_pack_axis_sweeps(self, capsys, tmp_path):
+        code = main([
+            "fleet", "sweep", "--models", "mllm-9b",
+            "--systems", "disttrain", "--gpus", "96", "--gbs", "16",
+            "--packs", "steady", "blast-radius", "--fleet-jobs", "2",
+            "--scenario-iterations", "20",
+            "--cache-dir", str(tmp_path / "cache"), "--jobs", "1",
+            "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fleet_pack" in out
+        assert "steady" in out and "blast-radius" in out
+        assert "slo_attainment" in out

@@ -315,3 +315,70 @@ class TestAccountingAndMetrics:
                 name="broken", config=job_config,
                 scenario=ScenarioSpec(), min_gpus=64,
             )
+
+
+class TestDeadlinesAndSLO:
+    def uncontended(self, job_config, **job_kwargs):
+        spec = FleetSpec(
+            cluster=make_cluster(96),
+            jobs=[
+                FleetJobSpec(
+                    name="a", config=job_config, scenario=CALM,
+                    **job_kwargs,
+                )
+            ],
+            policy="fifo",
+        )
+        return run_fleet(spec).records[0]
+
+    def test_no_deadline_means_full_attainment(self, job_config):
+        result = run_fleet(homogeneous(job_config, "fifo", num_jobs=2))
+        assert result.slo_attainment == 1.0
+        assert result.deadline_misses == 0
+        assert result.metrics()["slo_jobs"] == 0.0
+        assert all(r.deadline_met is None for r in result.records)
+
+    def test_generous_slo_is_met_when_uncontended(self, job_config):
+        record = self.uncontended(job_config, slo_factor=2.0)
+        # Alone on the cluster the job runs at its ideal: any SLO
+        # factor above 1 must be met.
+        assert record.deadline_s is not None
+        assert record.deadline_met is True
+        assert record.deadline_s == pytest.approx(
+            record.arrival_s + 2.0 * record.ideal_demand_seconds
+        )
+
+    def test_absolute_deadline_wins_over_slo_factor(self, job_config):
+        record = self.uncontended(
+            job_config, deadline_s=123456.0, slo_factor=2.0
+        )
+        assert record.deadline_s == 123456.0
+
+    def test_impossible_deadline_counts_as_miss(self, job_config):
+        spec = FleetSpec(
+            cluster=make_cluster(96),
+            jobs=[
+                FleetJobSpec(
+                    name="doomed", config=job_config, scenario=CALM,
+                    deadline_s=1.0,
+                )
+            ],
+            policy="fifo",
+        )
+        result = run_fleet(spec)
+        assert result.records[0].deadline_met is False
+        assert result.deadline_misses == 1
+        assert result.slo_attainment == 0.0
+        metrics = result.metrics()
+        assert metrics["slo_attainment"] == 0.0
+        assert metrics["deadline_misses"] == 1.0
+        assert metrics["slo_jobs"] == 1.0
+
+    def test_row_carries_class_and_deadline(self, job_config):
+        record = self.uncontended(
+            job_config, slo_factor=3.0, job_class="prod"
+        )
+        row = record.row()
+        assert row["job_class"] == "prod"
+        assert row["deadline_met"] is True
+        assert row["deadline_s"] == record.deadline_s

@@ -39,6 +39,20 @@ class TestFleetJobSpec:
                 min_gpus=12,
             )
 
+    def test_rejects_deadline_before_arrival(self, job_config):
+        with pytest.raises(ValueError, match="after the job's arrival"):
+            FleetJobSpec(
+                name="a", config=job_config, scenario=ScenarioSpec(),
+                arrival_s=100.0, deadline_s=100.0,
+            )
+
+    def test_rejects_non_positive_slo_factor(self, job_config):
+        with pytest.raises(ValueError, match="slo_factor"):
+            FleetJobSpec(
+                name="a", config=job_config, scenario=ScenarioSpec(),
+                slo_factor=0.0,
+            )
+
 
 class TestFleetSpec:
     def test_rejects_duplicate_names(self, job_config):
@@ -78,6 +92,19 @@ class TestFleetSpec:
         # Identical tenants must not fail in lockstep: derived seeds.
         assert [j.scenario.seed for j in spec.jobs] == [7, 8, 9]
 
+    def test_homogeneous_accepts_explicit_arrivals(self, job_config):
+        spec = FleetSpec.homogeneous(
+            job_config,
+            cluster_gpus=96,
+            num_jobs=3,
+            arrivals=(0.0, 17.5, 503.0),
+        )
+        assert [j.arrival_s for j in spec.jobs] == [0.0, 17.5, 503.0]
+        with pytest.raises(ValueError, match="entries for"):
+            FleetSpec.homogeneous(
+                job_config, cluster_gpus=96, num_jobs=3, arrivals=(0.0,)
+            )
+
     def test_canonical_is_json_safe(self, job_config):
         import json
 
@@ -86,6 +113,27 @@ class TestFleetSpec:
         )
         text = json.dumps(spec.canonical(), sort_keys=True)
         assert "job00" in text and "fair-share" in text
+
+    def test_canonical_covers_pack_and_slo_fields(self, job_config):
+        base = FleetSpec.homogeneous(
+            job_config, cluster_gpus=96, num_jobs=2
+        )
+        assert base.canonical()["pack"] is None
+        packed = base.with_(pack="blast-radius")
+        assert packed.canonical() != base.canonical()
+        sloed = base.with_(
+            jobs=(
+                base.jobs[0],
+                FleetJobSpec(
+                    name="job01",
+                    config=job_config,
+                    scenario=base.jobs[1].scenario,
+                    slo_factor=2.0,
+                    job_class="prod",
+                ),
+            )
+        )
+        assert sloed.canonical() != base.canonical()
 
 
 class TestCampaignIntegration:
@@ -145,3 +193,39 @@ class TestCampaignIntegration:
         assert record["status"] == "ok", record["error"]
         for key in ("fleet_goodput", "utilization", "mean_jct_seconds"):
             assert key in record["metrics"]
+
+
+class TestPackTrials:
+    PARAMS = {
+        "model": "mllm-9b",
+        "gpus": 96,
+        "gbs": 16,
+        "fleet_pack": "steady",
+        "fleet_jobs": 2,
+        "scenario_iterations": 20,
+    }
+
+    def test_to_fleet_expands_the_pack(self):
+        fleet = TrialSpec(self.PARAMS).to_fleet()
+        assert fleet.pack == "steady"
+        assert len(fleet.jobs) == 2
+        assert [j.arrival_s for j in fleet.jobs] == [0.0, 120.0]
+        assert all(j.scenario.pack == "steady" for j in fleet.jobs)
+
+    def test_pack_is_in_cache_key_and_label(self):
+        base = TrialSpec(self.PARAMS)
+        changed = TrialSpec({**self.PARAMS, "fleet_pack": "blast-radius"})
+        assert changed.cache_key != base.cache_key
+        assert "pack=steady" in base.label()
+
+    def test_policy_override_beats_the_pack_default(self):
+        trial = TrialSpec({**self.PARAMS, "fleet_policy": "fifo"})
+        assert trial.to_fleet().policy == "fifo"
+
+    def test_execute_trial_reports_slo_metrics(self):
+        params = {**self.PARAMS, "fleet_pack": "blast-radius"}
+        index, record = execute_trial((0, params, "key"))
+        assert record["status"] == "ok", record.get("error")
+        metrics = record["metrics"]
+        assert 0.0 <= metrics["slo_attainment"] <= 1.0
+        assert metrics["slo_jobs"] == 2.0

@@ -1,32 +1,60 @@
-"""Regenerate the golden scenario fixtures.
+"""Regenerate (or check) the golden scenario fixtures.
 
 Run after an *intentional* semantics change to the failure/goodput model
 or the scenario engine::
 
     PYTHONPATH=src python -m tests.scenarios.golden.regen
 
-Two fixture families, mirroring ``tests/pipeline/golden``:
+or verify that every fixture on disk matches what the current code
+produces, byte for byte (the CI replay-smoke step)::
+
+    PYTHONPATH=src python -m tests.scenarios.golden.regen --check
+
+Three fixture families, mirroring ``tests/pipeline/golden``:
 
 * ``run_with_failures_*.json`` — the legacy goodput model on fixed
   canonical inputs;
 * ``scenario_canonical.json`` — one failure + straggler + elastic
-  scenario through the full engine.
+  scenario through the full engine;
+* ``packs/pack_*.json`` — every shipped scenario pack expanded on the
+  canonical task (arrivals, class mix, SLOs, and each job's full v2
+  event trace — the pack's replayable golden trace).
 
-All floats serialize as C99 hex strings so the comparison is bit-exact:
-any change that perturbs a single ULP of any metric fails the snapshot
-suite and must be re-blessed here.
+All floats serialize as C99 hex strings (or exact JSON ``repr`` floats
+for pack workload documents) so the comparison is bit-exact: any change
+that perturbs a single ULP of any metric fails the snapshot suite and
+must be re-blessed here.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 
 from repro.core.config import DistTrainConfig
 from repro.runtime.failure import FailureModel, run_with_failures
-from repro.scenarios import ScenarioSpec, run_scenario
+from repro.scenarios import PACKS, ScenarioSpec, run_scenario
 
 GOLDEN_DIR = Path(__file__).resolve().parent
+PACK_GOLDEN_DIR = GOLDEN_DIR / "packs"
+
+#: The canonical pack-expansion case every shipped pack is pinned on.
+PACK_CASE = dict(cluster_gpus=96, num_jobs=6, seed=0)
+
+
+def pack_case_inputs():
+    """(task config, base scenario) for the pack golden fixtures."""
+    config = DistTrainConfig.preset("mllm-9b", 48, 16)
+    scenario = ScenarioSpec(
+        num_iterations=60,
+        checkpoint_interval=20,
+        restart_seconds=60.0,
+        checkpoint_load_seconds=30.0,
+        elastic=True,
+        repair_seconds=400.0,
+    )
+    return config, scenario
 
 
 def goodput_cases():
@@ -126,17 +154,64 @@ def scenario_fixture():
     }
 
 
-def main() -> None:
+def pack_fixture(pack):
+    """One shipped pack's replayable golden workload document."""
+    config, scenario = pack_case_inputs()
+    return pack.materialize(config, scenario=scenario, **PACK_CASE)
+
+
+def all_fixtures():
+    """Every (path, serialized text) pair this script owns."""
+    pairs = []
     for name, kwargs in goodput_cases():
         fixture = goodput_fixture(name, kwargs)
-        path = GOLDEN_DIR / f"{name}.json"
-        path.write_text(json.dumps(fixture, indent=1) + "\n")
-        print(f"wrote {path}")
+        pairs.append(
+            (GOLDEN_DIR / f"{name}.json",
+             json.dumps(fixture, indent=1) + "\n")
+        )
     fixture = scenario_fixture()
-    path = GOLDEN_DIR / "scenario_canonical.json"
-    path.write_text(json.dumps(fixture, indent=1) + "\n")
-    print(f"wrote {path} ({len(fixture['events'])} events)")
+    pairs.append(
+        (GOLDEN_DIR / "scenario_canonical.json",
+         json.dumps(fixture, indent=1) + "\n")
+    )
+    for name in sorted(PACKS):
+        fixture = pack_fixture(PACKS[name])
+        pairs.append(
+            (PACK_GOLDEN_DIR / f"pack_{name}.json",
+             json.dumps(fixture, indent=1) + "\n")
+        )
+    return pairs
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    check = "--check" in argv
+    PACK_GOLDEN_DIR.mkdir(exist_ok=True)
+    stale = []
+    for path, text in all_fixtures():
+        if check:
+            on_disk = (
+                path.read_text(encoding="utf-8")
+                if path.exists()
+                else None
+            )
+            if on_disk != text:
+                stale.append(path)
+                print(f"STALE {path}")
+            else:
+                print(f"ok    {path}")
+        else:
+            path.write_text(text, encoding="utf-8")
+            print(f"wrote {path}")
+    if stale:
+        print(
+            f"{len(stale)} fixture(s) diverge from the current code; "
+            "re-bless with: PYTHONPATH=src python -m "
+            "tests.scenarios.golden.regen"
+        )
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

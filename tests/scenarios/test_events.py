@@ -3,9 +3,12 @@
 import pytest
 
 from repro.scenarios.events import (
+    DomainFailureEvent,
     EventTrace,
     FailureEvent,
+    MaintenanceEvent,
     ResizeEvent,
+    SpotReclaimEvent,
     StragglerEvent,
 )
 
@@ -40,6 +43,24 @@ class TestEventValidation:
     def test_resize_rejects_zero_gpus(self):
         with pytest.raises(ValueError):
             ResizeEvent(iteration=1, num_gpus=0)
+
+    def test_domain_failure_needs_a_domain(self):
+        with pytest.raises(ValueError):
+            DomainFailureEvent(time_s=10.0, domain="")
+        with pytest.raises(ValueError):
+            DomainFailureEvent(time_s=-1.0, domain="rack0")
+
+    def test_spot_reclaim_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            SpotReclaimEvent(time_s=10.0, gpus=0)
+        with pytest.raises(ValueError):
+            SpotReclaimEvent(time_s=10.0, gpus=8, duration_s=0.0)
+
+    def test_maintenance_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            MaintenanceEvent(time_s=10.0, duration_s=0.0, domain="rack0")
+        with pytest.raises(ValueError):
+            MaintenanceEvent(time_s=10.0, duration_s=60.0, domain="")
 
 
 class TestEventTrace:
@@ -85,3 +106,66 @@ class TestEventTrace:
     def test_empty_trace_is_falsy(self):
         assert not EventTrace()
         assert len(EventTrace()) == 0
+
+
+class TestSchemaV2:
+    def trace(self) -> EventTrace:
+        return EventTrace([
+            SpotReclaimEvent(time_s=300.0, gpus=8, duration_s=1200.0),
+            DomainFailureEvent(time_s=90.0, domain="rack1"),
+            FailureEvent(time_s=120.0, gpus_lost=2),
+            MaintenanceEvent(time_s=30.0, duration_s=600.0, domain="rack0"),
+        ])
+
+    def test_v1_only_trace_has_no_version_marker(self):
+        import json
+
+        text = EventTrace([FailureEvent(time_s=60.0)]).to_json()
+        assert "version" not in json.loads(text)
+
+    def test_v2_trace_carries_version_marker(self):
+        import json
+
+        payload = json.loads(self.trace().to_json())
+        assert payload["version"] == 2
+        assert self.trace().schema_version == 2
+
+    def test_v2_round_trip(self, tmp_path):
+        trace = self.trace()
+        path = tmp_path / "trace.json"
+        trace.to_json(path)
+        assert EventTrace.from_json(path).events == trace.events
+
+    def test_timed_events_sorted_across_kinds(self):
+        kinds = [type(e).__name__ for e in self.trace().timed_events]
+        assert kinds == [
+            "MaintenanceEvent",
+            "DomainFailureEvent",
+            "FailureEvent",
+            "SpotReclaimEvent",
+        ]
+
+    def test_selectors(self):
+        trace = self.trace()
+        assert [d.domain for d in trace.domain_failures] == ["rack1"]
+        assert len(trace.outages) == 2
+
+    def test_from_json_rejects_unknown_version(self):
+        with pytest.raises(ValueError, match="version"):
+            EventTrace.from_json('{"version": 9, "events": []}')
+
+
+class TestFromJsonSources:
+    def test_accepts_bare_array_payload(self):
+        trace = EventTrace.from_json(
+            '[{"kind": "failure", "time_s": 5.0, "gpus_lost": 1}]'
+        )
+        assert [f.time_s for f in trace.failures] == [5.0]
+
+    def test_rejects_unreadable_source_with_clear_error(self):
+        with pytest.raises(ValueError, match="neither inline JSON"):
+            EventTrace.from_json("/no/such/trace.json")
+
+    def test_rejects_non_list_payload(self):
+        with pytest.raises(ValueError):
+            EventTrace.from_json('{"events": {"kind": "failure"}}')

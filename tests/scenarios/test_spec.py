@@ -20,6 +20,8 @@ class TestValidation:
         {"gpus_lost_per_failure": 0},
         {"repair_seconds": -1.0},
         {"replan_seconds": -1.0},
+        {"restart_seconds": -1.0},
+        {"checkpoint_load_seconds": -1.0},
     ])
     def test_rejects_invalid(self, kwargs):
         with pytest.raises(ValueError):
@@ -104,6 +106,7 @@ class TestCanonical:
             ("straggler_iterations", 7), ("elastic", True),
             ("repair_seconds", 7.0), ("replan_seconds", 7.0),
             ("sample_iterations", 7), ("seed", 7),
+            ("pack", "blast-radius"),
         ]:
             changed = ScenarioSpec(**{change: value}).canonical()
             assert changed != base, f"{change} not in canonical form"
