@@ -293,6 +293,35 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker processes (default: one per core; 1 = serial)",
     )
     parser.add_argument(
+        "--trial-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-trial wall-clock limit; overrunning trials are killed "
+             "and retried on a fresh worker (default: unlimited)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="retries per trial on transient faults — worker death, "
+             "timeout, stalled heartbeat (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--poison-after", type=int, default=2, metavar="N",
+        help="quarantine a trial as poisoned once it has crashed this "
+             "many workers (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted campaign from its journal instead "
+             "of re-executing finished trials",
+    )
+    parser.add_argument(
+        "--no-journal", action="store_true",
+        help="skip the durable campaign journal (disables --resume)",
+    )
+    parser.add_argument(
+        "--fail-on-error", action="store_true",
+        help="exit non-zero if any trial fails (for CI; default: only "
+             "when no trial succeeds)",
+    )
+    parser.add_argument(
         "--name", default="sweep", help="campaign label"
     )
     parser.add_argument(
@@ -481,6 +510,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         Axis,
         CampaignRunner,
         ResultCache,
+        RetryPolicy,
         SweepSpec,
         print_progress,
     )
@@ -521,12 +551,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         spec.base = {**spec.base, **fleet_base}
         spec.axes = list(spec.axes) + fleet_axes
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    try:
+        retry = RetryPolicy(
+            max_attempts=max(1, args.retries + 1),
+            poison_after=args.poison_after,
+        )
+    except ValueError as exc:
+        print(f"repro sweep: error: {exc}", file=sys.stderr)
+        return 2
     runner = CampaignRunner(
         spec,
         cache=cache,
         processes=args.jobs,
         progress=None if args.quiet else print_progress,
         derive_seeds=args.derive_seeds,
+        timeout=args.trial_timeout,
+        retry=retry,
+        journal_dir=None if args.no_journal else args.cache_dir,
+        resume=args.resume,
     )
     with _obs_session(args):
         campaign = runner.run()
@@ -547,8 +589,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.output:
         frame.to_json(args.output)
         print(f"results written to {args.output}")
-    # Exit non-zero only when nothing succeeded (partial grids are
-    # normal: e.g. Megatron-LM is infeasible on tiny clusters).
+    if campaign.interrupted:
+        print(
+            "sweep interrupted; re-run with --resume to continue",
+            file=sys.stderr,
+        )
+        return 130
+    if args.fail_on_error and campaign.failed:
+        return 1
+    # Exit non-zero when every *executed* trial failed (a wedged grid
+    # hiding behind cache hits must not look green to CI) or when
+    # nothing at all succeeded. Partial grids stay normal: e.g.
+    # Megatron-LM is infeasible on tiny clusters.
+    executed_ok = any(
+        r.ok and not r.cached and not r.resumed for r in campaign.records
+    )
+    if campaign.executed and not executed_ok:
+        return 1
     return 1 if campaign.records and not campaign.ok_records else 0
 
 
@@ -788,6 +845,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     if not frame:
         print(f"no results in {source} match")
         return 1
+    if args.failures:
+        return _report_failures(frame, source)
 
     available = set(frame.columns)
     columns = [c for c in REPORT_COLUMNS if c in available]
@@ -831,6 +890,30 @@ def cmd_report(args: argparse.Namespace) -> int:
         frame.to_json(args.json)
         print(f"JSON written to {args.json}")
     return 0
+
+
+def _report_failures(frame, source: str) -> int:
+    """One block per failed trial: parameters, error, trimmed traceback."""
+    from repro.experiments.spec import KNOWN_PARAMS
+
+    failures = frame.filter(lambda row: row.get("status") != "ok")
+    if not failures:
+        print(f"no failed trials in {source}")
+        return 0
+    print(f"{len(failures)} failed trials in {source}:")
+    for row in failures:
+        params = ", ".join(
+            f"{key}={row[key]}"
+            for key in sorted(row)
+            if key in KNOWN_PARAMS and row.get(key) is not None
+        )
+        print(f"\n[{row.get('status', 'failed')}] {params}")
+        if row.get("error"):
+            print(f"  error: {row['error']}")
+        trace = row.get("traceback") or ""
+        for line in trace.splitlines():
+            print(f"  | {line}")
+    return 1
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -1103,6 +1186,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument(
         "--ok-only", action="store_true", help="drop failed trials"
+    )
+    report_parser.add_argument(
+        "--failures", action="store_true",
+        help="list failed trials with their errors and tracebacks "
+             "instead of the metrics table",
     )
     report_parser.add_argument(
         "--metrics", nargs="+", default=None,

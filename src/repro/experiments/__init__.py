@@ -33,6 +33,8 @@ from repro.experiments.spec import (
     config_hash,
 )
 from repro.experiments.cache import ResultCache
+from repro.experiments.chaos import ChaosRule
+from repro.experiments.journal import CampaignJournal, campaign_key
 from repro.experiments.runner import (
     CampaignResult,
     CampaignRunner,
@@ -41,6 +43,7 @@ from repro.experiments.runner import (
     print_progress,
 )
 from repro.experiments.results import ResultFrame
+from repro.experiments.supervisor import RetryPolicy, SupervisedExecutor
 
 __all__ = [
     "SCENARIO_PARAMS",
@@ -52,8 +55,13 @@ __all__ = [
     "canonical_json",
     "config_hash",
     "ResultCache",
+    "CampaignJournal",
+    "campaign_key",
     "CampaignRunner",
     "CampaignResult",
+    "ChaosRule",
+    "RetryPolicy",
+    "SupervisedExecutor",
     "TrialRecord",
     "derive_trial_seed",
     "print_progress",

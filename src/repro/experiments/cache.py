@@ -10,6 +10,7 @@ atomic (temp file + rename) so a killed run never leaves a torn entry.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -19,7 +20,21 @@ from typing import Dict, Iterator, List, Optional, Union
 from repro.obs import instrument as obs
 
 #: Bump when the record layout changes; older entries read as misses.
-CACHE_VERSION = 1
+#: v2 added the per-record content checksum.
+CACHE_VERSION = 2
+
+#: Hex digits kept from the record checksum (64 bits: plenty to catch
+#: torn writes and bit rot, which is all it guards against).
+CHECKSUM_LENGTH = 16
+
+
+def record_checksum(record: Dict) -> str:
+    """Content checksum of a record (excluding the checksum field)."""
+    payload = {
+        key: value for key, value in record.items() if key != "checksum"
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:CHECKSUM_LENGTH]
 
 
 class ResultCache:
@@ -44,27 +59,53 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict]:
         """The stored record for ``key``, or None on miss.
 
-        Torn, unreadable, or version-mismatched entries count as misses:
-        the trial simply re-executes and overwrites them.
+        Version-mismatched entries (older layouts) count as plain
+        misses: the trial re-executes and overwrites them. Torn,
+        undecodable, or checksum-mismatched entries are *corrupt*: they
+        are quarantined to ``<key>.json.corrupt`` (preserving the
+        evidence instead of silently overwriting it), counted under
+        ``cache.results.corrupt``, and then treated as misses.
         """
         path = self.path_for(key)
         try:
-            with path.open("r", encoding="utf-8") as handle:
-                record = json.load(handle)
-        except (OSError, ValueError, UnicodeDecodeError):
-            # ValueError covers JSONDecodeError; UnicodeDecodeError (a
-            # ValueError subclass) is listed for clarity — any unreadable
-            # byte stream is a miss, never a crash.
+            raw = path.read_bytes()
+        except FileNotFoundError:
             obs.count("cache.results.misses")
             return None
-        if not isinstance(record, dict):
+        except OSError:
+            # Unreadable but present (permissions, I/O error): a miss,
+            # never a crash — and nothing to safely quarantine.
             obs.count("cache.results.misses")
+            return None
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            # ValueError covers JSONDecodeError; UnicodeDecodeError (a
+            # ValueError subclass) is listed for clarity.
+            self._quarantine(key, path, "undecodable")
+            return None
+        if not isinstance(record, dict):
+            self._quarantine(key, path, "not a record")
             return None
         if record.get("cache_version") != CACHE_VERSION:
             obs.count("cache.results.misses")
             return None
+        stored = record.get("checksum")
+        if stored != record_checksum(record):
+            self._quarantine(key, path, "checksum mismatch")
+            return None
         obs.count("cache.results.hits")
         return record
+
+    def _quarantine(self, key: str, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside as ``<key>.json.corrupt``."""
+        obs.count("cache.results.corrupt")
+        obs.count("cache.results.misses")
+        obs.event("cache.quarantine", key=key, reason=reason)
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            pass  # racing reader already moved (or removed) it
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None
@@ -100,6 +141,7 @@ class ResultCache:
         path = self.path_for(key)
         payload = dict(record)
         payload["cache_version"] = CACHE_VERSION
+        payload["checksum"] = record_checksum(payload)
         fd, tmp_name = tempfile.mkstemp(
             dir=self.root, prefix=f".{key}.", suffix=".tmp"
         )

@@ -1,0 +1,152 @@
+"""Durable campaign journal: crash-safe record of terminal outcomes.
+
+The :class:`~repro.experiments.cache.ResultCache` only persists *ok*
+records (failures must re-execute when their config changes), so an
+interrupted or killed campaign used to forget every failed, timed-out,
+and poisoned trial it had already paid for. The journal closes that
+gap: one append-only JSONL file per campaign, living beside the result
+cache, to which the runner appends every terminal outcome the moment it
+is known — ``ok``, ``failed``, ``timed-out``, and ``poisoned`` alike.
+
+``repro sweep --resume`` replays the journal: every trial whose cache
+key has a journaled terminal record is reconstructed instead of
+re-executed, so a SIGINT/SIGTERM'd (or power-cut) campaign continues
+exactly where it stopped and converges on the same record set an
+uninterrupted run would have produced.
+
+Durability model: each record is one JSON line written with
+``flush`` + ``fsync``; a crash can tear at most the final line, which
+:meth:`CampaignJournal.load` skips. The file is named by the campaign
+key — a content hash of the sorted trial cache keys — so re-running the
+same grid (regardless of ``--name``) finds its own journal, and any
+change to the grid starts a fresh one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+#: Bump when the journal line layout changes; older files are ignored.
+JOURNAL_VERSION = 1
+
+#: Trial statuses a journal line may carry (everything terminal).
+TERMINAL_STATUSES = ("ok", "failed", "timed-out", "poisoned")
+
+
+def campaign_key(trial_keys: Iterable[str]) -> str:
+    """Stable identity of a campaign: hash of its sorted trial keys.
+
+    Independent of trial order, campaign name, and execution options,
+    so a resumed run only has to rebuild the same grid to find its
+    journal.
+    """
+    payload = json.dumps(sorted(trial_keys), separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+class CampaignJournal:
+    """Append-only JSONL log of one campaign's terminal trial records."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def for_campaign(
+        cls, root: Union[str, Path], key: str
+    ) -> "CampaignJournal":
+        """The canonical journal location beside a result cache."""
+        return cls(Path(root) / f"journal-{key}.jsonl")
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # ------------------------------------------------------------------ #
+    # Write side
+    # ------------------------------------------------------------------ #
+    def start(self, campaign: str, total: int) -> None:
+        """Truncate and write the meta header for a fresh run."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "journal_version": JOURNAL_VERSION,
+            "campaign": campaign,
+            "total_trials": total,
+        }
+        with self.path.open("w", encoding="utf-8") as handle:
+            handle.write(_line(meta))
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append(self, key: str, record: Dict) -> None:
+        """Durably append one terminal record (atomic at line level)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(_line({"key": key, "record": record}))
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def remove(self) -> bool:
+        """Delete the journal file; True if it existed."""
+        try:
+            self.path.unlink()
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+    def meta(self) -> Optional[Dict]:
+        """The header of the journal, or None when absent/foreign."""
+        for entry in self._entries():
+            if entry.get("journal_version") == JOURNAL_VERSION:
+                return entry
+            return None
+        return None
+
+    def load(self) -> Dict[str, Dict]:
+        """Terminal records by trial cache key (last write wins).
+
+        Torn or undecodable lines — at most the final one after a
+        crash — are skipped, as are records with unknown statuses.
+        """
+        records: Dict[str, Dict] = {}
+        for entry in self._entries():
+            key = entry.get("key")
+            record = entry.get("record")
+            if not key or not isinstance(record, dict):
+                continue
+            if record.get("status") not in TERMINAL_STATUSES:
+                continue
+            records[str(key)] = record
+        return records
+
+    def _entries(self):
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn tail of a crashed append
+            if isinstance(entry, dict):
+                yield entry
+
+
+def _line(payload: Dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "TERMINAL_STATUSES",
+    "CampaignJournal",
+    "campaign_key",
+]

@@ -31,7 +31,7 @@ from repro.experiments.runner import TrialRecord
 from repro.experiments.spec import KNOWN_PARAMS
 
 #: Row keys that come from the record envelope rather than params/metrics.
-META_COLUMNS = ("status", "config_hash", "error")
+META_COLUMNS = ("status", "config_hash", "error", "traceback")
 
 Row = Dict[str, Any]
 
@@ -44,6 +44,7 @@ def _flatten(record: Union[TrialRecord, Mapping[str, Any]]) -> Row:
     row["status"] = record.get("status", "failed")
     row["config_hash"] = record.get("config_hash", "")
     row["error"] = record.get("error", "")
+    row["traceback"] = record.get("traceback", "")
     return row
 
 
@@ -289,6 +290,7 @@ class ResultFrame:
                 "status": row.get("status", "failed"),
                 "config_hash": row.get("config_hash", ""),
                 "error": row.get("error", ""),
+                "traceback": row.get("traceback", ""),
             }
             record.update(extra)
             records.append(record)

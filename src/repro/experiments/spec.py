@@ -30,7 +30,17 @@ import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.config import DistTrainConfig
 from repro.pipeline.schedules import ScheduleKind
@@ -429,11 +439,15 @@ class SweepSpec:
             grid; :class:`ZippedAxes` groups advance in lockstep.
         base: Parameters shared by every trial (overridden by axes).
         name: Campaign label for reports and progress lines.
+        trial_timeout: Per-trial wall-clock limit in seconds, enforced
+            by the supervised runner (None = unlimited). Execution
+            policy, not task identity: it does not enter cache keys.
     """
 
     axes: Sequence[AxisLike] = field(default_factory=list)
     base: Mapping[str, Any] = field(default_factory=dict)
     name: str = "campaign"
+    trial_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         seen: Dict[str, str] = {}
@@ -473,6 +487,7 @@ class SweepSpec:
         gpus: Sequence[int],
         gbs: Union[int, Sequence[int]],
         name: str = "campaign",
+        trial_timeout: Optional[float] = None,
         **base: Any,
     ) -> "SweepSpec":
         """Build the canonical models x systems x cluster-sizes sweep.
@@ -496,4 +511,6 @@ class SweepSpec:
         else:
             base = {**base, "gbs": gbs}
             axes.append(Axis("gpus", gpus))
-        return cls(axes=axes, base=base, name=name)
+        return cls(
+            axes=axes, base=base, name=name, trial_timeout=trial_timeout
+        )

@@ -86,3 +86,68 @@ class TestResultCache:
         stray.write_text("[]", encoding="utf-8")
         assert cache.clear() == 1
         assert stray.exists()
+
+
+class TestIntegrity:
+    def corrupt_path(self, cache):
+        return cache.root / f"{KEY}.json.corrupt"
+
+    def test_tampered_record_is_quarantined(self, cache):
+        cache.put(KEY, {"status": "ok", "metrics": {"mfu": 0.5}})
+        path = cache.path_for(KEY)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["metrics"]["mfu"] = 0.99  # bit rot / manual edit
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get(KEY) is None
+        assert not path.exists()
+        assert self.corrupt_path(cache).exists()
+
+    def test_torn_entry_is_quarantined(self, cache):
+        cache.put(KEY, {"status": "ok"})
+        cache.path_for(KEY).write_text("{not json", encoding="utf-8")
+        assert cache.get(KEY) is None
+        assert self.corrupt_path(cache).exists()
+
+    def test_quarantined_entries_invisible_to_keys(self, cache):
+        cache.put(KEY, {"status": "ok"})
+        cache.path_for(KEY).write_text("{not json", encoding="utf-8")
+        cache.get(KEY)
+        assert cache.keys() == []
+        assert cache.load_all() == []
+
+    def test_rewrite_after_quarantine(self, cache):
+        cache.put(KEY, {"status": "ok", "metrics": {"mfu": 0.1}})
+        cache.path_for(KEY).write_text("{not json", encoding="utf-8")
+        assert cache.get(KEY) is None
+        cache.put(KEY, {"status": "ok", "metrics": {"mfu": 0.2}})
+        assert cache.get(KEY)["metrics"]["mfu"] == 0.2
+        assert self.corrupt_path(cache).exists()  # evidence preserved
+
+    def test_version_mismatch_is_not_quarantined(self, cache):
+        # Old-layout entries are legitimate misses, not corruption.
+        cache.path_for(KEY).write_text(
+            json.dumps({"status": "ok", "cache_version": CACHE_VERSION + 1}),
+            encoding="utf-8",
+        )
+        assert cache.get(KEY) is None
+        assert not self.corrupt_path(cache).exists()
+
+    def test_corruption_counter(self, cache):
+        from repro.obs import METRICS, instrument
+
+        cache.put(KEY, {"status": "ok"})
+        cache.path_for(KEY).write_text("{not json", encoding="utf-8")
+        with instrument.session(metrics=True):
+            assert cache.get(KEY) is None
+            assert METRICS.counter_value("cache.results.corrupt") == 1
+            assert METRICS.counter_value("cache.results.misses") == 1
+
+    def test_checksum_round_trip(self, cache):
+        from repro.experiments.cache import record_checksum
+
+        cache.put(KEY, {"status": "ok", "metrics": {"mfu": 0.5}})
+        stored = json.loads(
+            cache.path_for(KEY).read_text(encoding="utf-8")
+        )
+        assert stored["checksum"] == record_checksum(stored)
+        assert cache.get(KEY) is not None

@@ -1,0 +1,109 @@
+"""Chaos-harness rule matching, serialization, and injection hooks.
+
+Process-lethal actions (``kill``, ``exit``, ``stall``) are exercised
+end-to-end against real workers in ``test_supervisor.py``; here we only
+fire the in-process-safe ones.
+"""
+
+import pytest
+
+from repro.experiments import chaos
+from repro.experiments.runner import execute_trial
+
+PARAMS = {"model": "mllm-9b", "gpus": 32, "gbs": 8, "system": "disttrain"}
+
+
+@pytest.fixture(autouse=True)
+def clean_chaos(monkeypatch):
+    monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+    yield
+    chaos.uninstall()
+
+
+class TestChaosRule:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            chaos.ChaosRule("explode")
+
+    def test_matches_param_subset(self):
+        rule = chaos.ChaosRule("fail", match={"gpus": 32})
+        assert rule.matches(0, PARAMS, attempt=0)
+        assert not rule.matches(0, {**PARAMS, "gpus": 48}, attempt=0)
+
+    def test_matches_index(self):
+        rule = chaos.ChaosRule("fail", match={"index": 2})
+        assert rule.matches(2, PARAMS, attempt=0)
+        assert not rule.matches(3, PARAMS, attempt=0)
+
+    def test_times_limits_attempts(self):
+        rule = chaos.ChaosRule("fail", times=2)
+        assert rule.matches(0, PARAMS, attempt=0)
+        assert rule.matches(0, PARAMS, attempt=1)
+        assert not rule.matches(0, PARAMS, attempt=2)
+
+    def test_negative_times_always_fires(self):
+        rule = chaos.ChaosRule("fail", times=-1)
+        assert rule.matches(0, PARAMS, attempt=99)
+
+    def test_json_round_trip(self):
+        rules = (
+            chaos.ChaosRule("kill", match={"index": 0}, times=1),
+            chaos.ChaosRule("hang", seconds=5.0, times=-1),
+        )
+        text = chaos.rules_to_json(rules)
+        assert chaos.rules_from_json(text) == rules
+
+    def test_rules_from_json_rejects_non_list(self):
+        with pytest.raises(ValueError):
+            chaos.rules_from_json('{"action": "fail"}')
+
+
+class TestInjection:
+    def test_noop_without_rules(self):
+        chaos.maybe_inject(0, PARAMS, attempt=0)  # must not raise
+
+    def test_installed_fail_rule_raises(self):
+        chaos.install([chaos.ChaosRule("fail")])
+        with pytest.raises(chaos.ChaosError):
+            chaos.maybe_inject(0, PARAMS, attempt=0)
+
+    def test_uninstall_deactivates(self):
+        chaos.install([chaos.ChaosRule("fail")])
+        chaos.uninstall()
+        chaos.maybe_inject(0, PARAMS, attempt=0)
+
+    def test_env_rules_apply(self, monkeypatch):
+        monkeypatch.setenv(
+            chaos.ENV_VAR,
+            chaos.rules_to_json([chaos.ChaosRule("fail")]),
+        )
+        with pytest.raises(chaos.ChaosError):
+            chaos.maybe_inject(0, PARAMS, attempt=0)
+        assert len(chaos.active_rules()) == 1
+
+    def test_installed_rules_win_over_env(self, monkeypatch):
+        monkeypatch.setenv(
+            chaos.ENV_VAR,
+            chaos.rules_to_json([chaos.ChaosRule("fail")]),
+        )
+        chaos.install([])
+        chaos.maybe_inject(0, PARAMS, attempt=0)  # env masked: no raise
+
+    def test_interrupt_action_raises_keyboard_interrupt(self):
+        chaos.install([chaos.ChaosRule("interrupt")])
+        with pytest.raises(KeyboardInterrupt):
+            chaos.maybe_inject(0, PARAMS, attempt=0)
+
+    def test_delay_runs_trial_normally(self):
+        chaos.install([chaos.ChaosRule("delay", seconds=0.01)])
+        _, record = execute_trial((0, dict(PARAMS), "ab12" * 5))
+        assert record["status"] == "ok"
+
+    def test_fail_records_trial_failure(self):
+        # The canonical integration point: a chaos failure surfaces as
+        # a deterministic failed record, never an exception.
+        chaos.install([chaos.ChaosRule("fail")])
+        _, record = execute_trial((0, dict(PARAMS), "ab12" * 5))
+        assert record["status"] == "failed"
+        assert "ChaosError" in record["error"]
+        assert "ChaosError" in record["traceback"]

@@ -75,6 +75,97 @@ class TestSweep:
         ])
         assert code == 1
 
+    def test_all_executed_failed_exits_nonzero_despite_cache_hits(
+        self, cache_dir, tmp_path, capsys
+    ):
+        # Run 1 caches the feasible half of the grid.
+        code = main([
+            "sweep", "--models", "mllm-9b", "--systems", "disttrain",
+            "--gpus", "16", "--gbs", "8",
+            "--cache-dir", cache_dir, "--jobs", "1", "--quiet",
+        ])
+        assert code == 0
+        # Run 2 executes only the infeasible half: every *executed*
+        # trial fails, and cache hits must not hide that from CI.
+        code = main([
+            "sweep", "--models", "mllm-9b",
+            "--systems", "disttrain", "megatron-lm",
+            "--gpus", "16", "--gbs", "8",
+            "--cache-dir", cache_dir, "--jobs", "1", "--quiet",
+        ])
+        assert code == 1
+
+    def test_fail_on_error_makes_partial_failure_fatal(
+        self, cache_dir, tmp_path, capsys
+    ):
+        args = [
+            "sweep", "--models", "mllm-9b",
+            "--systems", "disttrain", "megatron-lm",
+            "--gpus", "16", "--gbs", "8",
+            "--cache-dir", cache_dir, "--jobs", "1", "--quiet",
+        ]
+        # Partial grids are normal by default (disttrain succeeds)...
+        assert main(args) == 0
+        # ...but --fail-on-error makes any failure fatal.
+        assert main([*args, "--no-cache", "--fail-on-error"]) == 1
+
+
+class TestRobustness:
+    def test_interrupted_sweep_resumes_from_journal(
+        self, cache_dir, tmp_path, capsys, monkeypatch
+    ):
+        from repro.experiments import chaos
+
+        base = [
+            "sweep", "--models", "mllm-9b",
+            "--systems", "disttrain", "megatron-lm",
+            "--gpus", "32", "48", "--gbs", "8",
+            "--cache-dir", cache_dir, "--no-cache",
+            "--jobs", "1", "--quiet",
+        ]
+        # A SIGINT-style interrupt lands mid-campaign on trial 1.
+        monkeypatch.setenv(chaos.ENV_VAR, chaos.rules_to_json([
+            chaos.ChaosRule("interrupt", match={"index": 1}, times=1),
+        ]))
+        code = main(base)
+        err = capsys.readouterr().err
+        assert code == 130
+        assert "--resume" in err
+
+        # With the fault gone, --resume replays the journaled trial and
+        # finishes the rest instead of starting over.
+        monkeypatch.delenv(chaos.ENV_VAR)
+        code = main([*base, "--resume"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(3 executed, 0 cached, 1 resumed, 0 failed)" in out
+
+    def test_trial_timeout_records_timed_out_trial(
+        self, cache_dir, tmp_path, capsys, monkeypatch
+    ):
+        from repro.experiments import chaos
+
+        monkeypatch.setenv(chaos.ENV_VAR, chaos.rules_to_json([
+            chaos.ChaosRule(
+                "hang", match={"index": 0}, times=-1, seconds=30.0
+            ),
+        ]))
+        results = tmp_path / "timeout.json"
+        code = main([
+            "sweep", "--models", "mllm-9b",
+            "--systems", "disttrain", "megatron-lm",
+            "--gpus", "32", "48", "--gbs", "8",
+            "--cache-dir", cache_dir, "--no-cache",
+            "--jobs", "2", "--trial-timeout", "0.75", "--retries", "0",
+            "--quiet", "--output", str(results),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0  # other trials succeeded; not fatal by default
+        assert "1 failed" in out
+        payload = json.loads(results.read_text(encoding="utf-8"))
+        statuses = sorted(r["status"] for r in payload["records"])
+        assert statuses == ["ok", "ok", "ok", "timed-out"]
+
 
 class TestReport:
     def test_report_from_cache(self, cache_dir, tmp_path, capsys):
@@ -119,6 +210,38 @@ class TestReport:
         out = capsys.readouterr().out
         assert code == 0
         assert "4 results" in out
+
+    def test_report_failures_lists_errors_and_tracebacks(
+        self, cache_dir, tmp_path, capsys
+    ):
+        # Failures never reach the cache, so read the sweep export.
+        results = tmp_path / "mixed.json"
+        main([
+            "sweep", "--models", "mllm-9b",
+            "--systems", "disttrain", "megatron-lm",
+            "--gpus", "16", "--gbs", "8",
+            "--cache-dir", cache_dir, "--jobs", "1", "--quiet",
+            "--output", str(results),
+        ])
+        capsys.readouterr()
+        code = main([
+            "report", "--input", str(results), "--failures",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "1 failed trials" in out
+        assert "error:" in out
+        assert "Traceback" in out
+
+    def test_report_failures_empty_when_all_ok(
+        self, cache_dir, tmp_path, capsys
+    ):
+        run_sweep(cache_dir, tmp_path)
+        capsys.readouterr()
+        code = main(["report", "--cache-dir", cache_dir, "--failures"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no failed trials" in out
 
     def test_report_baseline_with_mixed_seeds(
         self, cache_dir, tmp_path, capsys

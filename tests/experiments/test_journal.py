@@ -1,0 +1,98 @@
+"""Durable campaign journal: append, replay, and crash tolerance."""
+
+import json
+
+from repro.experiments.journal import (
+    JOURNAL_VERSION,
+    CampaignJournal,
+    campaign_key,
+)
+
+KEYS = ["ab12" * 5, "cd34" * 5, "ef56" * 5]
+
+
+def record(status="ok", mfu=0.5):
+    return {
+        "params": {"model": "mllm-9b", "gpus": 32, "gbs": 8},
+        "config_hash": KEYS[0],
+        "status": status,
+        "metrics": {"mfu": mfu},
+        "error": "",
+        "traceback": "",
+        "elapsed_seconds": 0.1,
+    }
+
+
+class TestCampaignKey:
+    def test_order_independent(self):
+        assert campaign_key(KEYS) == campaign_key(reversed(KEYS))
+
+    def test_grid_changes_change_the_key(self):
+        assert campaign_key(KEYS) != campaign_key(KEYS[:2])
+
+
+class TestCampaignJournal:
+    def test_start_append_load(self, tmp_path):
+        journal = CampaignJournal.for_campaign(tmp_path, campaign_key(KEYS))
+        journal.start("demo", total=3)
+        journal.append(KEYS[0], record())
+        journal.append(KEYS[1], record(status="failed"))
+        loaded = journal.load()
+        assert set(loaded) == {KEYS[0], KEYS[1]}
+        assert loaded[KEYS[1]]["status"] == "failed"
+        meta = journal.meta()
+        assert meta["campaign"] == "demo"
+        assert meta["total_trials"] == 3
+        assert meta["journal_version"] == JOURNAL_VERSION
+
+    def test_for_campaign_names_by_key(self, tmp_path):
+        key = campaign_key(KEYS)
+        journal = CampaignJournal.for_campaign(tmp_path, key)
+        assert journal.path.name == f"journal-{key}.jsonl"
+        # .jsonl keeps it invisible to ResultCache's *.json globbing.
+        assert journal.path.suffix == ".jsonl"
+
+    def test_last_write_wins(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.start("demo", total=1)
+        journal.append(KEYS[0], record(mfu=0.1))
+        journal.append(KEYS[0], record(mfu=0.9))
+        assert journal.load()[KEYS[0]]["metrics"]["mfu"] == 0.9
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.start("demo", total=2)
+        journal.append(KEYS[0], record())
+        with journal.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "cd34cd34cd34cd34cd34", "rec')  # crash
+        loaded = journal.load()
+        assert set(loaded) == {KEYS[0]}
+        assert journal.meta() is not None
+
+    def test_unknown_status_is_skipped(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.start("demo", total=1)
+        journal.append(KEYS[0], record(status="running"))
+        assert journal.load() == {}
+
+    def test_start_truncates_previous_run(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.start("demo", total=1)
+        journal.append(KEYS[0], record())
+        journal.start("demo", total=1)
+        assert journal.load() == {}
+
+    def test_missing_file(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "absent.jsonl")
+        assert not journal.exists()
+        assert journal.load() == {}
+        assert journal.meta() is None
+        assert journal.remove() is False
+
+    def test_foreign_version_reads_as_absent_meta(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            json.dumps({"journal_version": JOURNAL_VERSION + 1}) + "\n",
+            encoding="utf-8",
+        )
+        assert CampaignJournal(path).meta() is None

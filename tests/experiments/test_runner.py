@@ -193,3 +193,113 @@ class TestParallelPath:
         assert [deterministic(r) for r in parallel.records] == [
             deterministic(r) for r in serial.records
         ]
+
+
+class _FakeContext:
+    """A multiprocessing context whose Pool fails in a chosen way."""
+
+    def __init__(self, pool_factory):
+        self._pool_factory = pool_factory
+
+    def Pool(self, processes):
+        return self._pool_factory()
+
+
+class _MidStreamPool:
+    """Delivers the first result, then dies like broken pool machinery."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def imap_unordered(self, fn, payloads, chunksize=1):
+        payloads = list(payloads)
+        yield fn(payloads[0])
+        raise RuntimeError("pool machinery failed mid-stream")
+
+
+class TestLegacyPoolFallback:
+    """The ``supervised=False`` escape hatch keeps its old degradation:
+    any pool-machinery failure finishes the remaining run serially."""
+
+    def _broken(self):
+        raise OSError("cannot spawn pool workers")
+
+    def test_pool_startup_failure_falls_back_to_serial(self, monkeypatch):
+        from repro.experiments import runner as runner_module
+
+        monkeypatch.setattr(
+            runner_module, "_pool_context",
+            lambda: _FakeContext(self._broken),
+        )
+        campaign = CampaignRunner(
+            TINY, cache=None, processes=2, supervised=False
+        ).run()
+        assert campaign.executed == 2
+        assert campaign.failed == 0
+        assert not campaign.interrupted
+
+    def test_mid_stream_pool_failure_completes_without_duplicates(
+        self, monkeypatch
+    ):
+        from repro.experiments import runner as runner_module
+
+        monkeypatch.setattr(
+            runner_module, "_pool_context",
+            lambda: _FakeContext(_MidStreamPool),
+        )
+        spec = SweepSpec(
+            name="fallback",
+            axes=[Axis("system", ["disttrain", "megatron-lm"]),
+                  Axis("gpus", [32, 48])],
+            base={"model": "mllm-9b", "gbs": 8},
+        )
+        campaign = CampaignRunner(
+            spec, cache=None, processes=2, supervised=False
+        ).run()
+        # The trial delivered before the failure is not re-executed, and
+        # every remaining trial completes exactly once.
+        assert campaign.executed == 4
+        assert len(campaign.records) == 4
+        assert campaign.failed == 0
+        hashes = [r.config_hash for r in campaign.records]
+        assert len(set(hashes)) == 4
+
+
+class TestTrialRecordTraceback:
+    def test_failed_trial_carries_trimmed_traceback(self, cache):
+        spec = SweepSpec(
+            name="failing",
+            base={"model": "mllm-9b", "gpus": 32, "gbs": 8,
+                  "frozen": "not-a-preset"},
+        )
+        campaign = CampaignRunner(spec, cache=cache, processes=1).run()
+        (failure,) = campaign.failures
+        assert "Traceback" in failure.traceback
+        assert failure.traceback.splitlines()[-1] in failure.error or (
+            failure.error in failure.traceback
+        )
+        assert failure.to_dict()["traceback"] == failure.traceback
+
+    def test_ok_trial_has_empty_traceback(self, cache):
+        campaign = CampaignRunner(TINY, cache=cache, processes=1).run()
+        assert all(r.traceback == "" for r in campaign.records)
+
+    def test_trim_keeps_the_raising_frame(self):
+        from repro.experiments.runner import trim_traceback
+
+        def deep(n):
+            if n == 0:
+                raise ValueError("bottom of the stack")
+            deep(n - 1)
+
+        try:
+            deep(60)
+        except ValueError as exc:
+            text = trim_traceback(exc, limit=10)
+        lines = text.splitlines()
+        assert len(lines) == 11  # 10 kept + the trim marker
+        assert "trimmed" in lines[0]
+        assert "bottom of the stack" in lines[-1]
