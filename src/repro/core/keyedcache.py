@@ -102,6 +102,25 @@ class KeyedCache:
         """Peek without counting or computing."""
         return self._entries.get(key)
 
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Resident keys in FIFO insertion order (oldest first)."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def resize(self, maxsize: int) -> None:
+        """Rebound the FIFO, evicting oldest entries if shrinking.
+
+        Counters are untouched: resizing is capacity planning (the
+        fleet engine sizes the jobstate cache from the fleet spec), not
+        a reset.
+        """
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        with self._lock:
+            self.maxsize = maxsize
+            while len(self._entries) > maxsize:
+                self._entries.pop(next(iter(self._entries)))
+
     def stats(self) -> Tuple[int, int]:
         """(hits, misses) snapshot."""
         return self.hits, self.misses

@@ -160,7 +160,11 @@ def execute_trial(payload: Tuple):
             # on the batched kernel path with a shared plan cache.
             from repro.fleet import run_fleet
 
-            metrics = run_fleet(fleet).metrics()
+            # Execution-side only: sharded (workers > 1) and in-process
+            # fleet runs are byte-identical, so the metrics — and the
+            # trial's cache key — are the same either way.
+            workers = int(params.get("fleet_workers", 1))
+            metrics = run_fleet(fleet, workers=workers).metrics()
         elif scenario is not None:
             # Dynamic-cluster trial: the scenario engine walks the full
             # multi-iteration timeline (failures, stragglers, elastic

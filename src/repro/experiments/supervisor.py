@@ -38,8 +38,6 @@ duplex pipe, so a SIGKILL can only ever tear that worker's own channel
 from __future__ import annotations
 
 import itertools
-import multiprocessing
-import os
 import signal
 import threading
 import time
@@ -48,6 +46,13 @@ from heapq import heappop, heappush
 from multiprocessing.connection import wait as _connection_wait
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.experiments.workers import (
+    WorkerHandle,
+    WorkerSpawnError,
+    describe_exit as _describe_exit,
+    mp_context as _mp_context,
+    start_heartbeat,
+)
 from repro.obs import instrument as obs
 
 #: Terminal trial statuses (shared with the runner and the journal).
@@ -112,11 +117,6 @@ class RetryPolicy:
 # --------------------------------------------------------------------- #
 # Worker process
 # --------------------------------------------------------------------- #
-def _heartbeat_loop(value, interval: float, stop: threading.Event) -> None:
-    while not stop.wait(interval):
-        value.value = time.monotonic()
-
-
 def _worker_main(conn, heartbeat, interval: float) -> None:
     """Long-lived worker: recv task, execute, send result, repeat.
 
@@ -124,10 +124,7 @@ def _worker_main(conn, heartbeat, interval: float) -> None:
     process group) leaves draining decisions to the supervisor.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    stop = threading.Event()
-    threading.Thread(
-        target=_heartbeat_loop, args=(heartbeat, interval, stop), daemon=True
-    ).start()
+    stop = start_heartbeat(heartbeat, interval)
     from repro.experiments.runner import execute_trial
 
     try:
@@ -165,13 +162,6 @@ class _WorkerSlot:
     @property
     def busy(self) -> bool:
         return self.task is not None
-
-
-def _mp_context():
-    """Prefer fork (inherits compiled kernels; cheap) where available."""
-    if "fork" in multiprocessing.get_all_start_methods():
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
 
 
 # --------------------------------------------------------------------- #
@@ -456,24 +446,18 @@ class SupervisedExecutor:
     # Worker lifecycle
     # ------------------------------------------------------------------ #
     def _spawn(self) -> _WorkerSlot:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        heartbeat = self._ctx.Value("d", time.monotonic(), lock=False)
-        process = self._ctx.Process(
-            target=_worker_main,
-            args=(child_conn, heartbeat, self.heartbeat_interval),
-            daemon=True,
-        )
         try:
-            process.start()
-        except OSError as exc:
-            parent_conn.close()
-            child_conn.close()
+            handle = WorkerHandle.spawn(
+                _worker_main,
+                context=self._ctx,
+                heartbeat_interval=self.heartbeat_interval,
+            )
+        except WorkerSpawnError as exc:
             raise SupervisorError(
                 f"cannot start supervised worker: {exc}"
             ) from exc
-        child_conn.close()
         obs.count("campaign.workers_spawned")
-        return _WorkerSlot(process, parent_conn, heartbeat)
+        return _WorkerSlot(handle.process, handle.conn, handle.heartbeat)
 
     def _kill(self, slot: _WorkerSlot) -> None:
         try:
@@ -535,20 +519,6 @@ class SupervisedExecutor:
             return
         for signum, handler in previous.items():
             signal.signal(signum, handler)
-
-
-def _describe_exit(code: Optional[int]) -> str:
-    if code is None:
-        return "exit status unknown"
-    if code < 0:
-        try:
-            name = signal.Signals(-code).name
-        except ValueError:
-            name = f"signal {-code}"
-        else:
-            name = f"signal {-code} ({name})"
-        return f"killed by {name}"
-    return f"exit code {code}"
 
 
 def _terminal_record(

@@ -133,6 +133,43 @@ def _cached_orchestration(
 #: alive through its private per-size table.
 STATE_CACHE = KeyedCache(maxsize=64, name="jobstate")
 
+#: Bounds for :func:`resize_state_cache`: never below the historical
+#: default, never above a ceiling that keeps a pathological
+#: every-job-distinct 1,000-tenant fleet from pinning thousands of
+#: compiled simulators in memory.
+STATE_CACHE_FLOOR = 64
+STATE_CACHE_CEILING = 1024
+
+#: Cluster-size oscillation headroom per distinct (task, demand) pair:
+#: an elastic job shrinks node-by-node after failures and re-grows, so
+#: one pair commonly touches a handful of sizes over a run.
+STATE_CACHE_SIZES_PER_PAIR = 4
+
+
+def resize_state_cache(distinct_pairs: int) -> int:
+    """Rebound :data:`STATE_CACHE` for a fleet's working set.
+
+    ``distinct_pairs`` is the number of distinct (task config, demand
+    size) pairs across the fleet's jobs; each gets
+    :data:`STATE_CACHE_SIZES_PER_PAIR` slots of elastic-shrink headroom,
+    clamped to [:data:`STATE_CACHE_FLOOR`, :data:`STATE_CACHE_CEILING`].
+    The pinned ``maxsize=64`` default thrashed on heterogeneous
+    1,000-job fleets — every eviction throws away a compiled simulator
+    plus K prepared batches some co-tenant is about to need again.
+    Returns the applied bound. Values are pure functions of their keys,
+    so resizing can never change results — only rebuild counts.
+    """
+    target = max(
+        STATE_CACHE_FLOOR,
+        min(
+            STATE_CACHE_CEILING,
+            STATE_CACHE_SIZES_PER_PAIR * max(1, int(distinct_pairs)),
+        ),
+    )
+    if target != STATE_CACHE.maxsize:
+        STATE_CACHE.resize(target)
+    return target
+
 
 @dataclass
 class _ClusterState:
@@ -263,6 +300,28 @@ class JobSimulator:
         self._batches: Optional[List[List[Any]]] = None
         self._plan_hits = 0
         self._plan_misses = 0
+        #: The slice of ``_plan_hits`` satisfied by the private per-size
+        #: ``_states`` table (no plan-cache consult). The sharded fleet
+        #: engine needs the split: these hits are process-local facts,
+        #: while real plan-cache hits/misses are re-derived on the
+        #: coordinator from the global fetch order.
+        self._states_hits = 0
+        self._states_hits_at_start = 0
+        #: Ordered log of every *successful* plan-cache consult:
+        #: ``(signature, bypassed, in_window)``. ``in_window`` marks
+        #: fetches between :meth:`start`'s counter snapshot and
+        #: :meth:`finish` — the ones the run-scoped hit/miss counters
+        #: cover. Shards drain this per operation so the coordinator can
+        #: replay the fleet-global fetch sequence against one modeled
+        #: cache and keep per-job counters byte-identical to a
+        #: single-process run.
+        self._fetch_log: List[Tuple[Tuple[Any, ...], bool, bool]] = []
+        self._counting = False
+        #: Lower bound on any future iteration's duration: min base
+        #: iteration time across every cluster state built so far. Every
+        #: committed iteration costs at least this (straggler factors
+        #: are >= 1), so it soundly bounds time-to-completion.
+        self._min_iter = float("inf")
         self._started = False
         self._paused = False
         self._preemptions = 0
@@ -298,6 +357,7 @@ class JobSimulator:
             # Already built this run — the plan (and prepared batches)
             # are reused without touching the orchestrator.
             self._plan_hits += 1
+            self._states_hits += 1
             return state
         # The plan cache is consulted (and counted) on every new-size
         # fetch, shared states included — a tenant reusing a co-tenant's
@@ -305,6 +365,13 @@ class JobSimulator:
         # would have.
         orchestration, was_hit = _cached_orchestration(
             self.config, num_gpus, use_cache=self.use_plan_cache
+        )
+        self._fetch_log.append(
+            (
+                planning_signature(self.config, num_gpus),
+                not self.use_plan_cache,
+                self._counting,
+            )
         )
         if was_hit:
             self._plan_hits += 1
@@ -319,6 +386,9 @@ class JobSimulator:
         else:
             state = self._build_state(num_gpus, orchestration)
         self._states[num_gpus] = state
+        fastest = min(result.iteration_time for result in state.base)
+        if fastest < self._min_iter:
+            self._min_iter = fastest
         return state
 
     def _build_state(self, num_gpus: int, orchestration) -> _ClusterState:
@@ -495,6 +565,8 @@ class JobSimulator:
 
         self._plan_hits_at_start = self._plan_hits
         self._plan_misses_at_start = self._plan_misses
+        self._states_hits_at_start = self._states_hits
+        self._counting = True
         self._cur = self._state(allocated_gpus)
         self._checkpointer = build_checkpointer(
             self._cur.orchestration.plan, self.checkpoint
@@ -606,6 +678,36 @@ class JobSimulator:
         for i in range(self.scenario.num_iterations):
             total += state.base[i % K].iteration_time
         return total
+
+    def completion_lower_bound(self) -> float:
+        """Earliest wall-clock at which this job could possibly finish.
+
+        ``clock + (remaining - 1) * min_iter``: before the *final*
+        step's boundary, at least ``remaining - 1`` full iterations
+        must commit, each costing at least the cheapest base iteration
+        of any cluster state built so far (straggler slowdowns are
+        >= 1, and failures, rollbacks, stalls, and capacity pauses only
+        add time). The sharded fleet engine uses this to bound how far
+        a shard may advance a tenant without risk of crossing another
+        tenant's completion decision.
+        """
+        if not self._started or self.done:
+            return self._clock
+        remaining = self._n - self._i
+        return self._clock + (remaining - 1) * self._min_iter
+
+    def drain_plan_fetches(
+        self,
+    ) -> List[Tuple[Tuple[Any, ...], bool, bool]]:
+        """Plan-cache consults since the last drain (shard bookkeeping).
+
+        Entries are ``(planning signature, bypassed, in_window)`` in
+        consult order; see ``_fetch_log``. Only the sharded engine
+        drains this — other drivers let the (tiny) log accrete.
+        """
+        log = self._fetch_log
+        self._fetch_log = []
+        return log
 
     def drain_fleet_events(self) -> List[Tuple[Any, ...]]:
         """Capacity changes since the last drain (fleet bookkeeping).
@@ -1081,6 +1183,7 @@ class JobSimulator:
     # ------------------------------------------------------------------ #
     def finish(self) -> ScenarioResult:
         """Build the job's :class:`ScenarioResult` after :attr:`done`."""
+        self._counting = False
         spec = self.scenario
         config = self.config
         n = self._n

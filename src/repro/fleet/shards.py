@@ -1,0 +1,663 @@
+"""Process-sharded fleet execution: shard workers + coordinator glue.
+
+The fleet event clock partitions by job except at scheduling decisions,
+so between decisions tenant timelines are independent — exactly the
+structure that shards across cores. ``FleetEngine(spec, workers=N)``
+partitions tenants round-robin across N long-lived worker processes
+(one :func:`_shard_main` each, supervised through the same
+:class:`~repro.experiments.workers.WorkerHandle` machinery as the
+campaign supervisor) and drives them in **rounds**:
+
+1. The coordinator computes a *sound horizon*: the lexicographic
+   minimum over running tenants of ``(completion_lower_bound, order)``.
+   No tenant can complete at a step key strictly below that cap, so
+   every shard may advance its local tenants while their
+   ``(clock, order)`` key stays below it (and below the next arrival)
+   without crossing a scheduling decision.
+2. Shards run the existing batched prepare/price/commit loop locally —
+   per-shard ``STATE_CACHE``, fused straggler pricing across local
+   tenants — and ship back compact digests (clock, bound, flags),
+   capacity events and plan-cache consults tagged with their global
+   step key.
+3. The coordinator applies events in global key order (reproducing the
+   single-process allocator sequence exactly), replays the plan-cache
+   consults against one :class:`PlanCacheModel` (so per-job hit/miss
+   counters stay byte-identical to a single-process run), and runs the
+   policy + :class:`~repro.cluster.allocation.GPUAllocator` exactly as
+   ``batched=True`` does, issuing resize/preempt/seat commands back to
+   the owning shards.
+4. When the cap owner sits exactly at its final boundary the
+   coordinator issues a single **probe step**: either the tenant
+   completes (a scheduling decision at the same clock the
+   single-process loop would use) or a failure pushes its clock out and
+   rounds continue.
+
+**Determinism contract.** Every step executes with identical per-tenant
+state in both modes and the global step order is the same total order
+``(clock, arrival order)`` the single-process heap pops, so the
+:class:`~repro.fleet.engine.FleetResult` from ``workers=N`` is
+byte-identical to ``batched=True``. Should a completion ever land
+*inside* a round (possible only if the lower bound were unsound), the
+coordinator discards the round, rebuilds every shard from its journal
+(deterministic replay of the spec + all finalized commands) and
+re-advances truncated strictly below the completion key — correctness
+degrades to a recompute, never to divergence.
+
+**Crash recovery.** A shard that dies (or whose heartbeat goes stale)
+is killed and respawned; the replacement replays the journal — init
+plus every finalized command — which deterministically rebuilds the
+shard's tenant states, then the in-flight command is re-issued. A
+``REPRO_CHAOS``-killed shard worker therefore converges to the
+identical result, just slower.
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+import signal
+import time
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.experiments import chaos
+from repro.experiments.workers import (
+    WorkerHandle,
+    WorkerSpawnError,
+    start_heartbeat,
+)
+from repro.obs import instrument as obs
+
+#: Parent-side poll slice while waiting for a shard reply: short enough
+#: to notice a death promptly, long enough to stay off the scheduler.
+_POLL_SECONDS = 0.05
+
+
+class ShardCrashError(RuntimeError):
+    """A shard worker died more times than the respawn budget allows."""
+
+
+class ShardProtocolError(RuntimeError):
+    """A shard worker reported an execution error (with its traceback)."""
+
+
+class _ShardDeath(Exception):
+    """Internal: the worker process died or went stale mid-command."""
+
+
+# --------------------------------------------------------------------- #
+# Coordinator-side plan-cache counter model
+# --------------------------------------------------------------------- #
+class PlanCacheModel:
+    """Bookkeeping-only replay of the process-wide plan cache.
+
+    In a single process, every ``JobSimulator`` plan consult lands on
+    one shared FIFO :class:`~repro.core.keyedcache.KeyedCache`, so a
+    tenant's hit/miss counters depend on the *global* consult order.
+    Shards each evolve a private cache (values are pure, so only speed
+    differs), and the coordinator replays the globally-ordered consult
+    stream — seeded with the real cache's resident keys at run start —
+    against this model to re-derive the counters a single-process run
+    would have reported. Only in-window consults (between a job's
+    ``start`` and ``finish``) count; every non-bypass consult still
+    evolves the modeled store.
+    """
+
+    def __init__(self, keys, maxsize: int):
+        self._keys: Dict[Hashable, None] = dict.fromkeys(keys)
+        self.maxsize = maxsize
+        self._hits: Dict[int, int] = {}
+        self._misses: Dict[int, int] = {}
+
+    def record(
+        self,
+        order: int,
+        signature: Hashable,
+        bypassed: bool,
+        in_window: bool,
+    ) -> None:
+        """Replay one consult by tenant ``order``; FIFO like the real
+        cache (bypass computes directly and touches nothing)."""
+        if bypassed:
+            hit = False
+        elif signature in self._keys:
+            hit = True
+        else:
+            hit = False
+            while len(self._keys) >= self.maxsize:
+                self._keys.pop(next(iter(self._keys)))
+            self._keys[signature] = None
+        if not in_window:
+            return
+        table = self._hits if hit else self._misses
+        table[order] = table.get(order, 0) + 1
+
+    def counts(self, order: int) -> Tuple[int, int]:
+        """(windowed hits, windowed misses) for one tenant."""
+        return self._hits.get(order, 0), self._misses.get(order, 0)
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------- #
+class _ShardWorker:
+    """One shard's tenant subset and command executor."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        jobs: List[Tuple[int, Any]],
+        use_plan_cache: bool,
+        state_cache_target: int,
+    ):
+        from repro.fleet.job import JobSimulator, STATE_CACHE
+
+        STATE_CACHE.resize(state_cache_target)
+        self.shard_id = shard_id
+        self.specs = dict(jobs)
+        # share_states mirrors the batched engine's setting: state
+        # sharing rides on the plan cache's purity contract.
+        self.sims = {
+            order: JobSimulator(
+                spec.config,
+                spec.scenario,
+                use_plan_cache=use_plan_cache,
+                share_states=use_plan_cache,
+                name=spec.name,
+            )
+            for order, spec in jobs
+        }
+        self._cache_baseline = STATE_CACHE.stats()
+
+    # ------------------------------------------------------------------ #
+    def handle(self, command: Tuple) -> Any:
+        name = command[0]
+        if name == "advance":
+            return self.advance(command[1], command[2])
+        if name == "step":
+            return self.step_one(command[1])
+        if name == "op":
+            return self.op(command[1], command[2], command[3])
+        if name == "feasible":
+            return self.feasible(command[1], command[2])
+        if name == "records":
+            return self.records(command[1], command[2])
+        if name == "stats":
+            return self.stats()
+        raise ValueError(f"unknown shard command {name!r}")
+
+    # ------------------------------------------------------------------ #
+    def _digest(self, order: int) -> Tuple:
+        sim = self.sims[order]
+        if not sim.started:
+            # Pre-start (a feasibility probe before any seat): the sim
+            # has no clock yet; the coordinator never reads these
+            # fields until the tenant runs.
+            return (order, 0.0, 0.0, False, False, False)
+        return (
+            order,
+            sim.clock,
+            sim.completion_lower_bound(),
+            sim.done,
+            sim.paused,
+            sim.started,
+        )
+
+    def _price_pending(self, lagging) -> None:
+        """Shard-local fused pricing (see ``FleetEngine._price_pending``).
+
+        Gathering only local tenants narrows the sweep but every priced
+        value is bit-identical to a private evaluation, so results are
+        unaffected — only batching efficiency.
+        """
+        from repro.fleet.job import price_pending_steps
+
+        first = lagging.prepare_step()
+        if first is None:
+            return
+        items = [first]
+        for order in sorted(self.sims):
+            sim = self.sims[order]
+            if (
+                sim is lagging
+                or not sim.started
+                or sim.paused
+                or sim.done
+            ):
+                continue
+            item = sim.prepare_step()
+            if item is not None:
+                items.append(item)
+        price_pending_steps(items)
+
+    def _drain(
+        self,
+        sim,
+        order: int,
+        clock: float,
+        step_idx: int,
+        events: List,
+        fetches: List,
+    ) -> None:
+        """Tag one committed step's events/consults with its global key.
+
+        ``step_idx`` (shard-local, monotonic) breaks ties between two
+        same-tenant steps at an unmoving clock; cross-tenant ties are
+        already broken by ``order``.
+        """
+        for seq, event in enumerate(sim.drain_fleet_events()):
+            events.append(((clock, order, step_idx, seq), event))
+        for seq, consult in enumerate(sim.drain_plan_fetches()):
+            fetches.append(((clock, order, step_idx, seq),) + consult)
+
+    def advance(
+        self,
+        cap: Optional[Tuple[float, int]],
+        arrival: Optional[float],
+    ) -> Dict[str, Any]:
+        """Advance local tenants while ``(clock, order) < cap`` and
+        ``clock < arrival``; report digests, tagged events/consults."""
+        t0 = time.perf_counter()
+        heap = [
+            (sim.clock, order)
+            for order, sim in self.sims.items()
+            if sim.started and not sim.done and not sim.paused
+        ]
+        heapq.heapify(heap)
+        events: List = []
+        fetches: List = []
+        stepped = set()
+        steps = 0
+        completed: Optional[Tuple[float, int]] = None
+        while heap:
+            clock, order = heap[0]
+            if arrival is not None and arrival <= clock:
+                break
+            if cap is not None and (clock, order) >= tuple(cap):
+                break
+            heapq.heappop(heap)
+            sim = self.sims[order]
+            self._price_pending(sim)
+            sim.step()
+            step_idx = steps
+            steps += 1
+            stepped.add(order)
+            self._drain(sim, order, clock, step_idx, events, fetches)
+            if sim.done:
+                # Unreachable under a sound lower bound; reported so the
+                # coordinator can truncate the round and rebuild.
+                completed = (clock, order)
+                break
+            if not sim.paused:
+                heapq.heappush(heap, (sim.clock, order))
+        return {
+            "digests": [self._digest(order) for order in sorted(stepped)],
+            "events": events,
+            "fetches": fetches,
+            "steps": steps,
+            "seconds": time.perf_counter() - t0,
+            "completed": completed,
+        }
+
+    def step_one(self, order: int) -> Dict[str, Any]:
+        """One probe step of one tenant (the cap owner at its final
+        boundary): either it completes or a failure pushes it out."""
+        t0 = time.perf_counter()
+        sim = self.sims[order]
+        clock = sim.clock
+        events: List = []
+        fetches: List = []
+        self._price_pending(sim)
+        sim.step()
+        self._drain(sim, order, clock, 0, events, fetches)
+        return {
+            "digests": [self._digest(order)],
+            "events": events,
+            "fetches": fetches,
+            "steps": 1,
+            "seconds": time.perf_counter() - t0,
+            "completed": (clock, order) if sim.done else None,
+        }
+
+    def op(self, order: int, name: str, args: Tuple) -> Dict[str, Any]:
+        """A fleet control (start/resume/apply_resize/preempt) on one
+        tenant, issued at a scheduling decision."""
+        if name not in ("start", "resume", "apply_resize", "preempt"):
+            raise ValueError(f"unknown fleet op {name!r}")
+        sim = self.sims[order]
+        getattr(sim, name)(*args)
+        return {
+            "digest": self._digest(order),
+            "fetches": sim.drain_plan_fetches(),
+        }
+
+    def feasible(self, order: int, num_gpus: int) -> Dict[str, Any]:
+        sim = self.sims[order]
+        value = sim.feasible(num_gpus)
+        return {
+            "value": value,
+            "digest": self._digest(order),
+            "fetches": sim.drain_plan_fetches(),
+        }
+
+    def records(self, node_gpus: int, total_gpus: int) -> Dict[str, Any]:
+        """Finish every local tenant and price its demand-size ideal
+        (the node-granular walk-down ``FleetEngine._records`` does)."""
+        rows = []
+        for order in sorted(self.sims):
+            sim = self.sims[order]
+            spec = self.specs[order]
+            result = sim.finish()  # snapshots run-scoped counters first
+            states_window = sim._states_hits - sim._states_hits_at_start
+            demand = min(spec.demand_gpus, total_gpus)
+            size = demand
+            while size >= node_gpus and not sim.feasible(size):
+                size -= node_gpus
+            if size >= node_gpus:
+                ideal_demand = sim.ideal_seconds_at(size)
+            else:
+                ideal_demand = result.ideal_seconds
+            # Post-finish consults are outside every counting window
+            # and the single-process run's counters never see them.
+            sim.drain_plan_fetches()
+            rows.append((order, result, ideal_demand, states_window))
+        return {"records": rows}
+
+    def stats(self) -> Dict[str, Any]:
+        from repro.fleet.job import STATE_CACHE
+
+        hits, misses = STATE_CACHE.stats()
+        return {
+            "state_cache_hits": hits - self._cache_baseline[0],
+            "state_cache_misses": misses - self._cache_baseline[1],
+            "state_cache_size": len(STATE_CACHE),
+            "state_cache_maxsize": STATE_CACHE.maxsize,
+        }
+
+
+def _shard_main(conn, heartbeat, interval: float) -> None:
+    """Long-lived shard worker: recv command, execute, send reply.
+
+    SIGINT is ignored (the coordinator decides draining); the heartbeat
+    thread stamps liveness while commands execute. Chaos rules match on
+    ``{"fleet_shard": id, "command": name}`` with the respawn
+    generation as the attempt, so a ``times=1`` kill rule fires once
+    and the replacement converges.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    stop = start_heartbeat(heartbeat, interval)
+    worker: Optional[_ShardWorker] = None
+    shard_id = -1
+    generation = 0
+    try:
+        while True:
+            try:
+                payload = conn.recv_bytes()
+            except (EOFError, OSError):
+                return
+            command = pickle.loads(payload)
+            if command is None:
+                return
+            heartbeat.value = time.monotonic()
+            try:
+                if command[0] == "init":
+                    _, shard_id, generation, jobs, use_cache, target = (
+                        command
+                    )
+                    worker = _ShardWorker(
+                        shard_id, jobs, use_cache, target
+                    )
+                    reply: Any = ("ok",)
+                else:
+                    chaos.maybe_inject(
+                        shard_id,
+                        {"fleet_shard": shard_id, "command": command[0]},
+                        generation,
+                    )
+                    assert worker is not None, "shard used before init"
+                    reply = worker.handle(command)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:  # noqa: BLE001 - shipped back
+                import traceback
+
+                reply = ("error", f"{exc!r}\n{traceback.format_exc()}")
+            try:
+                conn.send_bytes(
+                    pickle.dumps(reply, pickle.HIGHEST_PROTOCOL)
+                )
+            except (BrokenPipeError, OSError):
+                return
+    finally:
+        stop.set()
+
+
+# --------------------------------------------------------------------- #
+# Coordinator side
+# --------------------------------------------------------------------- #
+class ShardClient:
+    """Coordinator endpoint for one shard worker.
+
+    Owns the worker's :class:`WorkerHandle`, a journal of every
+    finalized command, and the respawn machinery: a worker that dies or
+    goes heartbeat-stale mid-command is killed, a replacement spawned,
+    the journal replayed (deterministically rebuilding shard state from
+    the spec), and the in-flight command re-issued. All traffic is
+    explicit pickle over ``send_bytes``/``recv_bytes`` so sync volume
+    is counted exactly (:attr:`sync_bytes`).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        jobs: List[Tuple[int, Any]],
+        use_plan_cache: bool,
+        state_cache_target: int,
+        context=None,
+        heartbeat_timeout: Optional[float] = 30.0,
+        max_respawns: int = 5,
+    ):
+        self.shard_id = shard_id
+        self._jobs = list(jobs)
+        self._use_plan_cache = use_plan_cache
+        self._state_cache_target = state_cache_target
+        self._ctx = context
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_respawns = max_respawns
+        self.journal: List[Tuple] = []
+        self.generation = -1
+        self.sync_bytes = 0
+        self.respawns = 0
+        self._handle: Optional[WorkerHandle] = None
+        self._inflight: Optional[Tuple] = None
+
+    # ------------------------------------------------------------------ #
+    # Raw pipe I/O
+    # ------------------------------------------------------------------ #
+    def _send(self, command: Tuple) -> None:
+        assert self._handle is not None
+        data = pickle.dumps(command, pickle.HIGHEST_PROTOCOL)
+        self.sync_bytes += len(data)
+        try:
+            self._handle.conn.send_bytes(data)
+        except (BrokenPipeError, OSError) as exc:
+            raise _ShardDeath(str(exc)) from exc
+
+    def _recv(self) -> Any:
+        assert self._handle is not None
+        handle = self._handle
+        while True:
+            try:
+                if handle.conn.poll(_POLL_SECONDS):
+                    break
+            except OSError as exc:
+                raise _ShardDeath(str(exc)) from exc
+            if not handle.alive:
+                raise _ShardDeath(handle.exit_description())
+            if (
+                self.heartbeat_timeout is not None
+                and handle.heartbeat_age() > self.heartbeat_timeout
+            ):
+                obs.event(
+                    "shard.hung", shard=self.shard_id,
+                    stale=handle.heartbeat_age(),
+                )
+                handle.kill()
+                raise _ShardDeath(
+                    f"heartbeat stalled beyond "
+                    f"{self.heartbeat_timeout:.1f}s"
+                )
+        try:
+            data = handle.conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise _ShardDeath(str(exc)) from exc
+        self.sync_bytes += len(data)
+        reply = pickle.loads(data)
+        if isinstance(reply, tuple) and reply and reply[0] == "error":
+            raise ShardProtocolError(
+                f"shard {self.shard_id} command failed: {reply[1]}"
+            )
+        return reply
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Spawn the worker and initialize its tenant subset."""
+        self._boot()
+
+    def _boot(self) -> None:
+        """Spawn + init + journal replay (fresh or replacement)."""
+        self.generation += 1
+        try:
+            self._handle = WorkerHandle.spawn(
+                _shard_main, context=self._ctx
+            )
+        except WorkerSpawnError as exc:
+            raise ShardCrashError(
+                f"cannot start shard {self.shard_id}: {exc}"
+            ) from exc
+        self._send(
+            (
+                "init",
+                self.shard_id,
+                self.generation,
+                self._jobs,
+                self._use_plan_cache,
+                self._state_cache_target,
+            )
+        )
+        self._recv()
+        for command in self.journal:
+            self._send(command)
+            self._recv()  # deterministic replay; replies discarded
+
+    def _discard(self) -> None:
+        if self._handle is not None:
+            self._handle.kill()
+            self._handle = None
+
+    def rebuild(self) -> None:
+        """Kill the worker and deterministically rebuild from the
+        journal (round truncation after an in-round completion)."""
+        self._discard()
+        self._recover()
+
+    def _recover(self) -> None:
+        """Respawn + replay until healthy, within the respawn budget."""
+        failures = 0
+        while self._handle is None:
+            if failures > self.max_respawns:
+                raise ShardCrashError(
+                    f"shard {self.shard_id} died {failures} times "
+                    f"during recovery; giving up"
+                )
+            self.respawns += 1
+            obs.count("shard.respawns")
+            obs.event(
+                "shard.respawn", shard=self.shard_id,
+                generation=self.generation + 1,
+                journal=len(self.journal),
+            )
+            try:
+                self._boot()
+            except _ShardDeath:
+                failures += 1
+                self._discard()
+
+    def shutdown(self) -> None:
+        handle = self._handle
+        self._handle = None
+        if handle is None:
+            return
+        try:
+            handle.conn.send_bytes(pickle.dumps(None))
+        except (BrokenPipeError, OSError):
+            pass
+        handle.join(timeout=1.0)
+        if handle.alive:
+            handle.kill()
+        else:
+            handle.close()
+
+    # ------------------------------------------------------------------ #
+    # Command execution
+    # ------------------------------------------------------------------ #
+    def post(self, command: Tuple) -> None:
+        """Send a command without waiting (round broadcast); pair with
+        :meth:`collect`. A send failure defers recovery to collect."""
+        self._inflight = command
+        try:
+            if self._handle is None:
+                self._recover()
+            self._send(command)
+        except _ShardDeath:
+            self._discard()
+
+    def collect(self) -> Any:
+        """Reply to the posted command, surviving worker deaths: the
+        replacement replays the journal, then the command re-runs."""
+        command = self._inflight
+        assert command is not None, "collect() without post()"
+        deaths = 0
+        while True:
+            if self._handle is None:
+                if deaths > self.max_respawns:
+                    raise ShardCrashError(
+                        f"shard {self.shard_id} died {deaths} times on "
+                        f"command {command[0]!r}; giving up"
+                    )
+                self._recover()
+                try:
+                    self._send(command)
+                except _ShardDeath:
+                    deaths += 1
+                    self._discard()
+                    continue
+            try:
+                reply = self._recv()
+            except _ShardDeath:
+                deaths += 1
+                self._discard()
+                continue
+            self._inflight = None
+            return reply
+
+    def call(self, command: Tuple, journal: bool = True) -> Any:
+        """Synchronous command; journaled once it completes."""
+        self.post(command)
+        reply = self.collect()
+        if journal:
+            self.journal.append(command)
+        return reply
+
+    def commit(self, command: Tuple) -> None:
+        """Journal a round command the coordinator has finalized."""
+        self.journal.append(command)
+
+
+__all__ = [
+    "PlanCacheModel",
+    "ShardClient",
+    "ShardCrashError",
+    "ShardProtocolError",
+]

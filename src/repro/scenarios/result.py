@@ -10,7 +10,7 @@ its own module so both layers can import it without cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any, Dict, Mapping
 
 import numpy as np
 
@@ -97,3 +97,49 @@ class ScenarioResult:
 
     def summary(self) -> Dict[str, float]:
         return self.metrics()
+
+    # ------------------------------------------------------------------ #
+    # Lossless serialization (shard digests, run reports)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict that round-trips through :meth:`from_dict`
+        losslessly: float64 values survive via shortest-repr JSON
+        floats, trajectories as lists, the event trace via its own
+        schema."""
+        return {
+            "num_iterations": self.num_iterations,
+            "total_seconds": self.total_seconds,
+            "ideal_seconds": self.ideal_seconds,
+            "useful_seconds": self.useful_seconds,
+            "lost_seconds": self.lost_seconds,
+            "checkpoint_stall_seconds": self.checkpoint_stall_seconds,
+            "recovery_seconds": self.recovery_seconds,
+            "num_failures": self.num_failures,
+            "replayed_iterations": self.replayed_iterations,
+            "num_replans": self.num_replans,
+            "initial_gpus": self.initial_gpus,
+            "final_gpus": self.final_gpus,
+            "min_gpus": self.min_gpus,
+            "mean_mfu": self.mean_mfu,
+            "effective_tokens_per_s": self.effective_tokens_per_s,
+            "ideal_tokens_per_s": self.ideal_tokens_per_s,
+            "mfu_trajectory": [float(x) for x in self.mfu_trajectory],
+            "iteration_times": [float(x) for x in self.iteration_times],
+            "events": self.events.to_dicts(),
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "gpu_seconds": self.gpu_seconds,
+            "preemptions": self.preemptions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
+        payload = dict(data)
+        payload["mfu_trajectory"] = np.asarray(
+            payload["mfu_trajectory"], dtype=np.float64
+        )
+        payload["iteration_times"] = np.asarray(
+            payload["iteration_times"], dtype=np.float64
+        )
+        payload["events"] = EventTrace.from_dicts(payload["events"])
+        return cls(**payload)

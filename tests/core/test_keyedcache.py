@@ -37,6 +37,37 @@ class TestKeyedCache:
         assert len(cache) == 0
         assert cache.get_or_compute("k", lambda: 5) == 5
 
+    def test_keys_in_fifo_order(self):
+        cache = KeyedCache(maxsize=4)
+        for key in "cab":
+            cache.get_or_compute(key, lambda k=key: k)
+        assert cache.keys() == ("c", "a", "b")
+
+    def test_resize_grow_keeps_entries_and_counters(self):
+        cache = KeyedCache(maxsize=2)
+        for key in "ab":
+            cache.get_or_compute(key, lambda k=key: k)
+        cache.resize(8)
+        assert cache.maxsize == 8
+        assert cache.keys() == ("a", "b")
+        assert cache.stats() == (0, 2)
+        for key in "cdef":
+            cache.get_or_compute(key, lambda k=key: k)
+        assert len(cache) == 6  # no longer evicting at 2
+
+    def test_resize_shrink_evicts_oldest(self):
+        cache = KeyedCache(maxsize=4)
+        for key in "abcd":
+            cache.get_or_compute(key, lambda k=key: k)
+        cache.resize(2)
+        assert cache.keys() == ("c", "d")
+
+    def test_resize_rejects_nonpositive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            KeyedCache().resize(0)
+
 
 class TestSharedImplementation:
     def test_plan_cache_is_a_keyed_cache(self):

@@ -130,3 +130,47 @@ class TestFleetControls:
         kinds = [e[0] for e in sim.drain_fleet_events()]
         assert kinds == ["failure", "grow"]
         assert sim.drain_fleet_events() == []  # drained
+
+
+class TestStateCacheSizing:
+    def test_target_scales_with_working_set(self):
+        from repro.fleet.job import (
+            STATE_CACHE,
+            STATE_CACHE_CEILING,
+            STATE_CACHE_FLOOR,
+            resize_state_cache,
+        )
+
+        before = STATE_CACHE.maxsize
+        try:
+            assert resize_state_cache(1) == STATE_CACHE_FLOOR
+            assert resize_state_cache(100) == 400
+            assert STATE_CACHE.maxsize == 400
+            assert resize_state_cache(10**6) == STATE_CACHE_CEILING
+        finally:
+            STATE_CACHE.resize(before)
+
+    def test_completion_lower_bound_is_sound(self, job_config):
+        """The bound never exceeds the realized completion clock — the
+        invariant the sharded round protocol rests on."""
+        spec = ScenarioSpec(
+            num_iterations=30,
+            checkpoint_interval=10,
+            mtbf_gpu_hours=2.0,
+            straggler_rate=0.1,
+            elastic=True,
+            repair_seconds=120.0,
+            seed=2,
+            restart_seconds=60.0,
+            checkpoint_load_seconds=30.0,
+        )
+        sim = JobSimulator(job_config, spec)
+        sim.start()
+        bounds = []
+        while not sim.done:
+            bounds.append(sim.completion_lower_bound())
+            sim.step()
+        final = sim.clock
+        assert all(bound <= final for bound in bounds)
+        # At the final boundary the bound is exact: clock itself.
+        assert bounds[-1] <= final

@@ -1,0 +1,251 @@
+"""Process-sharded fleet execution is the batched fleet, bit for bit.
+
+``FleetEngine(spec, workers=N)`` reorders *where* steps execute, never
+*what* they compute: shards advance tenants only below the coordinator's
+sound completion horizon, capacity events replay in the global
+``(clock, order)`` key order, and per-job plan-cache counters are
+re-derived by replaying the globally-ordered consult stream against a
+coordinator-side model of the shared cache. The suite here pins full
+:class:`FleetResult` byte-identity against the in-process batched loop
+across all three policies, stragglers, failures, arrival spacings, and
+scenario packs — and that a chaos-killed shard worker is respawned,
+journal-replayed, and converges to the identical result.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import DistTrainConfig
+from repro.experiments import chaos
+from repro.fleet import FleetEngine, FleetSpec
+from repro.fleet.job import STATE_CACHE
+from repro.fleet.shards import PlanCacheModel
+from repro.orchestration.plancache import PLAN_CACHE
+from repro.scenarios import ScenarioSpec
+from repro.scenarios.packs import get_pack
+
+from tests.fleet.conftest import FAST_RECOVERY
+from tests.fleet.test_batched_equivalence import fleet_snapshot
+
+SHARDED_SETTINGS = dict(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def cold_run(spec, workers):
+    """One fleet run from cold plan *and* shared-state caches.
+
+    A cold start matters beyond hygiene: the coordinator seeds its
+    plan-cache counter model with the resident keys at run start, so
+    both runs must observe the same initial cache state to be
+    comparable counter-for-counter.
+    """
+    PLAN_CACHE.clear()
+    STATE_CACHE.clear()
+    return FleetEngine(spec, workers=workers).run()
+
+
+def contended_spec(job_config, policy, scenario, spacing=0.0, jobs=3):
+    return FleetSpec.homogeneous(
+        job_config,
+        cluster_gpus=96,
+        num_jobs=jobs,
+        arrival_spacing_s=spacing,
+        priorities=(1, 0),
+        policy=policy,
+        scenario=scenario,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Sharded == batched, whole-result
+# --------------------------------------------------------------------- #
+@settings(**SHARDED_SETTINGS)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    mtbf=st.one_of(st.none(), st.floats(min_value=3.0, max_value=300.0)),
+    straggler_rate=st.floats(min_value=0.0, max_value=0.1),
+    spacing=st.sampled_from([0.0, 150.0]),
+    policy=st.sampled_from(["fifo", "fair-share", "priority"]),
+)
+def test_sharded_fleet_is_batched_fleet(
+    job_config, seed, mtbf, straggler_rate, spacing, policy
+):
+    """Full-result byte-identity under contention, failures,
+    stragglers, elastic resizes, and (under priority) preemptions."""
+    scenario = ScenarioSpec(
+        num_iterations=40,
+        checkpoint_interval=10,
+        mtbf_gpu_hours=mtbf,
+        straggler_rate=straggler_rate,
+        elastic=True,
+        repair_seconds=300.0,
+        seed=seed,
+        **FAST_RECOVERY,
+    )
+    spec = contended_spec(job_config, policy, scenario, spacing)
+    reference = fleet_snapshot(cold_run(spec, workers=1))
+    assert fleet_snapshot(cold_run(spec, workers=2)) == reference
+
+
+def test_sharded_matches_across_worker_counts(job_config):
+    """One aggressive fleet (dense failures + stragglers + staggered
+    arrivals) is identical at every worker count, including workers
+    exceeding half the tenants."""
+    scenario = ScenarioSpec(
+        num_iterations=40,
+        checkpoint_interval=10,
+        mtbf_gpu_hours=8.0,
+        straggler_rate=0.08,
+        elastic=True,
+        repair_seconds=300.0,
+        seed=11,
+        **FAST_RECOVERY,
+    )
+    spec = contended_spec(
+        job_config, "priority", scenario, spacing=150.0, jobs=4
+    )
+    reference = fleet_snapshot(cold_run(spec, workers=1))
+    for workers in (2, 4):
+        assert fleet_snapshot(cold_run(spec, workers=workers)) == reference
+
+
+def test_sharded_pack_equivalence(job_config):
+    """Scenario packs (heterogeneous job classes, correlated faults,
+    SLO deadlines) survive sharding byte-identically."""
+    fleet = get_pack("blast-radius").build_fleet(
+        job_config, cluster_gpus=96, num_jobs=4, seed=3
+    )
+    reference = fleet_snapshot(cold_run(fleet, workers=1))
+    assert fleet_snapshot(cold_run(fleet, workers=2)) == reference
+
+
+def test_sharded_bypasses_plan_cache_identically(job_config):
+    """``use_plan_cache=False`` (every consult a bypass miss) is
+    replayed by the counter model exactly."""
+    scenario = ScenarioSpec(
+        num_iterations=30, checkpoint_interval=10, elastic=True,
+        mtbf_gpu_hours=40.0, seed=2, **FAST_RECOVERY,
+    )
+    spec = contended_spec(job_config, "fair-share", scenario)
+
+    def bypass_run(workers):
+        PLAN_CACHE.clear()
+        STATE_CACHE.clear()
+        return FleetEngine(
+            spec, use_plan_cache=False, workers=workers
+        ).run()
+
+    reference = fleet_snapshot(bypass_run(1))
+    assert fleet_snapshot(bypass_run(2)) == reference
+
+
+# --------------------------------------------------------------------- #
+# Crash recovery
+# --------------------------------------------------------------------- #
+def test_chaos_killed_shard_converges_identically(job_config):
+    """A shard worker SIGKILLed mid-round is respawned, rebuilt from
+    its journal, and the run converges to the byte-identical result."""
+    scenario = ScenarioSpec(
+        num_iterations=30,
+        checkpoint_interval=10,
+        mtbf_gpu_hours=60.0,
+        elastic=True,
+        repair_seconds=300.0,
+        seed=5,
+        **FAST_RECOVERY,
+    )
+    spec = contended_spec(job_config, "fair-share", scenario)
+    reference = fleet_snapshot(cold_run(spec, workers=1))
+
+    # Kill every generation-0 shard worker on its first advance round;
+    # respawned workers (generation 1) run clean.
+    chaos.install([
+        chaos.ChaosRule(action="kill", match={"command": "advance"})
+    ])
+    try:
+        PLAN_CACHE.clear()
+        STATE_CACHE.clear()
+        engine = FleetEngine(spec, workers=2)
+        result = engine.run()
+    finally:
+        chaos.uninstall()
+    assert fleet_snapshot(result) == reference
+    assert engine.shard_respawns >= 2  # both shards died once
+    assert engine.shard_sync_bytes > 0
+
+
+# --------------------------------------------------------------------- #
+# Coordinator pieces
+# --------------------------------------------------------------------- #
+class TestPlanCacheModel:
+    def test_seeded_keys_hit(self):
+        model = PlanCacheModel(["a", "b"], maxsize=4)
+        model.record(0, "a", bypassed=False, in_window=True)
+        model.record(0, "c", bypassed=False, in_window=True)
+        assert model.counts(0) == (1, 1)
+
+    def test_fifo_eviction_matches_keyedcache(self):
+        # maxsize=2: inserting a third key evicts the oldest, so a
+        # later consult of the evicted key misses again.
+        model = PlanCacheModel([], maxsize=2)
+        for key in ("a", "b", "c"):
+            model.record(0, key, bypassed=False, in_window=True)
+        model.record(0, "a", bypassed=False, in_window=True)
+        model.record(0, "c", bypassed=False, in_window=True)
+        assert model.counts(0) == (1, 4)
+
+    def test_bypass_is_a_miss_and_leaves_no_entry(self):
+        model = PlanCacheModel([], maxsize=4)
+        model.record(0, "a", bypassed=True, in_window=True)
+        model.record(0, "a", bypassed=False, in_window=True)
+        assert model.counts(0) == (0, 2)
+
+    def test_out_of_window_consults_evolve_store_but_not_counts(self):
+        model = PlanCacheModel([], maxsize=4)
+        # The out-of-window consult counts nothing but inserts the key,
+        # so the later windowed consult is a hit.
+        model.record(0, "a", bypassed=False, in_window=False)
+        model.record(0, "a", bypassed=False, in_window=True)
+        assert model.counts(0) == (1, 0)
+
+    def test_counts_are_per_tenant(self):
+        model = PlanCacheModel([], maxsize=4)
+        model.record(0, "a", bypassed=False, in_window=True)
+        model.record(1, "a", bypassed=False, in_window=True)
+        assert model.counts(0) == (0, 1)
+        assert model.counts(1) == (1, 0)
+
+
+class TestEngineSurface:
+    def test_workers_clamped_to_tenant_count(self, job_config):
+        scenario = ScenarioSpec(
+            num_iterations=10, checkpoint_interval=5, **FAST_RECOVERY
+        )
+        spec = FleetSpec.homogeneous(
+            job_config, cluster_gpus=96, num_jobs=2, scenario=scenario
+        )
+        engine = FleetEngine(spec, workers=8)
+        assert engine.workers == 2
+
+    def test_single_worker_is_in_process(self, job_config):
+        scenario = ScenarioSpec(
+            num_iterations=10, checkpoint_interval=5, **FAST_RECOVERY
+        )
+        spec = FleetSpec.homogeneous(
+            job_config, cluster_gpus=96, num_jobs=2, scenario=scenario
+        )
+        engine = FleetEngine(spec, workers=1)
+        assert not engine._sharded
+
+    def test_sequential_mode_rejects_sharding(self, job_config):
+        scenario = ScenarioSpec(
+            num_iterations=10, checkpoint_interval=5, **FAST_RECOVERY
+        )
+        spec = FleetSpec.homogeneous(
+            job_config, cluster_gpus=96, num_jobs=2, scenario=scenario
+        )
+        with pytest.raises(ValueError, match="batched"):
+            FleetEngine(spec, batched=False, workers=2)
